@@ -1,0 +1,66 @@
+// Ablation -- which testbed fidelity ingredient produces which published
+// effect? Toggle each overlay off and measure the impact on the SWarp
+// makespan per system. Justifies the DESIGN.md modelling choices.
+#include "bench_common.hpp"
+
+using namespace bbsim;
+
+namespace {
+
+double run_with(const platform::PlatformSpec& plat, const wf::Workflow& w) {
+  exec::ExecutionConfig cfg;
+  cfg.placement = exec::all_bb_policy();
+  cfg.collect_trace = false;
+  exec::Simulation sim(plat, w, cfg);
+  return sim.run().makespan;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: fidelity overlays", "DESIGN.md section 3",
+                "SWarp makespan with each testbed overlay disabled "
+                "(deterministic, noise off).");
+
+  const wf::Workflow workflow = wf::make_swarp({.pipelines = 8, .cores_per_task = 4});
+
+  analysis::Table t({"system", "full testbed (s)", "no stream caps", "no latency",
+                     "no metadata limit", "no stage overhead", "plain Table I"});
+  for (const auto system : bench::kAllSystems) {
+    const platform::PlatformSpec full = testbed::testbed_platform(system, {});
+
+    auto variant = [&](auto mutate) {
+      platform::PlatformSpec p = full;
+      for (platform::StorageSpec& s : p.storage) mutate(s);
+      return run_with(p, workflow);
+    };
+
+    const double base = run_with(full, workflow);
+    const double no_caps =
+        variant([](platform::StorageSpec& s) { s.stream_bw = platform::kUnlimited; });
+    const double no_latency = variant([](platform::StorageSpec& s) {
+      s.base_latency = 0.0;
+      s.link.latency = 0.0;
+    });
+    const double no_meta = variant([](platform::StorageSpec& s) {
+      s.metadata_ops_per_sec = platform::kUnlimited;
+    });
+    const double no_stage =
+        variant([](platform::StorageSpec& s) { s.stage_latency = 0.0; });
+    const double plain = run_with(testbed::paper_platform(system), workflow);
+
+    t.add_row({to_string(system), util::format("%.1f", base),
+               util::format("%.1f (-%.0f%%)", no_caps, 100 * (1 - no_caps / base)),
+               util::format("%.1f (-%.0f%%)", no_latency, 100 * (1 - no_latency / base)),
+               util::format("%.1f (-%.0f%%)", no_meta, 100 * (1 - no_meta / base)),
+               util::format("%.1f (-%.0f%%)", no_stage, 100 * (1 - no_stage / base)),
+               util::format("%.1f", plain)});
+  }
+  t.print();
+  bench::save_csv(t, "ablation_fidelity.csv");
+  std::printf("\nReading: the striped mode's cost is dominated by the metadata "
+              "limit; the DataWarp stage overhead dominates the shared modes' "
+              "stage-in; Summit is latency-insensitive and closest to plain "
+              "Table I.\n");
+  return 0;
+}

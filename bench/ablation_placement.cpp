@@ -1,0 +1,57 @@
+// Ablation -- the data-placement heuristic space (the paper's stated future
+// work): compare placement policies on the 1000Genomes workflow on both
+// architectures.
+#include "bench_common.hpp"
+#include "workflow/genomes.hpp"
+
+using namespace bbsim;
+
+int main() {
+  bench::banner("Ablation: data placement heuristics", "paper Section V",
+                "1000Genomes (903 tasks) makespan under different placement "
+                "policies, Cori vs. Summit models (8 nodes).");
+
+  const wf::Workflow workflow = wf::make_1000genomes({});
+  const int kComputeNodes = 8;
+
+  std::vector<std::shared_ptr<exec::PlacementPolicy>> policies = {
+      exec::all_pfs_policy(),
+      exec::all_bb_policy(),
+      std::make_shared<exec::FractionPolicy>(0.5, exec::Tier::BurstBuffer),
+      std::make_shared<exec::SizeThresholdPolicy>(100e6),
+      std::make_shared<exec::SizeThresholdPolicy>(100e6, /*invert=*/true),
+      std::make_shared<exec::LocalityPolicy>(),
+      std::make_shared<exec::GreedyBytesPolicy>(20e9),
+  };
+
+  analysis::Table t({"policy", "cori makespan (s)", "cori vs all-PFS",
+                     "summit makespan (s)", "summit vs all-PFS", "demoted writes"});
+  std::map<std::string, double> base;
+  for (const auto& policy : policies) {
+    std::vector<std::string> row{policy->name()};
+    std::size_t demoted = 0;
+    for (const auto system : {testbed::System::CoriPrivate, testbed::System::Summit}) {
+      exec::ExecutionConfig cfg;
+      cfg.placement = policy;
+      cfg.stage_in_mode = exec::StageInMode::Instant;
+      cfg.collect_trace = false;
+      exec::Simulation sim(testbed::paper_platform(system, kComputeNodes), workflow,
+                           cfg);
+      const exec::Result r = sim.run();
+      const std::string key = to_string(system);
+      if (base.count(key) == 0) base[key] = r.makespan;  // first policy = all-PFS
+      row.push_back(util::format("%.0f", r.makespan));
+      row.push_back(util::format("%.2fx", base[key] / r.makespan));
+      demoted += r.demoted_writes;
+    }
+    row.push_back(std::to_string(demoted));
+    t.add_row(std::move(row));
+  }
+  t.print();
+  bench::save_csv(t, "ablation_placement.csv");
+  std::printf("\nReading: staging the heavy, high-fan-out inputs (greedy/all-BB) "
+              "dominates; size-threshold catches the many small files; on "
+              "Summit, locality demotions show the on-node sharing limits the "
+              "paper discusses.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "exec/engine.hpp"
+#include "model/calibration.hpp"
+#include "testbed/testbed.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+#include "workflow/swarp.hpp"
+
+namespace bbsim::bench {
+
+/// Print a standard experiment banner.
+inline void banner(const std::string& experiment, const std::string& paper_ref,
+                   const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (%s)\n", experiment.c_str(), paper_ref.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+/// The three systems of the paper's characterization, in figure order.
+inline const std::vector<testbed::System> kAllSystems = {
+    testbed::System::CoriPrivate, testbed::System::CoriStriped,
+    testbed::System::Summit};
+
+/// Calibrate a copy of `workflow` from testbed observations and run the
+/// simple (Table I) model -- the paper's Section IV-B methodology.
+inline exec::Result simple_model_run(
+    testbed::System system, const wf::Workflow& workflow,
+    const std::map<std::string, model::TaskObservation>& observations,
+    const exec::ExecutionConfig& config, int compute_nodes = 1) {
+  wf::Workflow calibrated = workflow;
+  const platform::PlatformSpec plat = testbed::paper_platform(system, compute_nodes);
+  model::calibrate_workflow(calibrated, observations, plat.hosts[0].core_speed);
+  exec::Simulation sim(plat, calibrated, config);
+  return sim.run();
+}
+
+/// Write a CSV and tell the user where it went.
+inline void save_csv(const analysis::Table& table, const std::string& filename) {
+  table.write_csv(filename);
+  std::printf("\n[csv] wrote %s\n", filename.c_str());
+}
+
+}  // namespace bbsim::bench

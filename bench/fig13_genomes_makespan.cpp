@@ -1,0 +1,74 @@
+// Figure 13 -- predicted makespan of the 903-task 1000Genomes workflow on
+// the Cori and Summit models, varying the fraction of input files allocated
+// in the BB (input data ~52 GB = 77% of the ~67 GB footprint).
+//
+// Paper findings reproduced here:
+//   * makespan decreases (performance increases) as more input lives in
+//     the BB;
+//   * Summit outperforms Cori (larger BB bandwidth);
+//   * Cori plateaus when ~80% of the input is in the BB (bandwidth
+//     saturation); Summit plateaus later (near 100%).
+//
+// As in the paper, this experiment is simulation-only (same calibration as
+// Figures 10/11); staging happens outside the measured makespan.
+#include "analysis/plot.hpp"
+#include "bench_common.hpp"
+#include "workflow/genomes.hpp"
+
+using namespace bbsim;
+
+int main() {
+  bench::banner("Figure 13", "1000Genomes case study",
+                "Simulated makespan vs. % of input files allocated in the BB "
+                "(903 tasks, ~52 GB input, 8 compute nodes).");
+
+  const wf::Workflow workflow = wf::make_1000genomes({});
+  std::printf("workflow: %zu tasks, %.1f GB footprint, %.1f GB input (%.0f%%)\n\n",
+              workflow.task_count(), workflow.total_data_bytes() / 1e9,
+              workflow.input_data_bytes() / 1e9,
+              100.0 * workflow.input_data_bytes() / workflow.total_data_bytes());
+
+  const int kComputeNodes = 8;
+  std::vector<analysis::Series> series;
+  for (const auto system : {testbed::System::CoriPrivate, testbed::System::Summit}) {
+    analysis::Series s;
+    s.label = system == testbed::System::Summit ? "summit" : "cori";
+    for (int pct = 0; pct <= 100; pct += 10) {
+      exec::ExecutionConfig cfg;
+      cfg.placement =
+          std::make_shared<exec::FractionPolicy>(pct / 100.0, exec::Tier::BurstBuffer);
+      cfg.stage_in_mode = exec::StageInMode::Instant;
+      cfg.collect_trace = false;
+      exec::Simulation sim(testbed::paper_platform(system, kComputeNodes), workflow,
+                           cfg);
+      s.add(pct, sim.run().makespan);
+    }
+    series.push_back(std::move(s));
+  }
+
+  analysis::Table t = analysis::series_table("% input in BB", series);
+  t.print();
+  bench::save_csv(t, "fig13_genomes_makespan.csv");
+
+  analysis::PlotOptions popt;
+  popt.x_label = "% input in BB";
+  popt.y_label = "makespan (s)";
+  std::printf("\n%s\n", analysis::ascii_plot(series, popt).c_str());
+
+  // Plateau detection: first fraction after which the remaining improvement
+  // is under 2% of the total gain.
+  for (const analysis::Series& s : series) {
+    const double total_gain = s.y.front() - s.y.back();
+    double plateau = 100;
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      if (total_gain > 0 && (s.y[i] - s.y.back()) <= 0.02 * total_gain) {
+        plateau = s.x[i];
+        break;
+      }
+    }
+    std::printf("%s: makespan %.0fs -> %.0fs, plateau at ~%.0f%% staged\n",
+                s.label.c_str(), s.y.front(), s.y.back(), plateau);
+  }
+  std::printf("(paper: Cori plateaus ~80%%, Summit near 100%%; Summit faster)\n");
+  return 0;
+}

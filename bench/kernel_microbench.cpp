@@ -1,0 +1,109 @@
+// Micro-benchmarks of the simulation substrates (google-benchmark):
+// event-queue throughput, max-min solver scaling, end-to-end engine rate.
+#include <benchmark/benchmark.h>
+
+#include "exec/engine.hpp"
+#include "flow/manager.hpp"
+#include "flow/network.hpp"
+#include "sim/engine.hpp"
+#include "testbed/testbed.hpp"
+#include "util/rng.hpp"
+#include "workflow/genomes.hpp"
+#include "workflow/swarp.hpp"
+
+namespace {
+
+using namespace bbsim;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<double>((i * 7919) % 1000), [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MaxMinSolve(benchmark::State& state) {
+  const int n_flows = static_cast<int>(state.range(0));
+  const int n_res = static_cast<int>(state.range(1));
+  util::Rng rng(7);
+  flow::Network net;
+  for (int r = 0; r < n_res; ++r) {
+    net.add_resource("r" + std::to_string(r), rng.uniform(100.0, 1000.0));
+  }
+  for (int f = 0; f < n_flows; ++f) {
+    flow::FlowSpec spec;
+    spec.volume = 1.0;
+    const int hops = static_cast<int>(rng.uniform_int(1, 3));
+    for (int h = 0; h < hops; ++h) {
+      spec.path.push_back(static_cast<flow::ResourceId>(rng.uniform_int(0, n_res - 1)));
+    }
+    net.add_flow(spec);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.solve());
+  }
+  state.SetItemsProcessed(state.iterations() * n_flows);
+}
+BENCHMARK(BM_MaxMinSolve)->Args({16, 8})->Args({128, 16})->Args({1024, 32});
+
+void BM_FlowManagerChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    flow::FlowManager fm(engine);
+    const flow::ResourceId r = fm.network().add_resource("r", 1000.0);
+    for (int i = 0; i < n; ++i) {
+      fm.start({100.0 + i, {r}}, nullptr);
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlowManagerChurn)->Arg(64)->Arg(512);
+
+void BM_SwarpSimulation(benchmark::State& state) {
+  const int pipelines = static_cast<int>(state.range(0));
+  wf::SwarpConfig scfg;
+  scfg.pipelines = pipelines;
+  scfg.cores_per_task = 1;
+  const wf::Workflow workflow = wf::make_swarp(scfg);
+  for (auto _ : state) {
+    exec::ExecutionConfig cfg;
+    cfg.placement = exec::all_bb_policy();
+    cfg.collect_trace = false;
+    exec::Simulation sim(
+        testbed::paper_platform(testbed::System::CoriPrivate), workflow, cfg);
+    benchmark::DoNotOptimize(sim.run().makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * workflow.task_count());
+}
+BENCHMARK(BM_SwarpSimulation)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_GenomesSimulation(benchmark::State& state) {
+  wf::GenomesConfig gcfg;
+  gcfg.chromosomes = static_cast<int>(state.range(0));
+  const wf::Workflow workflow = wf::make_1000genomes(gcfg);
+  for (auto _ : state) {
+    exec::ExecutionConfig cfg;
+    cfg.placement = exec::all_bb_policy();
+    cfg.stage_in_mode = exec::StageInMode::Instant;
+    cfg.collect_trace = false;
+    exec::Simulation sim(testbed::paper_platform(testbed::System::Summit, 8),
+                         workflow, cfg);
+    benchmark::DoNotOptimize(sim.run().makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * workflow.task_count());
+}
+BENCHMARK(BM_GenomesSimulation)->Arg(2)->Arg(22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

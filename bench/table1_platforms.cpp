@@ -1,0 +1,65 @@
+// Table I -- input parameters used in simulation (paper Section IV-A).
+//
+// Prints the calibration parameters fed to the simple model (exactly the
+// paper's Table I) and the fidelity overlays the testbed emulator adds on
+// top of them (our substitution for the real machines).
+#include "bench_common.hpp"
+#include "platform/presets.hpp"
+#include "util/units.hpp"
+
+using namespace bbsim;
+
+namespace {
+
+std::string fmt_bw(double v) {
+  return v == platform::kUnlimited ? "unlimited" : util::format_bandwidth(v);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table I", "paper Section IV-A",
+                "Input parameters used in simulation for evaluating the accuracy "
+                "of the proposed model.");
+
+  analysis::Table t({"system", "core speed", "BB net", "BB disk", "PFS net",
+                     "PFS disk", "cores/node"});
+  {
+    const auto cori = testbed::paper_platform(testbed::System::CoriPrivate);
+    const auto& bb = cori.storage[cori.find_kind(platform::StorageKind::SharedBB)];
+    const auto& pfs = cori.storage[cori.find_kind(platform::StorageKind::PFS)];
+    t.add_row({"Cori", util::format("%.2f GFlop/s/core", cori.hosts[0].core_speed / 1e9),
+               fmt_bw(bb.link.bandwidth), fmt_bw(bb.disk.read_bw),
+               fmt_bw(pfs.link.bandwidth), fmt_bw(pfs.disk.read_bw),
+               std::to_string(cori.hosts[0].cores)});
+  }
+  {
+    const auto summit = testbed::paper_platform(testbed::System::Summit);
+    const auto& bb = summit.storage[summit.find_kind(platform::StorageKind::NodeLocalBB)];
+    const auto& pfs = summit.storage[summit.find_kind(platform::StorageKind::PFS)];
+    t.add_row({"Summit",
+               util::format("%.2f GFlop/s/core", summit.hosts[0].core_speed / 1e9),
+               fmt_bw(bb.link.bandwidth), fmt_bw(bb.disk.read_bw),
+               fmt_bw(pfs.link.bandwidth), fmt_bw(pfs.disk.read_bw),
+               std::to_string(summit.hosts[0].cores)});
+  }
+  std::printf("Paper Table I (simple-model inputs):\n");
+  t.print();
+  bench::save_csv(t, "table1_platforms.csv");
+
+  std::printf("\nTestbed fidelity overlays (our substitution for the real "
+              "machines; see DESIGN.md):\n");
+  analysis::Table f({"system", "BB nodes", "BB stream cap", "BB latency",
+                     "BB metadata", "device read/write"});
+  for (const auto system : bench::kAllSystems) {
+    const auto p = testbed::testbed_platform(system, {});
+    const auto& bb = p.storage[1];
+    f.add_row({to_string(system), std::to_string(bb.num_nodes),
+               fmt_bw(bb.stream_bw), util::format_time(bb.base_latency),
+               util::format("%.0f ops/s", bb.metadata_ops_per_sec),
+               fmt_bw(bb.disk.read_bw) + " / " + fmt_bw(bb.disk.write_bw)});
+  }
+  f.print();
+  bench::save_csv(f, "table1_testbed_overlays.csv");
+  return 0;
+}

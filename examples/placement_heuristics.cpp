@@ -1,0 +1,87 @@
+// Placement heuristics: the paper's future-work direction -- explore the
+// data-placement heuristic space on several workflow shapes and both BB
+// architectures, under a constrained BB capacity so the policies actually
+// have to choose.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "util/strings.hpp"
+#include "exec/engine.hpp"
+#include "testbed/testbed.hpp"
+#include "util/rng.hpp"
+#include "workflow/genomes.hpp"
+#include "workflow/random_dag.hpp"
+#include "workflow/swarp.hpp"
+
+using namespace bbsim;
+
+namespace {
+
+double run(const platform::PlatformSpec& plat, const wf::Workflow& w,
+           std::shared_ptr<exec::PlacementPolicy> policy) {
+  exec::ExecutionConfig cfg;
+  cfg.placement = std::move(policy);
+  cfg.stage_in_mode = exec::StageInMode::Instant;
+  cfg.collect_trace = false;
+  exec::Simulation sim(plat, w, cfg);
+  return sim.run().makespan;
+}
+
+}  // namespace
+
+int main() {
+  // Workload zoo: the paper's two applications plus a random layered DAG.
+  util::Rng rng(2026);
+  wf::RandomDagConfig rcfg;
+  rcfg.levels = 5;
+  rcfg.max_width = 12;
+  const std::vector<std::pair<std::string, wf::Workflow>> workloads = {
+      {"swarp-8p", wf::make_swarp({.pipelines = 8, .cores_per_task = 4})},
+      {"1000genomes-4ch", wf::make_1000genomes({.chromosomes = 4})},
+      {"random-dag", wf::make_random_layered(rcfg, rng)},
+  };
+
+  const std::vector<std::shared_ptr<exec::PlacementPolicy>> policies = {
+      exec::all_pfs_policy(),
+      exec::all_bb_policy(),
+      std::make_shared<exec::SizeThresholdPolicy>(64e6),
+      std::make_shared<exec::LocalityPolicy>(),
+      std::make_shared<exec::GreedyBytesPolicy>(4e9),
+  };
+
+  for (const auto system : {testbed::System::CoriPrivate, testbed::System::Summit}) {
+    // Constrain the BB so placement is a real decision (4 GB per node).
+    platform::PlatformSpec plat = testbed::paper_platform(system, 4);
+    for (platform::StorageSpec& s : plat.storage) {
+      if (s.kind != platform::StorageKind::PFS) s.disk.capacity = 4e9;
+    }
+
+    std::printf("=== %s (BB capacity 4 GB/node) ===\n", to_string(system));
+    std::vector<std::string> header{"policy"};
+    for (const auto& [name, _] : workloads) header.push_back(name + " (s)");
+    analysis::Table t(header);
+    std::map<std::string, double> best;
+    std::map<std::string, std::string> best_policy;
+    for (const auto& policy : policies) {
+      std::vector<std::string> row{policy->name()};
+      for (const auto& [name, w] : workloads) {
+        const double makespan = run(plat, w, policy);
+        row.push_back(util::format("%.1f", makespan));
+        if (best.count(name) == 0 || makespan < best[name]) {
+          best[name] = makespan;
+          best_policy[name] = policy->name();
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+    for (const auto& [name, policy] : best_policy) {
+      std::printf("  best for %-18s %s (%.1f s)\n", name.c_str(), policy.c_str(),
+                  best[name]);
+    }
+    std::printf("\n");
+  }
+  std::printf("Takeaway: no single policy wins everywhere -- exactly why the "
+              "paper calls for simulator-driven heuristic exploration.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// SWarp study: the paper's Section III characterization in miniature --
+// run the SWarp workflow on all three testbed systems, sweep the staging
+// fraction, and print a compact comparison (the full sweeps live in bench/).
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "util/strings.hpp"
+#include "exec/engine.hpp"
+#include "testbed/testbed.hpp"
+#include "workflow/swarp.hpp"
+#include "workflow/wfformat.hpp"
+
+using namespace bbsim;
+
+int main(int argc, char** argv) {
+  int pipelines = 4;
+  if (argc > 1) pipelines = std::max(1, std::atoi(argv[1]));
+
+  wf::SwarpConfig scfg;
+  scfg.pipelines = pipelines;
+  scfg.cores_per_task = 8;
+  const wf::Workflow workflow = wf::make_swarp(scfg);
+  std::printf("SWarp: %d pipelines, %zu tasks, %.0f MiB input per pipeline\n\n",
+              pipelines, workflow.task_count(),
+              workflow.input_data_bytes() / (1024.0 * 1024.0) / pipelines);
+
+  // Export the workflow so it can be inspected / reloaded.
+  wf::save_workflow("swarp_workflow.json", workflow);
+  std::printf("[json] wrote swarp_workflow.json\n\n");
+
+  analysis::Table t({"system", "% staged", "stage-in (s)", "resample (s)",
+                     "combine (s)", "makespan (s)"});
+  for (const auto system : {testbed::System::CoriPrivate, testbed::System::CoriStriped,
+                            testbed::System::Summit}) {
+    testbed::TestbedOptions opt;
+    opt.repetitions = 5;
+    const testbed::Testbed tb(system, opt);
+    for (const double fraction : {0.0, 0.5, 1.0}) {
+      exec::ExecutionConfig cfg;
+      cfg.placement =
+          std::make_shared<exec::FractionPolicy>(fraction, exec::Tier::BurstBuffer);
+      cfg.collect_trace = false;
+      const auto stats =
+          testbed::Testbed::summarize(tb.run_repetitions(workflow, cfg, fraction));
+      t.add_row({to_string(system), util::format("%.0f", fraction * 100),
+                 util::format("%.2f", stats.stage_in.mean),
+                 util::format("%.2f", stats.duration_by_type.at("resample").mean),
+                 util::format("%.2f", stats.duration_by_type.at("combine").mean),
+                 util::format("%.2f", stats.makespan.mean)});
+    }
+  }
+  t.print();
+  std::printf("\nExpected shape (paper Figs 4-8): on-node < private << striped;\n"
+              "staging more input helps private/on-node, hurts striped little.\n");
+  return 0;
+}

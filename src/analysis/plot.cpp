@@ -1,0 +1,74 @@
+#include "analysis/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::analysis {
+
+std::string ascii_plot(const std::vector<Series>& series, const PlotOptions& options) {
+  if (series.empty()) throw util::InvariantError("ascii_plot: no series");
+  const int W = std::max(8, options.width);
+  const int H = std::max(4, options.height);
+
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  bool any = false;
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) throw util::InvariantError("ascii_plot: series have no points");
+  if (options.y_from_zero) ymin = std::min(ymin, 0.0);
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  static const char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+  std::vector<std::string> grid(static_cast<std::size_t>(H), std::string(W, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const Series& s = series[si];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const int col = static_cast<int>(std::lround((s.x[i] - xmin) / (xmax - xmin) *
+                                                   (W - 1)));
+      const int row = static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) *
+                                                   (H - 1)));
+      grid[static_cast<std::size_t>(H - 1 - row)][col] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.y_label.empty()) out += options.y_label + "\n";
+  const std::string top_label = util::format("%g", ymax);
+  const std::string bottom_label = util::format("%g", ymin);
+  const std::size_t margin = std::max(top_label.size(), bottom_label.size());
+  for (int r = 0; r < H; ++r) {
+    std::string prefix(margin, ' ');
+    if (r == 0) prefix = top_label + std::string(margin - top_label.size(), ' ');
+    if (r == H - 1) {
+      prefix = bottom_label + std::string(margin - bottom_label.size(), ' ');
+    }
+    out += prefix + " |" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += std::string(margin + 1, ' ') + '+' + std::string(W, '-') + '\n';
+  out += std::string(margin + 2, ' ') + util::format("%g", xmin);
+  const std::string xmax_s = util::format("%g", xmax);
+  const int pad = W - static_cast<int>(util::format("%g", xmin).size()) -
+                  static_cast<int>(xmax_s.size());
+  out += std::string(static_cast<std::size_t>(std::max(1, pad)), ' ') + xmax_s;
+  if (!options.x_label.empty()) out += "  " + options.x_label;
+  out += '\n';
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += util::format("  %c %s\n", kGlyphs[si % sizeof(kGlyphs)],
+                        series[si].label.c_str());
+  }
+  return out;
+}
+
+}  // namespace bbsim::analysis

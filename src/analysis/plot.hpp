@@ -1,0 +1,25 @@
+// bbsim -- ASCII line plots for experiment series (terminal-friendly
+// companions to the CSV outputs; one glyph per series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace bbsim::analysis {
+
+struct PlotOptions {
+  int width = 64;   ///< plot area columns
+  int height = 16;  ///< plot area rows
+  bool y_from_zero = true;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders the series into a character grid with axes and a legend.
+/// Series points are scattered at their (x, y); glyphs cycle * + o x # @.
+std::string ascii_plot(const std::vector<Series>& series,
+                       const PlotOptions& options = {});
+
+}  // namespace bbsim::analysis

@@ -1,0 +1,114 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::analysis {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw util::InvariantError("table with no columns");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_numeric_row(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (const double v : row) cells.push_back(util::format("%.*f", precision, v));
+  add_row(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out += cell;
+      out.append(width[c] - cell.size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::Error("cannot open CSV for writing: '" + path + "'");
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string q = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) out << ',';
+      out << quote(c < row.size() ? row[c] : std::string{});
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+Table series_table(const std::string& x_label, const std::vector<Series>& series,
+                   int precision) {
+  std::vector<std::string> header{x_label};
+  for (const Series& s : series) header.push_back(s.label);
+
+  // Collect the union of x values, preserving numeric order.
+  std::map<double, std::vector<std::string>> rows;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const Series& s = series[si];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      auto& row = rows[s.x[i]];
+      row.resize(series.size());
+      std::string cell = util::format("%.*f", precision, s.y[i]);
+      if (i < s.yerr.size() && s.yerr[i] > 0.0) {
+        cell += util::format(" ±%.*f", precision, s.yerr[i]);
+      }
+      row[si] = std::move(cell);
+    }
+  }
+  Table t(std::move(header));
+  for (const auto& [x, cells] : rows) {
+    std::vector<std::string> row{util::format("%g", x)};
+    row.insert(row.end(), cells.begin(), cells.end());
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+std::string percent(double fraction, int precision) {
+  return util::format("%.*f%%", precision, fraction * 100.0);
+}
+
+}  // namespace bbsim::analysis

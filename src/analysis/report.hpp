@@ -1,0 +1,45 @@
+// bbsim -- experiment reporting: aligned console tables and CSV files.
+//
+// Every bench binary prints the paper's rows/series as an aligned table and
+// mirrors them to a CSV next to the binary, so figures can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+
+namespace bbsim::analysis {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with `precision` decimals.
+  void add_numeric_row(const std::vector<double>& row, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment and a rule under the header.
+  std::string to_string() const;
+  /// Print to stdout.
+  void print() const;
+  /// Write as CSV (header + rows, comma-separated, quoted when needed).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Merge several series on their x values into one table:
+/// x column + one column per series (empty cell when a series lacks an x).
+Table series_table(const std::string& x_label, const std::vector<Series>& series,
+                   int precision = 2);
+
+/// Format helper: "12.3%" style.
+std::string percent(double fraction, int precision = 1);
+
+}  // namespace bbsim::analysis

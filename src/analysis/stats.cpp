@@ -1,0 +1,71 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bbsim::analysis {
+
+using util::InvariantError;
+
+Stats describe(const std::vector<double>& sample) {
+  if (sample.empty()) throw InvariantError("describe: empty sample");
+  Stats s;
+  s.count = sample.size();
+  double sum = 0.0;
+  s.min = sample[0];
+  s.max = sample[0];
+  for (const double v : sample) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (const double v : sample) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  s.median = percentile(sample, 50.0);
+  s.p25 = percentile(sample, 25.0);
+  s.p75 = percentile(sample, 75.0);
+  return s;
+}
+
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) throw InvariantError("percentile: empty sample");
+  if (q < 0.0 || q > 100.0) throw InvariantError("percentile: q out of [0,100]");
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  const double pos = q / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double relative_error(double predicted, double reference) {
+  if (reference == 0.0) throw InvariantError("relative_error: zero reference");
+  return std::fabs(predicted - reference) / std::fabs(reference);
+}
+
+double mean_absolute_percentage_error(const std::vector<double>& predicted,
+                                      const std::vector<double>& reference) {
+  if (predicted.size() != reference.size() || predicted.empty()) {
+    throw InvariantError("MAPE: series must be equal-length and non-empty");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    total += relative_error(predicted[i], reference[i]);
+  }
+  return total / static_cast<double>(predicted.size());
+}
+
+void Series::add(double x_value, double y_value, double err) {
+  x.push_back(x_value);
+  y.push_back(y_value);
+  yerr.push_back(err);
+}
+
+}  // namespace bbsim::analysis

@@ -1,0 +1,48 @@
+// bbsim -- descriptive statistics and error metrics for experiment series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bbsim::analysis {
+
+/// Summary statistics of a sample.
+struct Stats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/// Computes Stats over a sample; throws InvariantError on empty input.
+Stats describe(const std::vector<double>& sample);
+
+/// Linear-interpolation percentile (q in [0, 100]).
+double percentile(std::vector<double> sample, double q);
+
+/// Relative error |predicted - reference| / reference (reference != 0).
+double relative_error(double predicted, double reference);
+
+/// Mean absolute percentage error between two equal-length series.
+double mean_absolute_percentage_error(const std::vector<double>& predicted,
+                                      const std::vector<double>& reference);
+
+/// One (x, y +/- err) series of an experiment, e.g. makespan vs. % staged.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> yerr;  ///< optional (empty or same length as y)
+
+  void add(double x_value, double y_value, double err = 0.0);
+  std::size_t size() const { return x.size(); }
+};
+
+}  // namespace bbsim::analysis

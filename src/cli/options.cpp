@@ -1,0 +1,174 @@
+#include "cli/options.hpp"
+
+#include "exec/placement.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace bbsim::cli {
+
+using util::ConfigError;
+
+std::string usage() {
+  return R"(bbsim_run -- simulate a workflow execution on an HPC platform with burst buffers
+
+Platform:
+  --platform <cori|summit|FILE.json>   machine model (default: cori)
+  --bb-mode <private|striped>          Cori DataWarp mode (default: private)
+  --nodes N                            compute nodes for presets (default: 1)
+
+Workflow:
+  --workflow <swarp|genomes|FILE.json> workload (default: swarp)
+  --pipelines P                        SWarp pipelines (default: 1)
+  --chromosomes C                      1000Genomes chromosomes (default: 22)
+  --cores N                            override requested cores per task
+
+Execution:
+  --policy <SPEC>                      data placement (default: all_bb)
+       all_pfs | all_bb | fraction:<0..1> | size:<BYTES> | size_inv:<BYTES>
+       | locality | greedy:<BYTES>     (BYTES accepts unit suffixes: 64MB)
+  --scheduler <fcfs|critical_path|largest_first|smallest_first>
+  --stage-in <task|instant>            staging mode (default: task)
+  --stage-width N                      concurrent stage-in transfers (default: 1)
+  --stage-out                          drain BB-resident products to the PFS
+  --evict                              LRU-evict staged inputs when BB is full
+  --cluster                            merge linear task chains before running
+
+Emulation (stochastic "real machine" instead of the plain Table-I model):
+  --testbed <cori-private|cori-striped|summit>
+  --reps R                             repetitions (default: 1)
+  --seed S                             RNG seed (default: 42)
+
+Output:
+  --trace FILE.json                    write the full result (records + trace)
+  --csv FILE.csv                       write per-task records as CSV
+  --dot FILE.dot                       write the workflow DAG as Graphviz
+  --gantt                              print an ASCII Gantt chart
+  --describe                           print the workflow structure summary
+  --report                             print the per-type I/O characterization
+  --quiet                              only print the makespan
+  --help
+)";
+}
+
+std::shared_ptr<exec::PlacementPolicy> make_policy(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "all_pfs") return exec::all_pfs_policy();
+  if (kind == "all_bb") return exec::all_bb_policy();
+  if (kind == "fraction") {
+    if (arg.empty()) throw ConfigError("policy fraction:<0..1> needs a value");
+    return std::make_shared<exec::FractionPolicy>(std::stod(arg),
+                                                  exec::Tier::BurstBuffer);
+  }
+  if (kind == "size") {
+    if (arg.empty()) throw ConfigError("policy size:<bytes> needs a value");
+    return std::make_shared<exec::SizeThresholdPolicy>(util::parse_size(arg));
+  }
+  if (kind == "size_inv") {
+    if (arg.empty()) throw ConfigError("policy size_inv:<bytes> needs a value");
+    return std::make_shared<exec::SizeThresholdPolicy>(util::parse_size(arg), true);
+  }
+  if (kind == "locality") return std::make_shared<exec::LocalityPolicy>();
+  if (kind == "greedy") {
+    if (arg.empty()) throw ConfigError("policy greedy:<bytes> needs a value");
+    return std::make_shared<exec::GreedyBytesPolicy>(util::parse_size(arg));
+  }
+  throw ConfigError("unknown placement policy '" + spec + "'");
+}
+
+namespace {
+
+exec::SchedulerPolicy scheduler_from(const std::string& name) {
+  if (name == "fcfs") return exec::SchedulerPolicy::Fcfs;
+  if (name == "critical_path") return exec::SchedulerPolicy::CriticalPathFirst;
+  if (name == "largest_first") return exec::SchedulerPolicy::LargestFirst;
+  if (name == "smallest_first") return exec::SchedulerPolicy::SmallestFirst;
+  throw ConfigError("unknown scheduler '" + name + "'");
+}
+
+testbed::System system_from(const std::string& name) {
+  if (name == "cori-private") return testbed::System::CoriPrivate;
+  if (name == "cori-striped") return testbed::System::CoriStriped;
+  if (name == "summit") return testbed::System::Summit;
+  throw ConfigError("unknown testbed system '" + name + "'");
+}
+
+}  // namespace
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions opt;
+  std::size_t i = 0;
+  auto next_value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) throw ConfigError("missing value for " + flag);
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      opt.help = true;
+    } else if (a == "--platform") {
+      opt.platform = next_value(a);
+    } else if (a == "--bb-mode") {
+      opt.bb_mode = platform::bb_mode_from_string(next_value(a));
+    } else if (a == "--nodes") {
+      opt.nodes = std::stoi(next_value(a));
+    } else if (a == "--workflow") {
+      opt.workflow = next_value(a);
+    } else if (a == "--pipelines") {
+      opt.pipelines = std::stoi(next_value(a));
+    } else if (a == "--chromosomes") {
+      opt.chromosomes = std::stoi(next_value(a));
+    } else if (a == "--cores") {
+      opt.cores = std::stoi(next_value(a));
+    } else if (a == "--policy") {
+      opt.policy = next_value(a);
+    } else if (a == "--scheduler") {
+      opt.scheduler = scheduler_from(next_value(a));
+    } else if (a == "--stage-in") {
+      const std::string v = next_value(a);
+      if (v == "task") opt.stage_in = exec::StageInMode::Task;
+      else if (v == "instant") opt.stage_in = exec::StageInMode::Instant;
+      else throw ConfigError("unknown stage-in mode '" + v + "'");
+    } else if (a == "--stage-width") {
+      opt.stage_width = std::stoi(next_value(a));
+    } else if (a == "--stage-out") {
+      opt.stage_out = true;
+    } else if (a == "--evict") {
+      opt.evict = true;
+    } else if (a == "--cluster") {
+      opt.cluster = true;
+    } else if (a == "--testbed") {
+      opt.testbed_system = system_from(next_value(a));
+    } else if (a == "--reps") {
+      opt.repetitions = std::stoi(next_value(a));
+    } else if (a == "--seed") {
+      opt.seed = std::stoull(next_value(a));
+    } else if (a == "--trace") {
+      opt.trace_path = next_value(a);
+    } else if (a == "--csv") {
+      opt.csv_path = next_value(a);
+    } else if (a == "--dot") {
+      opt.dot_path = next_value(a);
+    } else if (a == "--gantt") {
+      opt.gantt = true;
+    } else if (a == "--describe") {
+      opt.describe = true;
+    } else if (a == "--report") {
+      opt.report = true;
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else {
+      throw ConfigError("unknown argument '" + a + "' (try --help)");
+    }
+  }
+  if (opt.nodes < 1) throw ConfigError("--nodes must be >= 1");
+  if (opt.stage_width < 1) throw ConfigError("--stage-width must be >= 1");
+  if (opt.pipelines < 1) throw ConfigError("--pipelines must be >= 1");
+  if (opt.repetitions < 1) throw ConfigError("--reps must be >= 1");
+  (void)make_policy(opt.policy);  // validate early
+  return opt;
+}
+
+}  // namespace bbsim::cli

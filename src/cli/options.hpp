@@ -1,0 +1,62 @@
+// bbsim -- command-line options for the bbsim_run driver.
+//
+// Parsing lives in the library (not the binary) so it is unit-testable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "testbed/testbed.hpp"
+
+namespace bbsim::cli {
+
+struct CliOptions {
+  // Platform selection: a preset name or a JSON file path.
+  std::string platform = "cori";
+  platform::BBMode bb_mode = platform::BBMode::Private;
+  int nodes = 1;
+
+  // Workflow selection: a generator name or a JSON file path.
+  std::string workflow = "swarp";
+  int pipelines = 1;
+  int chromosomes = 22;
+  int cores = 0;  ///< 0 = workflow defaults
+
+  // Execution.
+  std::string policy = "all_bb";
+  exec::SchedulerPolicy scheduler = exec::SchedulerPolicy::Fcfs;
+  exec::StageInMode stage_in = exec::StageInMode::Task;
+  int stage_width = 1;
+  bool stage_out = false;
+  bool evict = false;
+  bool cluster = false;  ///< merge linear task chains before running
+
+  // Emulated "real machine" mode.
+  std::optional<testbed::System> testbed_system;
+  int repetitions = 1;
+  unsigned long long seed = 42;
+
+  // Outputs.
+  std::string trace_path;  ///< result JSON
+  std::string csv_path;    ///< per-task CSV
+  std::string dot_path;    ///< workflow DOT
+  bool gantt = false;
+  bool describe = false;  ///< print the workflow structure summary
+  bool report = false;    ///< print the per-type characterization report
+  bool quiet = false;
+  bool help = false;
+};
+
+/// Parses argv (argv[0] is skipped). Throws util::ConfigError on bad input.
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string usage();
+
+/// Builds a placement policy from its CLI spec, e.g. "fraction:0.5",
+/// "size:64MB", "greedy:4GB", "all_pfs". Throws util::ConfigError.
+std::shared_ptr<exec::PlacementPolicy> make_policy(const std::string& spec);
+
+}  // namespace bbsim::cli

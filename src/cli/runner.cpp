@@ -1,0 +1,195 @@
+#include "cli/runner.hpp"
+
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "exec/gantt.hpp"
+#include "json/json.hpp"
+#include "platform/platform_json.hpp"
+#include "platform/presets.hpp"
+#include "testbed/characterize.hpp"
+#include "testbed/testbed.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+#include "workflow/clustering.hpp"
+#include "workflow/describe.hpp"
+#include "workflow/dot.hpp"
+#include "workflow/genomes.hpp"
+#include "workflow/swarp.hpp"
+#include "workflow/wfformat.hpp"
+
+namespace bbsim::cli {
+
+platform::PlatformSpec resolve_platform(const CliOptions& options) {
+  if (options.testbed_system) {
+    testbed::TestbedOptions topt;
+    topt.compute_nodes = options.nodes;
+    topt.seed = options.seed;
+    return testbed::testbed_platform(*options.testbed_system, topt);
+  }
+  if (options.platform == "cori") {
+    platform::PresetOptions popt;
+    popt.compute_nodes = options.nodes;
+    popt.bb_mode = options.bb_mode;
+    return platform::cori_platform(popt);
+  }
+  if (options.platform == "summit") {
+    platform::PresetOptions popt;
+    popt.compute_nodes = options.nodes;
+    return platform::summit_platform(popt);
+  }
+  return platform::load_platform(options.platform);
+}
+
+wf::Workflow resolve_workflow(const CliOptions& options) {
+  if (options.workflow == "swarp") {
+    wf::SwarpConfig cfg;
+    cfg.pipelines = options.pipelines;
+    if (options.cores > 0) cfg.cores_per_task = options.cores;
+    return wf::make_swarp(cfg);
+  }
+  if (options.workflow == "genomes" || options.workflow == "1000genomes") {
+    wf::GenomesConfig cfg;
+    cfg.chromosomes = options.chromosomes;
+    return wf::make_1000genomes(cfg);
+  }
+  return wf::load_workflow(options.workflow);
+}
+
+namespace {
+
+exec::ExecutionConfig execution_config(const CliOptions& options) {
+  exec::ExecutionConfig cfg;
+  cfg.placement = make_policy(options.policy);
+  cfg.scheduler = options.scheduler;
+  cfg.stage_in_mode = options.stage_in;
+  cfg.stage_out = options.stage_out;
+  cfg.bb_eviction = options.evict;
+  cfg.stage_in_width = options.stage_width;
+  if (options.cores > 0) cfg.force_cores = options.cores;
+  return cfg;
+}
+
+void write_task_csv(const std::string& path, const exec::Result& result) {
+  analysis::Table t({"task", "type", "host", "cores", "t_ready", "t_start",
+                     "t_reads_done", "t_compute_done", "t_end", "bytes_read",
+                     "bytes_written", "lambda_io"});
+  for (const auto& [name, rec] : result.tasks) {
+    t.add_row({name, rec.type, std::to_string(rec.host), std::to_string(rec.cores),
+               util::format("%.6f", rec.t_ready), util::format("%.6f", rec.t_start),
+               util::format("%.6f", rec.t_reads_done),
+               util::format("%.6f", rec.t_compute_done),
+               util::format("%.6f", rec.t_end), util::format("%.0f", rec.bytes_read),
+               util::format("%.0f", rec.bytes_written),
+               util::format("%.4f", rec.lambda_io())});
+  }
+  t.write_csv(path);
+}
+
+void print_summary(const exec::Result& result, const CliOptions& options) {
+  if (options.quiet) {
+    std::printf("%.6f\n", result.makespan);
+    return;
+  }
+  std::printf("makespan        %s\n", util::format_time(result.makespan).c_str());
+  if (result.stage_in_duration > 0) {
+    std::printf("  stage-in      %s\n",
+                util::format_time(result.stage_in_duration).c_str());
+  }
+  if (result.stage_out_duration > 0) {
+    std::printf("  stage-out     %s\n",
+                util::format_time(result.stage_out_duration).c_str());
+  }
+  std::printf("  pipeline span %s\n", util::format_time(result.workflow_span).c_str());
+  std::printf("tasks           %zu", result.tasks.size());
+  if (result.demoted_writes > 0) {
+    std::printf("  (demoted writes: %zu)", result.demoted_writes);
+  }
+  if (result.skipped_stage_files > 0) {
+    std::printf("  (staging skipped: %zu)", result.skipped_stage_files);
+  }
+  if (result.evicted_files > 0) std::printf("  (evicted: %zu)", result.evicted_files);
+  std::printf("\n");
+  for (const exec::StorageCounters& s : result.storage) {
+    std::printf("storage %-6s served %-10s at %s\n", s.service.c_str(),
+                util::format_size(s.bytes_served).c_str(),
+                util::format_bandwidth(s.achieved_bandwidth()).c_str());
+  }
+}
+
+}  // namespace
+
+int run_cli(const CliOptions& options) {
+  if (options.help) {
+    std::fputs(usage().c_str(), stdout);
+    return 0;
+  }
+  wf::Workflow workflow = resolve_workflow(options);
+  if (options.cluster) {
+    wf::ClusteringResult clustered = wf::cluster_chains(workflow);
+    if (!options.quiet) {
+      std::printf("[cluster] merged %zu chains, internalised %zu files\n",
+                  clustered.chains_merged, clustered.files_internalised);
+    }
+    workflow = std::move(clustered.workflow);
+  }
+  if (options.describe) std::fputs(wf::describe(workflow).c_str(), stdout);
+  if (!options.dot_path.empty()) {
+    wf::save_dot(options.dot_path, workflow);
+    if (!options.quiet) std::printf("[dot] wrote %s\n", options.dot_path.c_str());
+  }
+
+  const exec::ExecutionConfig cfg = execution_config(options);
+
+  exec::Result result;
+  std::vector<exec::Result> all_results;
+  if (options.testbed_system) {
+    testbed::TestbedOptions topt;
+    topt.compute_nodes = options.nodes;
+    topt.seed = options.seed;
+    topt.repetitions = options.repetitions;
+    const testbed::Testbed tb(*options.testbed_system, topt);
+    all_results = tb.run_repetitions(workflow, cfg);
+    if (!options.quiet && options.repetitions > 1) {
+      std::vector<double> makespans;
+      for (const auto& r : all_results) makespans.push_back(r.makespan);
+      const analysis::Stats s = analysis::describe(makespans);
+      std::printf("testbed %s, %d repetitions: makespan %.2f ± %.2f s (cv %.1f%%)\n",
+                  to_string(*options.testbed_system), options.repetitions, s.mean,
+                  s.stddev, s.cv() * 100.0);
+    }
+    result = all_results.back();
+  } else {
+    exec::Simulation sim(resolve_platform(options), workflow, cfg);
+    result = sim.run();
+    all_results.push_back(result);
+  }
+  if (options.report) {
+    std::fputs(testbed::characterization_report(all_results).c_str(), stdout);
+  }
+
+  print_summary(result, options);
+  if (options.gantt) std::fputs(exec::render_gantt(result).c_str(), stdout);
+  if (!options.trace_path.empty()) {
+    json::write_file(options.trace_path, result.to_json());
+    if (!options.quiet) std::printf("[json] wrote %s\n", options.trace_path.c_str());
+  }
+  if (!options.csv_path.empty()) {
+    write_task_csv(options.csv_path, result);
+    if (!options.quiet) std::printf("[csv] wrote %s\n", options.csv_path.c_str());
+  }
+  return 0;
+}
+
+int main_impl(int argc, const char* const* argv) {
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return run_cli(parse_cli(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bbsim_run: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace bbsim::cli

@@ -1,0 +1,27 @@
+// bbsim -- the bbsim_run driver logic (library side, testable).
+#pragma once
+
+#include <string>
+
+#include "cli/options.hpp"
+#include "exec/trace.hpp"
+#include "platform/spec.hpp"
+#include "workflow/workflow.hpp"
+
+namespace bbsim::cli {
+
+/// Resolve the platform selection (preset name or JSON path).
+platform::PlatformSpec resolve_platform(const CliOptions& options);
+
+/// Resolve the workflow selection (generator name or JSON path).
+wf::Workflow resolve_workflow(const CliOptions& options);
+
+/// Run the whole thing; returns the process exit code. Output goes to
+/// stdout (and to the files requested in options).
+int run_cli(const CliOptions& options);
+
+/// Entry point used by tools/bbsim_run_main.cpp: parses, runs, reports
+/// errors on stderr.
+int main_impl(int argc, const char* const* argv);
+
+}  // namespace bbsim::cli

@@ -1,0 +1,641 @@
+#include "exec/engine.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::exec {
+
+using platform::StorageKind;
+using util::ConfigError;
+using util::InvariantError;
+
+namespace {
+constexpr const char* kStageInType = "stage_in";
+}
+
+const char* to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::Fcfs: return "fcfs";
+    case SchedulerPolicy::CriticalPathFirst: return "critical_path";
+    case SchedulerPolicy::LargestFirst: return "largest_first";
+    case SchedulerPolicy::SmallestFirst: return "smallest_first";
+  }
+  return "?";
+}
+
+Simulation::Simulation(platform::PlatformSpec platform, const wf::Workflow& workflow,
+                       ExecutionConfig config)
+    : workflow_(workflow),
+      config_(std::move(config)),
+      fabric_(std::move(platform)),
+      storage_(fabric_) {
+  if (!config_.placement) config_.placement = all_bb_policy();
+  workflow_.validate();
+}
+
+int Simulation::cores_for(const wf::Task& task) const {
+  if (task.type == kStageInType) return 1;  // always sequential (paper Sec. III-D)
+  int cores = task.requested_cores;
+  if (config_.force_cores > 0) cores = config_.force_cores;
+  const auto it = config_.cores_by_type.find(task.type);
+  if (it != config_.cores_by_type.end()) cores = it->second;
+  return std::max(1, cores);
+}
+
+void Simulation::trace(const char* kind, const std::string& task, std::string detail) {
+  if (!config_.collect_trace) return;
+  trace_.push_back(TraceEvent{fabric_.engine().now(), kind, task, std::move(detail)});
+}
+
+void Simulation::prepare() {
+  const auto& hosts = fabric_.spec().hosts;
+  free_cores_.clear();
+  for (const auto& h : hosts) free_cores_.push_back(h.cores);
+  int max_cores = 0;
+  for (const auto& h : hosts) max_cores = std::max(max_cores, h.cores);
+
+  topo_order_ = workflow_.topological_order();
+  std::map<std::string, std::size_t> topo_index;
+  for (std::size_t i = 0; i < topo_order_.size(); ++i) topo_index[topo_order_[i]] = i;
+
+  // Locality pinning when the burst buffer restricts reads by node.
+  storage::StorageService* bb_svc = bb();
+  const bool restricted =
+      bb_svc != nullptr &&
+      (bb_svc->kind() == StorageKind::NodeLocalBB ||
+       (bb_svc->kind() == StorageKind::SharedBB &&
+        bb_svc->spec().mode == platform::BBMode::Private));
+  const bool pin = config_.locality_pinning && restricted;
+  std::vector<std::size_t> homes;
+  if (pin) homes = compute_home_hosts(workflow_, fabric_.spec(), config_.pinning);
+
+  const auto& names = workflow_.task_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const wf::Task& t = workflow_.task(names[i]);
+    TaskState st;
+    st.task = &t;
+    st.topo_index = topo_index.at(t.name);
+    st.remaining_parents = workflow_.parents(t.name).size();
+    st.cores = cores_for(t);
+    if (st.cores > max_cores) {
+      throw ConfigError("task '" + t.name + "' wants " + std::to_string(st.cores) +
+                        " cores but the largest host has " + std::to_string(max_cores));
+    }
+    st.home_host = pin ? homes[i] : 0;
+    st.pinned = pin;
+    st.record.name = t.name;
+    st.record.type = t.type;
+    st.record.cores = st.cores;
+    states_.emplace(t.name, std::move(st));
+  }
+  tasks_remaining_ = names.size();
+
+  // Initial dataset: all workflow inputs on the PFS.
+  storage::StorageService& pfs = storage_.pfs();
+  for (const std::string& f : workflow_.input_files()) {
+    pfs.register_file(storage::FileRef{f, workflow_.file(f).size}, 0);
+  }
+
+  // Staging plan.
+  staged_files_.clear();
+  if (bb_svc != nullptr) staged_files_ = config_.placement->files_to_stage(workflow_);
+  for (const std::string& f : staged_files_) {
+    std::size_t host = 0;
+    const auto consumers = workflow_.consumers(f);
+    if (!consumers.empty()) host = states_.at(consumers.front()).home_host;
+    staged_file_host_[f] = host;
+  }
+  if (config_.stage_in_mode == StageInMode::Instant && bb_svc != nullptr) {
+    for (const std::string& f : staged_files_) {
+      const double size = workflow_.file(f).size;
+      if (!bb_has_room(size) && !(config_.bb_eviction && try_evict(size))) {
+        ++skipped_stage_files_;
+        continue;
+      }
+      bb_svc->register_file(storage::FileRef{f, size}, staged_file_host_[f]);
+    }
+  }
+  build_stage_partition();
+
+  compute_priorities();
+
+  // Mark entry tasks ready.
+  for (const std::string& name : topo_order_) {
+    TaskState& st = states_.at(name);
+    if (st.remaining_parents == 0) {
+      st.ready = true;
+      st.record.t_ready = fabric_.engine().now();
+      enqueue_ready(name);
+      trace("task_ready", name);
+    }
+  }
+  try_schedule();
+}
+
+void Simulation::compute_priorities() {
+  switch (config_.scheduler) {
+    case SchedulerPolicy::Fcfs:
+      for (auto& [_, st] : states_) st.priority = 0.0;
+      return;
+    case SchedulerPolicy::LargestFirst:
+      for (auto& [_, st] : states_) st.priority = st.task->flops;
+      return;
+    case SchedulerPolicy::SmallestFirst:
+      for (auto& [_, st] : states_) st.priority = -st.task->flops;
+      return;
+    case SchedulerPolicy::CriticalPathFirst: {
+      // Upward rank: a task's sequential work plus the heaviest downstream
+      // chain (HEFT's rank_u without communication terms).
+      for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+        TaskState& st = states_.at(*it);
+        double best_child = 0.0;
+        for (const std::string& child : workflow_.children(*it)) {
+          best_child = std::max(best_child, states_.at(child).priority);
+        }
+        st.priority = st.task->flops + best_child;
+      }
+      return;
+    }
+  }
+}
+
+void Simulation::enqueue_ready(const std::string& task_name) {
+  if (config_.scheduler == SchedulerPolicy::Fcfs) {
+    ready_queue_.push_back(task_name);
+    return;
+  }
+  const TaskState& st = states_.at(task_name);
+  auto pos = ready_queue_.begin();
+  for (; pos != ready_queue_.end(); ++pos) {
+    const TaskState& other = states_.at(*pos);
+    if (st.priority > other.priority ||
+        (st.priority == other.priority && st.topo_index < other.topo_index)) {
+      break;
+    }
+  }
+  ready_queue_.insert(pos, task_name);
+}
+
+void Simulation::try_schedule() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = ready_queue_.begin(); it != ready_queue_.end(); ++it) {
+      TaskState& st = states_.at(*it);
+      std::size_t chosen = static_cast<std::size_t>(-1);
+      if (st.pinned) {
+        // Wait for the home host unless it can never fit the request.
+        if (fabric_.spec().hosts[st.home_host].cores >= st.cores) {
+          if (free_cores_[st.home_host] >= st.cores) chosen = st.home_host;
+        } else {
+          for (std::size_t h = 0; h < free_cores_.size(); ++h) {
+            if (free_cores_[h] >= st.cores) { chosen = h; break; }
+          }
+        }
+      } else {
+        // Least-loaded host with room (ties -> lowest index).
+        int best_free = -1;
+        for (std::size_t h = 0; h < free_cores_.size(); ++h) {
+          if (free_cores_[h] >= st.cores && free_cores_[h] > best_free) {
+            best_free = free_cores_[h];
+            chosen = h;
+          }
+        }
+      }
+      if (chosen == static_cast<std::size_t>(-1)) continue;
+      const std::string name = *it;
+      ready_queue_.erase(it);
+      start_task(states_.at(name), chosen);
+      progressed = true;
+      break;  // iterators invalidated; rescan
+    }
+  }
+}
+
+void Simulation::start_task(TaskState& ts, std::size_t host) {
+  ts.running = true;
+  ts.host = host;
+  ts.record.host = host;
+  free_cores_[host] -= ts.cores;
+  ts.record.t_start = fabric_.engine().now();
+  trace("task_start", ts.task->name,
+        util::format("host=%zu cores=%d", host, ts.cores));
+
+  if (ts.task->type == kStageInType) {
+    run_stage_in(ts);
+    return;
+  }
+  for (const std::string& f : ts.task->inputs) ts.pending_reads.push_back(f);
+  issue_reads(ts);
+}
+
+void Simulation::build_stage_partition() {
+  staged_by_task_.clear();
+  std::vector<std::string> stage_tasks;
+  for (const std::string& name : workflow_.task_names()) {
+    if (workflow_.task(name).type == kStageInType) stage_tasks.push_back(name);
+  }
+  if (stage_tasks.empty()) return;
+  if (stage_tasks.size() == 1) {
+    staged_by_task_[stage_tasks.front()] = staged_files_;
+    return;
+  }
+  // Several stage-in tasks (one workflow instance per pipeline): each one
+  // copies the staged files its descendants consume.
+  std::set<std::string> assigned;
+  for (const std::string& stage : stage_tasks) {
+    // BFS over descendants.
+    std::set<std::string> seen{stage};
+    std::deque<std::string> frontier{stage};
+    std::set<std::string> wanted;
+    while (!frontier.empty()) {
+      const std::string task = frontier.front();
+      frontier.pop_front();
+      for (const std::string& child : workflow_.children(task)) {
+        if (seen.insert(child).second) frontier.push_back(child);
+      }
+      for (const std::string& f : workflow_.task(task).inputs) wanted.insert(f);
+    }
+    std::vector<std::string>& mine = staged_by_task_[stage];
+    for (const std::string& f : staged_files_) {
+      if (wanted.count(f) > 0 && assigned.insert(f).second) mine.push_back(f);
+    }
+  }
+  // Leftovers (staged files no stage-in task covers) go to the first task.
+  for (const std::string& f : staged_files_) {
+    if (assigned.insert(f).second) staged_by_task_[stage_tasks.front()].push_back(f);
+  }
+}
+
+void Simulation::run_stage_in(TaskState& ts) {
+  const double now = fabric_.engine().now();
+  if (!stage_in_seen_ || now < stage_in_start_) stage_in_start_ = now;
+  stage_in_seen_ = true;
+  const auto it = staged_by_task_.find(ts.task->name);
+  const std::vector<std::string>* files =
+      it != staged_by_task_.end() ? &it->second : nullptr;
+  if (config_.stage_in_mode == StageInMode::Instant || files == nullptr ||
+      files->empty() || bb() == nullptr) {
+    // Nothing to move (pre-staged or no BB): finish via a zero-delay event.
+    fabric_.engine().schedule_in(0.0, [this, &ts] {
+      const double t = fabric_.engine().now();
+      ts.record.t_reads_done = t;
+      ts.record.t_compute_done = t;
+      stage_in_end_ = std::max(stage_in_end_, t);
+      finish_task(ts);
+    });
+    return;
+  }
+  auto chain = std::make_shared<StageChain>();
+  chain->ts = &ts;
+  chain->files = files;
+  pump_stage_chain(chain);
+}
+
+void Simulation::finish_stage_chain(const StageChain& chain) {
+  const double now = fabric_.engine().now();
+  stage_in_end_ = std::max(stage_in_end_, now);
+  if (chain.ts != nullptr) {
+    chain.ts->record.t_reads_done = now;
+    chain.ts->record.t_compute_done = now;
+    finish_task(*chain.ts);
+  }
+}
+
+void Simulation::pump_stage_chain(const std::shared_ptr<StageChain>& chain) {
+  const std::size_t width =
+      static_cast<std::size_t>(std::max(1, config_.stage_in_width));
+  while (chain->next < chain->files->size() && chain->inflight < width) {
+    const std::string& fname = (*chain->files)[chain->next++];
+    const storage::FileRef file{fname, workflow_.file(fname).size};
+    if (!bb_has_room(file.size) && !(config_.bb_eviction && try_evict(file.size))) {
+      // The allocation is full: the file stays on the PFS (and is counted).
+      ++skipped_stage_files_;
+      trace("stage_skipped",
+            chain->ts != nullptr ? chain->ts->task->name : "implicit_stage_in", fname);
+      continue;
+    }
+    const std::size_t via_host = staged_file_host_.at(fname);
+    if (chain->ts != nullptr) {
+      chain->ts->record.bytes_read += file.size;
+      chain->ts->record.bytes_written += file.size;
+    }
+    trace("stage_file",
+          chain->ts != nullptr ? chain->ts->task->name : "implicit_stage_in",
+          util::format("%s -> bb (host %zu)", fname.c_str(), via_host));
+    ++chain->inflight;
+    storage_.transfer(file, storage_.pfs(), *bb(), via_host, [this, chain] {
+      --chain->inflight;
+      pump_stage_chain(chain);
+    });
+  }
+  if (chain->next >= chain->files->size() && chain->inflight == 0) {
+    finish_stage_chain(*chain);
+  }
+}
+
+void Simulation::issue_reads(TaskState& ts) {
+  const std::size_t window = static_cast<std::size_t>(ts.cores);
+  while (!ts.pending_reads.empty() && ts.inflight_io < window) {
+    const std::string fname = ts.pending_reads.front();
+    ts.pending_reads.pop_front();
+    storage::StorageService* src = storage_.best_source(fname, ts.host);
+    if (src == nullptr) {
+      throw InvariantError("task '" + ts.task->name + "' cannot read file '" + fname +
+                           "' from host " + std::to_string(ts.host) +
+                           " (no readable replica)");
+    }
+    last_access_[fname] = fabric_.engine().now();  // LRU bookkeeping
+    const storage::FileRef file{fname, workflow_.file(fname).size};
+    ts.record.bytes_read += file.size;
+    ++ts.inflight_io;
+    src->read(file, ts.host, [this, &ts] {
+      --ts.inflight_io;
+      if (ts.pending_reads.empty() && ts.inflight_io == 0) {
+        on_reads_done(ts);
+      } else {
+        issue_reads(ts);
+      }
+    });
+  }
+  if (ts.pending_reads.empty() && ts.inflight_io == 0 && ts.task->inputs.empty()) {
+    on_reads_done(ts);
+  }
+}
+
+double Simulation::compute_duration(const TaskState& ts) const {
+  const wf::Task& t = *ts.task;
+  if (t.flops <= 0.0) return 0.0;
+  const double core_speed = fabric_.spec().hosts[ts.host].core_speed;
+  const double t_seq = t.flops / core_speed;
+  double duration = model::amdahl_time(t_seq, ts.cores, t.alpha);
+  if (config_.compute_noise) duration *= config_.compute_noise(t, ts.host);
+  return duration;
+}
+
+void Simulation::on_reads_done(TaskState& ts) {
+  ts.record.t_reads_done = fabric_.engine().now();
+  trace("reads_done", ts.task->name);
+  const double duration = compute_duration(ts);
+  fabric_.engine().schedule_in(duration, [this, &ts] { on_compute_done(ts); });
+}
+
+void Simulation::on_compute_done(TaskState& ts) {
+  ts.record.t_compute_done = fabric_.engine().now();
+  trace("compute_done", ts.task->name);
+  for (const std::string& f : ts.task->outputs) ts.pending_writes.push_back(f);
+  if (ts.pending_writes.empty()) {
+    finish_task(ts);
+    return;
+  }
+  issue_writes(ts);
+}
+
+bool Simulation::bb_has_room(double bytes) {
+  const storage::StorageService* bb_svc = storage_.burst_buffer();
+  if (bb_svc == nullptr) return false;
+  const double cap = bb_svc->total_capacity();
+  return cap == platform::kUnlimited || bb_svc->used_bytes() + bytes <= cap;
+}
+
+Tier Simulation::output_tier(const TaskState& ts, const std::string& file_name) const {
+  Tier tier = config_.placement->place_output(workflow_, ts.task->name, file_name);
+  if (tier != Tier::BurstBuffer) return tier;
+  const storage::StorageService* bb_svc = storage_.burst_buffer();
+  if (bb_svc == nullptr) return Tier::PFS;
+  // Demotion 1: a consumer pinned to another node could never read the
+  // replica on a node-restricted BB.
+  const bool restricted =
+      bb_svc->kind() == StorageKind::NodeLocalBB ||
+      (bb_svc->kind() == StorageKind::SharedBB &&
+       bb_svc->spec().mode == platform::BBMode::Private);
+  if (restricted) {
+    for (const std::string& consumer : workflow_.consumers(file_name)) {
+      const TaskState& cs = states_.at(consumer);
+      const std::size_t consumer_host = cs.pinned ? cs.home_host : ts.host;
+      if (consumer_host != ts.host) return Tier::PFS;
+    }
+  }
+  return Tier::BurstBuffer;
+}
+
+void Simulation::issue_writes(TaskState& ts) {
+  const std::size_t window = static_cast<std::size_t>(ts.cores);
+  while (!ts.pending_writes.empty() && ts.inflight_io < window) {
+    const std::string fname = ts.pending_writes.front();
+    ts.pending_writes.pop_front();
+    const Tier requested =
+        config_.placement->place_output(workflow_, ts.task->name, fname);
+    Tier tier = output_tier(ts, fname);
+    if (tier == Tier::BurstBuffer) {
+      // Demotion 2: the BB is full (optionally evict staged inputs first).
+      const double size = workflow_.file(fname).size;
+      if (!bb_has_room(size) && !(config_.bb_eviction && try_evict(size))) {
+        tier = Tier::PFS;
+      }
+    }
+    if (requested == Tier::BurstBuffer && tier == Tier::PFS) ++demoted_writes_;
+    storage::StorageService& dst =
+        tier == Tier::BurstBuffer ? *storage_.burst_buffer() : storage_.pfs();
+    const storage::FileRef file{fname, workflow_.file(fname).size};
+    ts.record.bytes_written += file.size;
+    trace("write", ts.task->name,
+          util::format("%s -> %s", fname.c_str(), dst.name().c_str()));
+    ++ts.inflight_io;
+    dst.write(file, ts.host, [this, &ts] {
+      --ts.inflight_io;
+      if (ts.pending_writes.empty() && ts.inflight_io == 0) {
+        finish_task(ts);
+      } else {
+        issue_writes(ts);
+      }
+    });
+  }
+}
+
+void Simulation::finish_task(TaskState& ts) {
+  ts.record.t_end = fabric_.engine().now();
+  ts.running = false;
+  ts.done = true;
+  free_cores_[ts.host] += ts.cores;
+  --tasks_remaining_;
+  trace("task_end", ts.task->name);
+
+  for (const std::string& child : workflow_.children(ts.task->name)) {
+    TaskState& cs = states_.at(child);
+    if (--cs.remaining_parents == 0) {
+      cs.ready = true;
+      cs.record.t_ready = fabric_.engine().now();
+      enqueue_ready(child);
+      trace("task_ready", child);
+    }
+  }
+  if (tasks_remaining_ == 0 && config_.stage_out) {
+    run_stage_out();
+    return;
+  }
+  try_schedule();
+}
+
+void Simulation::run_stage_out() {
+  // Drain every final product still (only) in the burst buffer back to the
+  // PFS, sequentially -- the mirror image of the stage-in task.
+  storage::StorageService* bb_svc = bb();
+  if (bb_svc == nullptr) return;
+  auto files = std::make_shared<std::vector<std::string>>();
+  for (const std::string& f : workflow_.output_files()) {
+    if (bb_svc->has_file(f) && !storage_.pfs().has_file(f)) files->push_back(f);
+  }
+  if (files->empty()) return;
+  const double start = fabric_.engine().now();
+  auto drain = std::make_shared<std::function<void(std::size_t)>>();
+  *drain = [this, files, start, drain, bb_svc](std::size_t index) {
+    if (index >= files->size()) {
+      stage_out_duration_ = fabric_.engine().now() - start;
+      return;
+    }
+    const std::string& fname = (*files)[index];
+    const storage::StorageService::Replica* rep = bb_svc->replica(fname);
+    const std::size_t via_host = rep != nullptr ? rep->creator_host : 0;
+    trace("stage_out", "stage_out", fname);
+    storage_.transfer(storage::FileRef{fname, workflow_.file(fname).size}, *bb_svc,
+                      storage_.pfs(), via_host,
+                      [drain, index] { (*drain)(index + 1); });
+  };
+  (*drain)(0);
+}
+
+bool Simulation::try_evict(double bytes) {
+  storage::StorageService* bb_svc = bb();
+  if (bb_svc == nullptr) return false;
+  // Eviction candidates: staged *input* files (their PFS master copy makes
+  // eviction safe), least recently read first.
+  struct Candidate {
+    std::string file;
+    double last_access;
+    double size;
+  };
+  std::vector<Candidate> candidates;
+  for (const std::string& f : staged_files_) {
+    if (!bb_svc->has_file(f)) continue;
+    const auto it = last_access_.find(f);
+    candidates.push_back({f, it == last_access_.end() ? 0.0 : it->second,
+                          workflow_.file(f).size});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.last_access < b.last_access;
+                   });
+  for (const Candidate& c : candidates) {
+    if (bb_has_room(bytes)) return true;
+    bb_svc->erase_file(c.file);
+    ++evicted_files_;
+    trace("evict", "", c.file);
+  }
+  return bb_has_room(bytes);
+}
+
+Result Simulation::collect_result() {
+  Result r;
+  for (const auto& [name, st] : states_) {
+    r.tasks.emplace(name, st.record);
+    r.makespan = std::max(r.makespan, st.record.t_end);
+  }
+  r.stage_out_duration = stage_out_duration_;
+  r.makespan += stage_out_duration_;  // the drain runs after the last task
+  r.stage_in_duration = std::max(0.0, stage_in_end_ - stage_in_start_);
+  r.workflow_span = r.makespan - r.stage_in_duration - r.stage_out_duration;
+  r.trace = std::move(trace_);
+  r.demoted_writes = demoted_writes_;
+  r.skipped_stage_files = skipped_stage_files_;
+  r.evicted_files = evicted_files_;
+
+  const flow::Network& net = fabric_.flows().network();
+  for (std::size_t s = 0; s < fabric_.spec().storage.size(); ++s) {
+    const auto& res = fabric_.storage_resources(s);
+    StorageCounters c;
+    c.service = fabric_.spec().storage[s].name;
+    for (const flow::ResourceId id : res.disk_read) {
+      c.bytes_served += net.resource(id).bytes_served;
+      c.busy_time = std::max(c.busy_time, net.resource(id).busy_time);
+    }
+    for (const flow::ResourceId id : res.disk_write) {
+      c.bytes_served += net.resource(id).bytes_served;
+      c.busy_time = std::max(c.busy_time, net.resource(id).busy_time);
+    }
+    r.storage.push_back(std::move(c));
+  }
+  return r;
+}
+
+Result Simulation::run() {
+  if (ran_) throw InvariantError("Simulation::run() called twice");
+  ran_ = true;
+
+  // Implicit stage-in: a Task-mode plan on a workflow without a stage-in
+  // task stages everything up-front, before entry tasks become ready.
+  const bool has_stage_task = [this] {
+    for (const std::string& name : workflow_.task_names()) {
+      if (workflow_.task(name).type == kStageInType) return true;
+    }
+    return false;
+  }();
+
+  if (config_.stage_in_mode == StageInMode::Task && !has_stage_task &&
+      bb() != nullptr && !config_.placement->files_to_stage(workflow_).empty()) {
+    // Run the implicit staging first, then release the workflow.
+    staged_files_ = config_.placement->files_to_stage(workflow_);
+    // prepare() would re-derive the same list; set a flag via a small dance:
+    // stage files sequentially, then prepare the rest of the run.
+    storage::StorageService& pfs_svc = storage_.pfs();
+    for (const std::string& f : workflow_.input_files()) {
+      pfs_svc.register_file(storage::FileRef{f, workflow_.file(f).size}, 0);
+    }
+    // Home hosts are needed for placement of staged files; compute a
+    // lightweight pinning (same as prepare() will).
+    std::map<std::string, std::size_t> home_by_task;
+    {
+      const auto homes = compute_home_hosts(workflow_, fabric_.spec(), config_.pinning);
+      const auto& names = workflow_.task_names();
+      for (std::size_t i = 0; i < names.size(); ++i) home_by_task[names[i]] = homes[i];
+    }
+    for (const std::string& f : staged_files_) {
+      std::size_t host = 0;
+      const auto consumers = workflow_.consumers(f);
+      if (!consumers.empty()) host = home_by_task.at(consumers.front());
+      staged_file_host_[f] = host;
+    }
+    stage_in_start_ = 0.0;
+    stage_in_seen_ = true;
+    auto chain = std::make_shared<StageChain>();
+    chain->files = &staged_files_;
+    pump_stage_chain(chain);
+    fabric_.engine().run();
+    // Inputs are now placed; continue with the normal preparation, but make
+    // sure prepare() does not re-register/re-stage.
+    auto placement_backup = config_.placement;
+    config_.placement = std::make_shared<FractionPolicy>(0.0, Tier::BurstBuffer);
+    // Note: intermediates should still follow the original policy.
+    prepare();
+    config_.placement = placement_backup;
+  } else {
+    prepare();
+  }
+
+  fabric_.engine().run();
+
+  if (tasks_remaining_ > 0) {
+    for (const auto& [name, st] : states_) {
+      if (!st.done) {
+        throw InvariantError("execution stalled: task '" + name + "' never completed (" +
+                             std::to_string(tasks_remaining_) + " remaining)");
+      }
+    }
+  }
+  return collect_result();
+}
+
+}  // namespace bbsim::exec

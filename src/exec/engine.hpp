@@ -1,0 +1,190 @@
+// bbsim -- the workflow execution engine (the simulated WMS).
+//
+// Mirrors the execution semantics of the paper's WRENCH simulator:
+//
+//   * workflow input files start on the PFS; the placement policy selects
+//     files to stage into the burst buffer -- either by a sequential
+//     stage-in task (SWarp, Figure 2) or instantly at t=0 (the 1000Genomes
+//     case study, where staging is outside the measured makespan);
+//   * ready tasks are scheduled FCFS onto hosts with enough free cores
+//     (locality-pinned when the BB restricts access by node);
+//   * a task reads all inputs (at most `cores` files concurrently -- the
+//     paper's assumption that I/O parallelism scales with cores), computes
+//     for amdahl_time(flops / core_speed, cores, alpha), then writes all
+//     outputs to the tier chosen by the placement policy;
+//   * every byte moved is a flow through the platform's shared resources,
+//     so contention between concurrent pipelines emerges from max-min
+//     bandwidth sharing.
+//
+// The same engine runs both the paper's simple model (default spec: no
+// per-stream caps, no metadata limits, no noise) and the high-fidelity
+// testbed emulator (src/testbed installs caps/latency/noise hooks).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/placement.hpp"
+#include "exec/pinning.hpp"
+#include "exec/trace.hpp"
+#include "model/calibration.hpp"
+#include "platform/fabric.hpp"
+#include "storage/system.hpp"
+#include "workflow/workflow.hpp"
+
+namespace bbsim::exec {
+
+/// How staged input files reach the burst buffer.
+enum class StageInMode {
+  Task,     ///< a sequential stage-in task copies them (counted in makespan)
+  Instant,  ///< pre-staged at t=0 at no cost (stage-in outside the makespan)
+};
+
+/// Order in which ready tasks are dispatched onto free cores.
+enum class SchedulerPolicy {
+  Fcfs,               ///< by readiness time (submission order on ties)
+  CriticalPathFirst,  ///< highest upward rank (longest downstream work) first
+  LargestFirst,       ///< most sequential work first (LPT)
+  SmallestFirst,      ///< least sequential work first (SPT)
+};
+
+const char* to_string(SchedulerPolicy policy);
+
+struct ExecutionConfig {
+  std::shared_ptr<PlacementPolicy> placement;  ///< default: all_bb_policy()
+  StageInMode stage_in_mode = StageInMode::Task;
+  SchedulerPolicy scheduler = SchedulerPolicy::Fcfs;
+  /// Drain final products that landed in the BB back to the PFS when the
+  /// last task finishes (sequential transfers, reported as stage-out time).
+  bool stage_out = false;
+  /// When the BB is full, evict least-recently-used *staged input* files
+  /// (safe: their PFS copy remains) to make room for new writes/stages.
+  bool bb_eviction = false;
+  /// Concurrent transfers per stage-in task. The paper's stage-in is
+  /// sequential (width 1); DataWarp can overlap several stage requests.
+  int stage_in_width = 1;
+  /// Override requested cores for every task (0 = honour task settings).
+  int force_cores = 0;
+  /// Per-type core overrides (applied after force_cores).
+  std::map<std::string, int> cores_by_type;
+  /// Pin producer/consumer chains to hosts when the BB restricts access by
+  /// node. Auto-enabled for node-local and private-mode shared BBs.
+  bool locality_pinning = true;
+  PinningConfig pinning;
+  /// Record the full event trace (disable for large sweeps).
+  bool collect_trace = true;
+  /// Multiplier applied to every compute duration (testbed noise hook).
+  std::function<double(const wf::Task&, std::size_t host)> compute_noise;
+};
+
+/// One simulated execution of one workflow on one platform.
+class Simulation {
+ public:
+  Simulation(platform::PlatformSpec platform, const wf::Workflow& workflow,
+             ExecutionConfig config = {});
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Access for hooks (perturbations) before run().
+  platform::Fabric& fabric() { return fabric_; }
+  storage::StorageSystem& storage() { return storage_; }
+  const wf::Workflow& workflow() const { return workflow_; }
+  const ExecutionConfig& config() const { return config_; }
+
+  /// Runs to completion and returns the records. Callable once.
+  Result run();
+
+ private:
+  // ------------------------------------------------------ per-task state
+  struct TaskState {
+    const wf::Task* task = nullptr;
+    std::size_t topo_index = 0;
+    double priority = 0.0;  ///< scheduler key (upward rank / work)
+    std::size_t remaining_parents = 0;
+    int cores = 1;
+    std::size_t home_host = 0;   ///< preferred host (locality pinning)
+    bool pinned = false;         ///< must run on home_host
+    bool ready = false;
+    bool running = false;
+    bool done = false;
+    std::size_t host = 0;
+    // I/O bookkeeping
+    std::deque<std::string> pending_reads;
+    std::deque<std::string> pending_writes;
+    std::size_t inflight_io = 0;
+    TaskRecord record;
+  };
+
+  wf::Workflow workflow_;
+  ExecutionConfig config_;
+  platform::Fabric fabric_;
+  storage::StorageSystem storage_;
+
+  std::map<std::string, TaskState> states_;
+  std::vector<std::string> topo_order_;
+  std::vector<int> free_cores_;
+  std::deque<std::string> ready_queue_;
+  std::vector<std::string> staged_files_;
+  /// Which staged files each stage-in task copies (the whole list for a
+  /// single stage-in; partitioned by descendant consumers otherwise).
+  std::map<std::string, std::vector<std::string>> staged_by_task_;
+  std::map<std::string, std::size_t> staged_file_host_;  ///< file -> home host
+  std::size_t tasks_remaining_ = 0;
+  std::size_t demoted_writes_ = 0;
+  std::size_t skipped_stage_files_ = 0;
+  std::vector<TraceEvent> trace_;
+  double stage_in_start_ = 0.0;
+  double stage_in_end_ = 0.0;
+  bool stage_in_seen_ = false;
+  double stage_out_duration_ = 0.0;
+  std::size_t evicted_files_ = 0;
+  std::map<std::string, double> last_access_;  ///< file -> last read time (LRU)
+  bool ran_ = false;
+
+  // ------------------------------------------------------------- phases
+  void prepare();                 ///< initial placement, pinning, readiness
+  void try_schedule();            ///< drain the ready queue onto free cores
+  void start_task(TaskState& ts, std::size_t host);
+  void run_stage_in(TaskState& ts);
+  /// In-flight bookkeeping for one stage-in task's transfer window.
+  struct StageChain {
+    TaskState* ts = nullptr;  ///< nullptr for the implicit pre-phase
+    const std::vector<std::string>* files = nullptr;
+    std::size_t next = 0;
+    std::size_t inflight = 0;
+  };
+  void pump_stage_chain(const std::shared_ptr<StageChain>& chain);
+  void finish_stage_chain(const StageChain& chain);
+  /// Partition staged_files_ among the workflow's stage-in tasks.
+  void build_stage_partition();
+  void issue_reads(TaskState& ts);
+  void on_reads_done(TaskState& ts);
+  void on_compute_done(TaskState& ts);
+  void issue_writes(TaskState& ts);
+  void finish_task(TaskState& ts);
+  /// Compute scheduler priorities for every task (policy-dependent).
+  void compute_priorities();
+  /// Insert into the ready queue respecting the scheduler policy.
+  void enqueue_ready(const std::string& task_name);
+  /// Drain BB-resident final outputs to the PFS (stage_out option).
+  void run_stage_out();
+  /// Evict LRU staged inputs until `bytes` fit (bb_eviction option).
+  bool try_evict(double bytes);
+
+  // ------------------------------------------------------------ helpers
+  int cores_for(const wf::Task& task) const;
+  Tier output_tier(const TaskState& ts, const std::string& file_name) const;
+  /// True when the BB has room for `bytes` more.
+  bool bb_has_room(double bytes);
+  storage::StorageService* bb() { return storage_.burst_buffer(); }
+  void trace(const char* kind, const std::string& task, std::string detail = "");
+  double compute_duration(const TaskState& ts) const;
+  Result collect_result();
+};
+
+}  // namespace bbsim::exec

@@ -1,0 +1,67 @@
+#include "exec/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace bbsim::exec {
+
+std::string render_gantt(const Result& result, const GanttOptions& options) {
+  std::vector<const TaskRecord*> tasks;
+  for (const auto& [_, rec] : result.tasks) tasks.push_back(&rec);
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const TaskRecord* a, const TaskRecord* b) {
+                     if (a->t_start != b->t_start) return a->t_start < b->t_start;
+                     return a->name < b->name;
+                   });
+
+  const double horizon = std::max(result.makespan, 1e-9);
+  const int width = std::max(10, options.width);
+  const double per_col = horizon / width;
+
+  std::size_t label_width = 4;
+  for (const TaskRecord* t : tasks) label_width = std::max(label_width, t->name.size());
+  label_width = std::min<std::size_t>(label_width, 24);
+
+  std::string out;
+  out += util::format("time: 0 .. %s  (one column = %s)\n",
+                      util::format_time(horizon).c_str(),
+                      util::format_time(per_col).c_str());
+  out += util::format("legend: r=read  #=compute  w=write   makespan %s\n",
+                      util::format_time(result.makespan).c_str());
+
+  std::size_t rows = 0;
+  for (const TaskRecord* t : tasks) {
+    if (rows++ >= options.max_rows) {
+      out += util::format("... (%zu more tasks)\n", tasks.size() - options.max_rows);
+      break;
+    }
+    std::string name = t->name.substr(0, label_width);
+    name.resize(label_width, ' ');
+    std::string bar(width, ' ');
+    auto col = [&](double time) {
+      return std::clamp(static_cast<int>(time / per_col), 0, width - 1);
+    };
+    auto paint = [&](double from, double to, char c) {
+      if (to < from) return;
+      for (int i = col(from); i <= col(to); ++i) {
+        if (bar[i] == ' ' || c == '#') bar[i] = c;
+      }
+    };
+    paint(t->t_start, t->t_reads_done, 'r');
+    paint(t->t_compute_done, t->t_end, 'w');
+    paint(t->t_reads_done, t->t_compute_done, '#');
+    out += name;
+    out += " |";
+    out += bar;
+    out += "|";
+    if (options.show_host) out += util::format(" h%zu x%d", t->host, t->cores);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bbsim::exec

@@ -1,0 +1,23 @@
+// bbsim -- ASCII Gantt rendering of an execution Result.
+//
+// Renders per-task bars over simulated time, with I/O phases distinguished
+// from compute:  r = reading inputs, # = computing, w = writing outputs.
+// Useful for eyeballing schedules in examples and bug reports.
+#pragma once
+
+#include <string>
+
+#include "exec/trace.hpp"
+
+namespace bbsim::exec {
+
+struct GanttOptions {
+  int width = 72;          ///< characters available for the time axis
+  std::size_t max_rows = 64;  ///< truncate very large workflows
+  bool show_host = true;
+};
+
+/// Renders the tasks of `result` (sorted by start time) as an ASCII chart.
+std::string render_gantt(const Result& result, const GanttOptions& options = {});
+
+}  // namespace bbsim::exec

@@ -1,0 +1,131 @@
+#include "exec/pinning.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace bbsim::exec {
+
+namespace {
+
+/// Union-find over task indexes with per-root component weight (flops).
+class UnionFind {
+ public:
+  explicit UnionFind(std::vector<double> weights)
+      : parent_(weights.size()), weight_(std::move(weights)) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    parent_[a] = b;
+    weight_[b] += weight_[a];
+  }
+  double weight(std::size_t x) { return weight_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<double> weight_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> compute_home_hosts(const wf::Workflow& workflow,
+                                            const platform::PlatformSpec& platform,
+                                            const PinningConfig& config) {
+  const std::vector<std::string>& names = workflow.task_names();
+  const std::size_t n = names.size();
+  const std::size_t hosts = platform.hosts.size();
+
+  std::map<std::string, std::size_t> task_index;
+  std::vector<double> task_weight(n, 0.0);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    task_index[names[i]] = i;
+    task_weight[i] = workflow.task(names[i]).flops;
+    total_weight += task_weight[i];
+  }
+
+  // Capacity-aware clustering: glue producer/consumer chains together, but
+  // never let one component exceed a fair host share -- otherwise a few
+  // widely-shared files (population lists, reference tables) would collapse
+  // the whole workflow onto one node. Files are considered from the
+  // strongest locality signal (fewest readers) upward.
+  struct GlueFile {
+    const std::string* name;
+    std::size_t consumers;
+  };
+  std::vector<GlueFile> glue;
+  for (const std::string& fname : workflow.file_names()) {
+    const std::size_t consumers = workflow.consumers(fname).size();
+    if (consumers == 0) continue;
+    if (consumers > config.broadcast_threshold) continue;  // broadcast file
+    glue.push_back({&fname, consumers});
+  }
+  std::stable_sort(glue.begin(), glue.end(),
+                   [](const GlueFile& a, const GlueFile& b) {
+                     return a.consumers < b.consumers;
+                   });
+
+  double max_task = 0.0;
+  for (const double w : task_weight) max_task = std::max(max_task, w);
+  const double limit =
+      std::max(1.3 * total_weight / static_cast<double>(hosts), max_task);
+
+  UnionFind uf(task_weight);
+  for (const GlueFile& g : glue) {
+    std::vector<std::size_t> touching;
+    for (const std::string& c : workflow.consumers(*g.name)) {
+      touching.push_back(task_index.at(c));
+    }
+    if (const auto prod = workflow.producer(*g.name)) {
+      touching.push_back(task_index.at(*prod));
+    }
+    if (touching.size() <= 1) continue;
+    // Weight of the union if we glued everything this file touches.
+    std::map<std::size_t, double> roots;
+    for (const std::size_t t : touching) roots[uf.find(t)] = uf.weight(t);
+    double combined = 0.0;
+    for (const auto& [_, w] : roots) combined += w;
+    if (roots.size() > 1 && combined > limit && hosts > 1) continue;  // too heavy
+    for (std::size_t k = 1; k < touching.size(); ++k) {
+      uf.unite(touching[0], touching[k]);
+    }
+  }
+
+  // Collect components and deal them largest-first onto the least-loaded
+  // host (LPT balancing).
+  std::map<std::size_t, std::vector<std::size_t>> components;
+  std::map<std::size_t, double> weight;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = uf.find(i);
+    components[root].push_back(i);
+    weight[root] += task_weight[i];
+  }
+  std::vector<std::size_t> roots;
+  roots.reserve(components.size());
+  for (const auto& [root, _] : components) roots.push_back(root);
+  std::stable_sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
+    return weight[a] > weight[b];
+  });
+
+  std::vector<double> host_load(hosts, 0.0);
+  std::vector<std::size_t> home(n, 0);
+  for (const std::size_t root : roots) {
+    const std::size_t target = static_cast<std::size_t>(
+        std::min_element(host_load.begin(), host_load.end()) - host_load.begin());
+    for (const std::size_t i : components[root]) home[i] = target;
+    host_load[target] += weight[root];
+  }
+  return home;
+}
+
+}  // namespace bbsim::exec

@@ -1,0 +1,35 @@
+// bbsim -- task-to-host pinning for locality-constrained burst buffers.
+//
+// On node-local (Summit) and private-mode shared (Cori) burst buffers, a
+// file in the BB is readable only from one compute node. To exploit such
+// buffers across multiple nodes, the engine pre-assigns each task a "home"
+// host so that producer/consumer chains stay co-located:
+//
+//   1. Build connected components over tasks that share files, ignoring
+//      "broadcast" files read by more than `broadcast_threshold` tasks
+//      (those go to the PFS anyway).
+//   2. Deal components onto hosts round-robin, largest first.
+//
+// This mirrors how the paper's workflows behave in practice: each SWarp
+// pipeline, or each 1000Genomes chromosome subtree, lands on one node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/spec.hpp"
+#include "workflow/workflow.hpp"
+
+namespace bbsim::exec {
+
+struct PinningConfig {
+  /// Files read by more than this many tasks do not glue components.
+  std::size_t broadcast_threshold = 16;
+};
+
+/// home[i] = host index of workflow.task_names()[i].
+std::vector<std::size_t> compute_home_hosts(const wf::Workflow& workflow,
+                                            const platform::PlatformSpec& platform,
+                                            const PinningConfig& config = {});
+
+}  // namespace bbsim::exec

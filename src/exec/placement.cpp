@@ -1,0 +1,167 @@
+#include "exec/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::exec {
+
+const char* to_string(Tier tier) {
+  return tier == Tier::PFS ? "pfs" : "bb";
+}
+
+namespace {
+/// True when `file_name` is a final product (no consumer).
+bool is_final_output(const wf::Workflow& w, const std::string& file_name) {
+  return w.consumers(file_name).empty();
+}
+}  // namespace
+
+// ----------------------------------------------------------- FractionPolicy
+
+FractionPolicy::FractionPolicy(double input_fraction, Tier intermediate_tier,
+                               Tier output_tier)
+    : fraction_(input_fraction),
+      intermediate_tier_(intermediate_tier),
+      output_tier_(output_tier) {
+  if (fraction_ < 0.0 || fraction_ > 1.0) {
+    throw util::ConfigError("FractionPolicy: fraction must be in [0, 1]");
+  }
+}
+
+std::string FractionPolicy::name() const {
+  return util::format("fraction(%.0f%%,int=%s,out=%s)", fraction_ * 100.0,
+                      to_string(intermediate_tier_), to_string(output_tier_));
+}
+
+std::vector<std::string> FractionPolicy::files_to_stage(const wf::Workflow& w) const {
+  // Spread the selection evenly over the input list (Bresenham-style) so a
+  // 50% staging fraction stages every other file rather than the first
+  // half -- "a fraction of the files" should not mean "one half of the
+  // workflow's pipelines".
+  const std::vector<std::string> inputs = w.input_files();
+  std::vector<std::string> out;
+  double accumulator = 0.0;
+  for (const std::string& f : inputs) {
+    accumulator += fraction_;
+    if (accumulator >= 1.0 - 1e-12) {
+      accumulator -= 1.0;
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+Tier FractionPolicy::place_output(const wf::Workflow& w, const std::string&,
+                                  const std::string& file_name) const {
+  return is_final_output(w, file_name) ? output_tier_ : intermediate_tier_;
+}
+
+std::shared_ptr<PlacementPolicy> all_pfs_policy() {
+  return std::make_shared<FractionPolicy>(0.0, Tier::PFS, Tier::PFS);
+}
+
+std::shared_ptr<PlacementPolicy> all_bb_policy() {
+  return std::make_shared<FractionPolicy>(1.0, Tier::BurstBuffer, Tier::PFS);
+}
+
+// ------------------------------------------------------ SizeThresholdPolicy
+
+SizeThresholdPolicy::SizeThresholdPolicy(double threshold_bytes, bool invert)
+    : threshold_(threshold_bytes), invert_(invert) {
+  if (threshold_ < 0) throw util::ConfigError("SizeThresholdPolicy: negative threshold");
+}
+
+bool SizeThresholdPolicy::prefers_bb(double size) const {
+  return invert_ ? size > threshold_ : size <= threshold_;
+}
+
+std::string SizeThresholdPolicy::name() const {
+  return util::format("size_threshold(%s%.0fMB)", invert_ ? ">" : "<=", threshold_ / 1e6);
+}
+
+std::vector<std::string> SizeThresholdPolicy::files_to_stage(const wf::Workflow& w) const {
+  std::vector<std::string> out;
+  for (const std::string& f : w.input_files()) {
+    if (prefers_bb(w.file(f).size)) out.push_back(f);
+  }
+  return out;
+}
+
+Tier SizeThresholdPolicy::place_output(const wf::Workflow& w, const std::string&,
+                                       const std::string& file_name) const {
+  if (is_final_output(w, file_name)) return Tier::PFS;
+  return prefers_bb(w.file(file_name).size) ? Tier::BurstBuffer : Tier::PFS;
+}
+
+// ------------------------------------------------------------ LocalityPolicy
+
+LocalityPolicy::LocalityPolicy(std::size_t max_consumers_for_bb)
+    : max_consumers_(max_consumers_for_bb) {}
+
+std::string LocalityPolicy::name() const {
+  return util::format("locality(max_consumers=%zu)", max_consumers_);
+}
+
+std::vector<std::string> LocalityPolicy::files_to_stage(const wf::Workflow& w) const {
+  std::vector<std::string> out;
+  for (const std::string& f : w.input_files()) {
+    if (w.consumers(f).size() <= max_consumers_) out.push_back(f);
+  }
+  return out;
+}
+
+Tier LocalityPolicy::place_output(const wf::Workflow& w, const std::string&,
+                                  const std::string& file_name) const {
+  const std::size_t consumers = w.consumers(file_name).size();
+  if (consumers == 0) return Tier::PFS;  // final output
+  return consumers <= max_consumers_ ? Tier::BurstBuffer : Tier::PFS;
+}
+
+// --------------------------------------------------------- GreedyBytesPolicy
+
+GreedyBytesPolicy::GreedyBytesPolicy(double byte_budget) : budget_(byte_budget) {
+  if (budget_ < 0) throw util::ConfigError("GreedyBytesPolicy: negative budget");
+}
+
+std::string GreedyBytesPolicy::name() const {
+  return util::format("greedy_bytes(%.1fGB)", budget_ / 1e9);
+}
+
+std::vector<std::string> GreedyBytesPolicy::files_to_stage(const wf::Workflow& w) const {
+  struct Candidate {
+    std::string file;
+    double benefit;  // bytes the BB would serve: size * consumer count
+    double size;
+  };
+  std::vector<Candidate> candidates;
+  for (const std::string& f : w.input_files()) {
+    const double size = w.file(f).size;
+    candidates.push_back({f, size * static_cast<double>(w.consumers(f).size()), size});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.benefit > b.benefit;
+                   });
+  std::vector<std::string> out;
+  double used = 0;
+  for (const Candidate& c : candidates) {
+    if (used + c.size > budget_) continue;
+    used += c.size;
+    out.push_back(c.file);
+  }
+  return out;
+}
+
+Tier GreedyBytesPolicy::place_output(const wf::Workflow& w, const std::string&,
+                                     const std::string& file_name) const {
+  if (is_final_output(w, file_name)) return Tier::PFS;
+  // Intermediates ride the BB when small relative to the budget; the
+  // engine's capacity accounting is the hard backstop.
+  return w.file(file_name).size <= budget_ * 0.05 ? Tier::BurstBuffer : Tier::PFS;
+}
+
+}  // namespace bbsim::exec

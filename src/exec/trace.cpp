@@ -1,0 +1,82 @@
+#include "exec/trace.hpp"
+
+namespace bbsim::exec {
+
+std::vector<const TaskRecord*> Result::records_of(const std::string& type) const {
+  std::vector<const TaskRecord*> out;
+  for (const auto& [_, rec] : tasks) {
+    if (rec.type == type) out.push_back(&rec);
+  }
+  return out;
+}
+
+double Result::mean_duration(const std::string& type) const {
+  const auto recs = records_of(type);
+  if (recs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TaskRecord* r : recs) sum += r->duration();
+  return sum / static_cast<double>(recs.size());
+}
+
+double Result::mean_lambda(const std::string& type) const {
+  const auto recs = records_of(type);
+  if (recs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TaskRecord* r : recs) sum += r->lambda_io();
+  return sum / static_cast<double>(recs.size());
+}
+
+json::Value Result::to_json() const {
+  json::Object root;
+  root.set("makespan", makespan);
+  root.set("stage_in_duration", stage_in_duration);
+  root.set("stage_out_duration", stage_out_duration);
+  root.set("workflow_span", workflow_span);
+  root.set("demoted_writes", demoted_writes);
+  root.set("skipped_stage_files", skipped_stage_files);
+  root.set("evicted_files", evicted_files);
+
+  json::Array task_arr;
+  for (const auto& [_, rec] : tasks) {
+    json::Object t;
+    t.set("name", rec.name);
+    t.set("type", rec.type);
+    t.set("host", rec.host);
+    t.set("cores", rec.cores);
+    t.set("t_ready", rec.t_ready);
+    t.set("t_start", rec.t_start);
+    t.set("t_reads_done", rec.t_reads_done);
+    t.set("t_compute_done", rec.t_compute_done);
+    t.set("t_end", rec.t_end);
+    t.set("bytes_read", rec.bytes_read);
+    t.set("bytes_written", rec.bytes_written);
+    t.set("lambda_io", rec.lambda_io());
+    task_arr.push_back(json::Value(std::move(t)));
+  }
+  root.set("tasks", json::Value(std::move(task_arr)));
+
+  json::Array storage_arr;
+  for (const StorageCounters& s : storage) {
+    json::Object o;
+    o.set("service", s.service);
+    o.set("bytes_served", s.bytes_served);
+    o.set("busy_time", s.busy_time);
+    o.set("achieved_bandwidth", s.achieved_bandwidth());
+    storage_arr.push_back(json::Value(std::move(o)));
+  }
+  root.set("storage", json::Value(std::move(storage_arr)));
+
+  json::Array trace_arr;
+  for (const TraceEvent& e : trace) {
+    json::Object o;
+    o.set("time", e.time);
+    o.set("kind", e.kind);
+    o.set("task", e.task);
+    o.set("detail", e.detail);
+    trace_arr.push_back(json::Value(std::move(o)));
+  }
+  root.set("trace", json::Value(std::move(trace_arr)));
+  return json::Value(std::move(root));
+}
+
+}  // namespace bbsim::exec

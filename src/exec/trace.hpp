@@ -1,0 +1,94 @@
+// bbsim -- execution records: the time-stamped event trace and per-task
+// timings a simulation run produces (paper Section IV-A: "the simulator ...
+// outputs a time-stamped event trace").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace bbsim::exec {
+
+/// One line of the event trace.
+struct TraceEvent {
+  double time = 0.0;
+  std::string kind;    ///< task_ready | task_start | reads_done | ...
+  std::string task;
+  std::string detail;  ///< free-form (host, file, tier...)
+};
+
+/// Timings and volumes for one executed task.
+struct TaskRecord {
+  std::string name;
+  std::string type;
+  std::size_t host = 0;
+  int cores = 1;
+  double t_ready = 0.0;
+  double t_start = 0.0;
+  double t_reads_done = 0.0;
+  double t_compute_done = 0.0;
+  double t_end = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+
+  double duration() const { return t_end - t_start; }
+  double read_time() const { return t_reads_done - t_start; }
+  double compute_time() const { return t_compute_done - t_reads_done; }
+  double write_time() const { return t_end - t_compute_done; }
+  double io_time() const { return read_time() + write_time(); }
+  /// Observed I/O fraction of this task (the lambda of paper Eq. (1)).
+  double lambda_io() const {
+    const double d = duration();
+    return d > 0 ? io_time() / d : 0.0;
+  }
+};
+
+/// Per-storage-service achieved throughput (paper Figure 9).
+struct StorageCounters {
+  std::string service;
+  double bytes_served = 0.0;
+  double busy_time = 0.0;
+  double achieved_bandwidth() const {
+    return busy_time > 0 ? bytes_served / busy_time : 0.0;
+  }
+};
+
+/// Everything a run produces.
+struct Result {
+  /// Date of the last event = last task completion (includes stage-in when
+  /// the workflow has a stage-in task and it is counted).
+  double makespan = 0.0;
+  /// Duration of the stage-in phase (0 when none ran).
+  double stage_in_duration = 0.0;
+  /// Makespan excluding the stage-in phase.
+  double workflow_span = 0.0;
+
+  std::map<std::string, TaskRecord> tasks;
+  std::vector<TraceEvent> trace;
+  std::vector<StorageCounters> storage;
+  /// BB writes demoted to the PFS because a consumer on another node could
+  /// not have read them (node-local / private-mode restriction).
+  std::size_t demoted_writes = 0;
+  /// Input files that were selected for staging but did not fit in the
+  /// burst buffer's remaining capacity (they are read from the PFS instead).
+  std::size_t skipped_stage_files = 0;
+  /// Duration of the final BB -> PFS drain (stage_out option; 0 otherwise).
+  /// Included in `makespan`.
+  double stage_out_duration = 0.0;
+  /// Staged input files evicted from the BB to make room (bb_eviction).
+  std::size_t evicted_files = 0;
+
+  /// Mean observed duration of tasks of `type` (0 when none).
+  double mean_duration(const std::string& type) const;
+  /// Mean observed I/O fraction of tasks of `type` (paper's lambda_io).
+  double mean_lambda(const std::string& type) const;
+  /// All records of a type, in name order.
+  std::vector<const TaskRecord*> records_of(const std::string& type) const;
+
+  /// Serialise the trace + records for offline analysis.
+  json::Value to_json() const;
+};
+
+}  // namespace bbsim::exec

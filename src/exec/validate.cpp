@@ -1,0 +1,117 @@
+#include "exec/validate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::exec {
+
+std::vector<ValidationIssue> validate_result(const Result& result,
+                                             const wf::Workflow& workflow,
+                                             const platform::PlatformSpec& platform) {
+  std::vector<ValidationIssue> issues;
+  auto complain = [&issues](std::string what) {
+    issues.push_back(ValidationIssue{std::move(what)});
+  };
+
+  // --- every task ran exactly once, with ordered phases -------------------
+  for (const std::string& name : workflow.task_names()) {
+    const auto it = result.tasks.find(name);
+    if (it == result.tasks.end()) {
+      complain("task '" + name + "' has no record");
+      continue;
+    }
+    const TaskRecord& r = it->second;
+    if (!(r.t_ready <= r.t_start + 1e-9)) {
+      complain(util::format("task '%s': started (%.6f) before ready (%.6f)",
+                            name.c_str(), r.t_start, r.t_ready));
+    }
+    if (!(r.t_start <= r.t_reads_done + 1e-9) ||
+        !(r.t_reads_done <= r.t_compute_done + 1e-9) ||
+        !(r.t_compute_done <= r.t_end + 1e-9)) {
+      complain("task '" + name + "': phase timestamps out of order");
+    }
+    if (r.host >= platform.hosts.size()) {
+      complain("task '" + name + "': host index out of range");
+      continue;
+    }
+    if (r.cores < 1 || r.cores > platform.hosts[r.host].cores) {
+      complain(util::format("task '%s': %d cores exceed host capacity %d",
+                            name.c_str(), r.cores, platform.hosts[r.host].cores));
+    }
+  }
+  for (const auto& [name, _] : result.tasks) {
+    if (!workflow.has_task(name)) {
+      complain("record for unknown task '" + name + "'");
+    }
+  }
+  if (!issues.empty()) return issues;  // later checks assume complete records
+
+  // --- precedence ---------------------------------------------------------
+  for (const std::string& name : workflow.task_names()) {
+    const TaskRecord& child = result.tasks.at(name);
+    for (const std::string& p : workflow.parents(name)) {
+      const TaskRecord& parent = result.tasks.at(p);
+      if (parent.t_end > child.t_start + 1e-9) {
+        complain(util::format("precedence violated: '%s' ended %.6f after "
+                              "child '%s' started %.6f",
+                              p.c_str(), parent.t_end, name.c_str(), child.t_start));
+      }
+    }
+  }
+
+  // --- host core budget (sweep-line over start/end events) ----------------
+  struct Event {
+    double time;
+    int delta;  // +cores at start, -cores at end
+  };
+  std::map<std::size_t, std::vector<Event>> per_host;
+  for (const auto& [_, r] : result.tasks) {
+    per_host[r.host].push_back({r.t_start, r.cores});
+    per_host[r.host].push_back({r.t_end, -r.cores});
+  }
+  for (auto& [host, events] : per_host) {
+    std::stable_sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.delta < b.delta;  // process releases before acquisitions on ties
+    });
+    int in_use = 0;
+    const int capacity = platform.hosts[host].cores;
+    for (const Event& e : events) {
+      in_use += e.delta;
+      if (in_use > capacity) {
+        complain(util::format("host %zu oversubscribed: %d cores in use at t=%.6f "
+                              "(capacity %d)",
+                              host, in_use, e.time, capacity));
+        break;  // one report per host suffices
+      }
+    }
+  }
+
+  // --- makespan covers everything -----------------------------------------
+  double last_end = 0.0;
+  for (const auto& [_, r] : result.tasks) last_end = std::max(last_end, r.t_end);
+  if (result.makespan + 1e-9 < last_end) {
+    complain(util::format("makespan %.6f < last task end %.6f", result.makespan,
+                          last_end));
+  }
+  return issues;
+}
+
+void expect_valid(const Result& result, const wf::Workflow& workflow,
+                  const platform::PlatformSpec& platform) {
+  const auto issues = validate_result(result, workflow, platform);
+  if (issues.empty()) return;
+  std::string msg = "execution result failed validation:";
+  for (std::size_t i = 0; i < issues.size() && i < 5; ++i) {
+    msg += "\n  - " + issues[i].what;
+  }
+  if (issues.size() > 5) {
+    msg += util::format("\n  (and %zu more)", issues.size() - 5);
+  }
+  throw util::InvariantError(msg);
+}
+
+}  // namespace bbsim::exec

@@ -1,0 +1,38 @@
+// bbsim -- post-run validation of an execution Result.
+//
+// Checks invariants that must hold for ANY correct simulated execution:
+//   * every workflow task ran exactly once, with consistent phase ordering;
+//   * precedence: each parent finished before its child started;
+//   * no host was oversubscribed: at every instant the cores of tasks
+//     running on a host sum to at most the host's core count;
+//   * the makespan covers every task.
+//
+// Used by tests and available to users as a cheap sanity check after
+// experiments with custom policies/schedulers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/trace.hpp"
+#include "platform/spec.hpp"
+#include "workflow/workflow.hpp"
+
+namespace bbsim::exec {
+
+/// One violated invariant.
+struct ValidationIssue {
+  std::string what;
+};
+
+/// Returns all violations found (empty = the run is consistent).
+std::vector<ValidationIssue> validate_result(const Result& result,
+                                             const wf::Workflow& workflow,
+                                             const platform::PlatformSpec& platform);
+
+/// Convenience: throws InvariantError listing the first issues when any
+/// violation is found.
+void expect_valid(const Result& result, const wf::Workflow& workflow,
+                  const platform::PlatformSpec& platform);
+
+}  // namespace bbsim::exec

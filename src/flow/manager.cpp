@@ -1,0 +1,138 @@
+#include "flow/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbsim::flow {
+
+namespace {
+/// A flow counts as finished when its residual is this small. Progress is
+/// accumulated in doubles, so a volume-relative component is required: a
+/// multi-MB transfer legitimately ends with an O(1e-6)-byte residue, and a
+/// residue that small at multi-GB/s rates yields a completion horizon far
+/// below the clock's representable resolution (the wake-up would not
+/// advance time at all -- an infinite loop).
+double completion_tolerance(const FlowState& st) {
+  return 1e-6 + 1e-9 * st.spec.volume;
+}
+}  // namespace
+
+FlowId FlowManager::start(FlowSpec spec, CompletionHandler on_complete) {
+  settle();
+  const FlowId id = net_.add_flow(std::move(spec));
+  handlers_.emplace(id, std::move(on_complete));
+  reschedule();
+  return id;
+}
+
+bool FlowManager::abort(FlowId id) {
+  if (!net_.has_flow(id)) return false;
+  settle();
+  net_.remove_flow(id);
+  handlers_.erase(id);
+  reschedule();
+  return true;
+}
+
+void FlowManager::set_capacity(ResourceId id, double capacity) {
+  settle();
+  net_.set_capacity(id, capacity);
+  reschedule();
+}
+
+void FlowManager::settle() {
+  const sim::Time now = engine_.now();
+  const double dt = now - last_settle_;
+  last_settle_ = now;
+  if (dt <= 0.0) return;
+
+  // Per-resource accounting: accumulate bytes and busy time while flows ran.
+  std::vector<double> res_bytes(net_.resource_count(), 0.0);
+  std::vector<bool> res_busy(net_.resource_count(), false);
+
+  for (const FlowId id : net_.flow_ids()) {
+    const FlowState& st = net_.flow(id);
+    const double rate = (st.rate == kUnlimited) ? 0.0 : st.rate;
+    const double moved = std::min(st.remaining, rate * dt);
+    if (moved > 0.0) {
+      for (const ResourceId r : st.spec.path) {
+        res_bytes[r] += moved;
+        res_busy[r] = true;
+      }
+      net_.consume(id, moved);
+    } else if (rate > 0.0 || st.rate == kUnlimited) {
+      for (const ResourceId r : st.spec.path) res_busy[r] = true;
+    }
+  }
+  for (ResourceId r = 0; r < net_.resource_count(); ++r) {
+    net_.resource(r).bytes_served += res_bytes[r];
+    if (res_busy[r]) net_.resource(r).busy_time += dt;
+  }
+}
+
+void FlowManager::reschedule() {
+  if (wake_scheduled_) {
+    engine_.cancel(wake_event_);
+    wake_scheduled_ = false;
+  }
+  if (net_.flow_count() == 0) return;
+
+  net_.solve();
+
+  // Earliest completion among active flows.
+  double horizon = kUnlimited;
+  for (const FlowId id : net_.flow_ids()) {
+    const FlowState& st = net_.flow(id);
+    double eta;
+    if (st.remaining <= completion_tolerance(st) || st.rate == kUnlimited) {
+      eta = 0.0;
+    } else if (st.rate <= 0.0) {
+      continue;  // starved flow: waits for capacity to free up
+    } else {
+      eta = st.remaining / st.rate;
+    }
+    horizon = std::min(horizon, eta);
+  }
+  if (horizon == kUnlimited) return;  // everything starved (all-zero capacity)
+  // Clamp sub-resolution horizons: if now + horizon does not advance the
+  // clock, fire now and let the completion tolerance finish those flows.
+  if (engine_.now() + horizon == engine_.now()) horizon = 0.0;
+
+  wake_event_ = engine_.schedule_in(horizon, [this] { on_wake(); });
+  wake_scheduled_ = true;
+}
+
+void FlowManager::on_wake() {
+  wake_scheduled_ = false;
+  settle();
+
+  // Collect finished flows first, then remove, then invoke callbacks: a
+  // callback may start new flows or abort others, so the network must be in
+  // a consistent state before user code runs.
+  std::vector<FlowId> done;
+  for (const FlowId id : net_.flow_ids()) {
+    const FlowState& st = net_.flow(id);
+    const bool finished =
+        st.remaining <= completion_tolerance(st) || st.rate == kUnlimited ||
+        // Residual too small to ever advance the clock again.
+        (st.rate > 0.0 && engine_.now() + st.remaining / st.rate == engine_.now());
+    if (finished) done.push_back(id);
+  }
+
+  std::vector<CompletionHandler> callbacks;
+  callbacks.reserve(done.size());
+  for (const FlowId id : done) {
+    net_.remove_flow(id);
+    auto it = handlers_.find(id);
+    callbacks.push_back(std::move(it->second));
+    handlers_.erase(it);
+  }
+
+  reschedule();
+
+  for (CompletionHandler& cb : callbacks) {
+    if (cb) cb();
+  }
+}
+
+}  // namespace bbsim::flow

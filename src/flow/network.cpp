@@ -1,0 +1,246 @@
+#include "flow/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbsim::flow {
+
+using util::InvariantError;
+using util::NotFoundError;
+
+ResourceId Network::add_resource(std::string name, double capacity) {
+  if (capacity < 0 || std::isnan(capacity)) {
+    throw InvariantError("resource '" + name + "': negative capacity");
+  }
+  resources_.push_back(Resource{std::move(name), capacity, 0.0, 0.0});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+const Resource& Network::resource(ResourceId id) const {
+  if (id >= resources_.size()) throw NotFoundError("resource id " + std::to_string(id));
+  return resources_[id];
+}
+
+Resource& Network::resource(ResourceId id) {
+  if (id >= resources_.size()) throw NotFoundError("resource id " + std::to_string(id));
+  return resources_[id];
+}
+
+void Network::set_capacity(ResourceId id, double capacity) {
+  if (capacity < 0 || std::isnan(capacity)) {
+    throw InvariantError("set_capacity: negative capacity");
+  }
+  resource(id).capacity = capacity;
+}
+
+FlowId Network::add_flow(FlowSpec spec) {
+  if (spec.volume < 0 || std::isnan(spec.volume)) {
+    throw InvariantError("flow volume must be >= 0");
+  }
+  if (spec.weight <= 0 || std::isnan(spec.weight)) {
+    throw InvariantError("flow weight must be > 0");
+  }
+  if (spec.rate_cap <= 0) {
+    throw InvariantError("flow rate cap must be > 0");
+  }
+  for (const ResourceId r : spec.path) {
+    if (r >= resources_.size()) {
+      throw NotFoundError("flow path resource id " + std::to_string(r));
+    }
+  }
+  const FlowId id = next_flow_id_++;
+  id_to_index_.push_back(flows_.size());
+  ids_.push_back(id);
+  FlowState st;
+  st.remaining = spec.volume;
+  st.spec = std::move(spec);
+  flows_.push_back(std::move(st));
+  return id;
+}
+
+std::size_t Network::checked_index(FlowId id) const {
+  const std::size_t i = index_of(id);
+  if (i == kNoFlow) throw NotFoundError("flow id " + std::to_string(id));
+  return i;
+}
+
+void Network::remove_flow(FlowId id) {
+  const std::size_t i = checked_index(id);
+  const std::size_t last = flows_.size() - 1;
+  if (i != last) {  // swap-remove, fixing the moved flow's index
+    flows_[i] = std::move(flows_[last]);
+    ids_[i] = ids_[last];
+    id_to_index_[ids_[i]] = i;
+  }
+  flows_.pop_back();
+  ids_.pop_back();
+  id_to_index_[id] = kNoFlow;
+}
+
+const FlowState& Network::flow(FlowId id) const { return flows_[checked_index(id)]; }
+
+void Network::consume(FlowId id, double bytes) {
+  FlowState& st = flows_[checked_index(id)];
+  st.remaining = std::max(0.0, st.remaining - bytes);
+}
+
+std::vector<FlowId> Network::flow_ids() const {
+  std::vector<FlowId> out(ids_.begin(), ids_.end());
+  std::sort(out.begin(), out.end());  // creation order
+  return out;
+}
+
+int Network::solve() {
+  const std::size_t n = flows_.size();
+  const std::size_t m = resources_.size();
+
+  // Water-filling state. `level[f]` is the water level at which flow f froze;
+  // its rate is weight * level. Unfrozen flows all sit at the current level.
+  std::vector<bool> frozen(n, false);
+  std::vector<double> frozen_load(m, 0.0);    // sum of frozen rates per resource
+  std::vector<double> unfrozen_weight(m, 0.0);  // sum of unfrozen weights per resource
+
+  for (std::size_t f = 0; f < n; ++f) {
+    flows_[f].rate = 0.0;
+    flows_[f].bottlenecked_by_cap = false;
+    for (const ResourceId r : flows_[f].spec.path) unfrozen_weight[r] += flows_[f].spec.weight;
+  }
+
+  std::size_t remaining = n;
+  int rounds = 0;
+  double level = 0.0;
+
+  while (remaining > 0) {
+    ++rounds;
+    // Next saturation level among resources.
+    double next_level = kUnlimited;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (unfrozen_weight[r] <= 0.0) continue;
+      if (resources_[r].capacity == kUnlimited) continue;
+      const double lvl = (resources_[r].capacity - frozen_load[r]) / unfrozen_weight[r];
+      next_level = std::min(next_level, std::max(lvl, 0.0));
+    }
+    // Next per-flow cap level.
+    bool cap_binds = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      const double cap_level = flows_[f].spec.rate_cap / flows_[f].spec.weight;
+      if (cap_level < next_level) {
+        next_level = cap_level;
+        cap_binds = true;
+      } else if (cap_level == next_level && next_level != kUnlimited) {
+        cap_binds = true;
+      }
+    }
+
+    if (next_level == kUnlimited) {
+      // No finite constraint anywhere: unconstrained flows get infinite rate
+      // (they complete instantly; the manager treats them as zero-duration).
+      for (std::size_t f = 0; f < n; ++f) {
+        if (!frozen[f]) {
+          flows_[f].rate = kUnlimited;
+          frozen[f] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+
+    level = next_level;
+
+    // Freeze every flow that binds at this level: flows whose cap equals the
+    // level, and flows through a resource that saturates at the level.
+    std::vector<std::size_t> to_freeze;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      const double cap_level = flows_[f].spec.rate_cap / flows_[f].spec.weight;
+      if (cap_binds && cap_level <= level + 1e-15 * std::max(1.0, level)) {
+        to_freeze.push_back(f);
+        flows_[f].bottlenecked_by_cap = true;
+        continue;
+      }
+      bool saturated = false;
+      for (const ResourceId r : flows_[f].spec.path) {
+        if (resources_[r].capacity == kUnlimited) continue;
+        const double lvl = (resources_[r].capacity - frozen_load[r]) / unfrozen_weight[r];
+        if (lvl <= level + 1e-12 * std::max(1.0, level)) {
+          saturated = true;
+          break;
+        }
+      }
+      if (saturated) to_freeze.push_back(f);
+    }
+
+    if (to_freeze.empty()) {
+      // Numerical corner: nothing bound exactly; freeze the flow with the
+      // tightest constraint to guarantee progress.
+      std::size_t best = kNoFlow;
+      double best_lvl = kUnlimited;
+      for (std::size_t f = 0; f < n; ++f) {
+        if (frozen[f]) continue;
+        double lvl = flows_[f].spec.rate_cap / flows_[f].spec.weight;
+        for (const ResourceId r : flows_[f].spec.path) {
+          if (resources_[r].capacity == kUnlimited) continue;
+          lvl = std::min(lvl,
+                         (resources_[r].capacity - frozen_load[r]) / unfrozen_weight[r]);
+        }
+        if (lvl < best_lvl) {
+          best_lvl = lvl;
+          best = f;
+        }
+      }
+      if (best == kNoFlow) break;  // all remaining flows unconstrained
+      to_freeze.push_back(best);
+    }
+
+    for (const std::size_t f : to_freeze) {
+      frozen[f] = true;
+      const double rate = std::min(level * flows_[f].spec.weight, flows_[f].spec.rate_cap);
+      flows_[f].rate = std::max(rate, 0.0);
+      for (const ResourceId r : flows_[f].spec.path) {
+        frozen_load[r] += flows_[f].rate;
+        unfrozen_weight[r] -= flows_[f].spec.weight;
+        if (unfrozen_weight[r] < 1e-12) unfrozen_weight[r] = 0.0;
+      }
+      --remaining;
+    }
+  }
+  return rounds;
+}
+
+void Network::check_invariants(double tolerance) const {
+  const std::size_t m = resources_.size();
+  std::vector<double> load(m, 0.0);
+  for (const FlowState& f : flows_) {
+    if (f.rate == kUnlimited) continue;  // zero-duration flow, no steady load
+    for (const ResourceId r : f.spec.path) load[r] += f.rate;
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    if (resources_[r].capacity == kUnlimited) continue;
+    if (load[r] > resources_[r].capacity * (1.0 + tolerance) + tolerance) {
+      throw InvariantError("resource '" + resources_[r].name + "' over capacity: " +
+                           std::to_string(load[r]) + " > " +
+                           std::to_string(resources_[r].capacity));
+    }
+  }
+  // Max-min witness: every flow is either at its cap or crosses a resource
+  // that is (nearly) saturated.
+  for (const FlowState& f : flows_) {
+    if (f.rate == kUnlimited) continue;
+    if (f.rate >= f.spec.rate_cap * (1.0 - tolerance)) continue;
+    bool bottleneck = f.spec.path.empty();  // pathless flows must be capped
+    for (const ResourceId r : f.spec.path) {
+      if (resources_[r].capacity == kUnlimited) continue;
+      if (load[r] >= resources_[r].capacity * (1.0 - tolerance) - tolerance) {
+        bottleneck = true;
+        break;
+      }
+    }
+    if (!bottleneck) {
+      throw InvariantError("flow has spare capacity everywhere but is not at its cap "
+                           "(rate=" + std::to_string(f.rate) + ")");
+    }
+  }
+}
+
+}  // namespace bbsim::flow

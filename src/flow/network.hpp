@@ -1,0 +1,119 @@
+// bbsim -- max-min fair bandwidth sharing (the SimGrid-style flow model).
+//
+// Every data movement in the simulator is a *flow*: an amount of bytes
+// traversing a set of capacity-constrained resources (disk channels, network
+// links, metadata servers). Concurrent flows share resource capacity
+// according to (weighted) max-min fairness with optional per-flow rate caps,
+// computed by the classic progressive-filling ("water-filling") algorithm:
+//
+//   raise a common water level t for all unfrozen flows;
+//   a resource saturates when  frozen_rates + t * unfrozen_count == capacity;
+//   a flow freezes when t reaches its rate cap;
+//   freeze at the earliest such event and repeat.
+//
+// This is the mechanism that makes burst-buffer contention *emerge* when
+// many workflow pipelines do I/O at once (paper Figures 7 and 11), instead
+// of being hard-coded into task runtimes.
+//
+// Network is a pure solver over a static "current instant"; it knows nothing
+// about time. FlowManager (manager.hpp) binds it to the event engine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bbsim::flow {
+
+using ResourceId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+inline constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+/// A capacity-constrained resource (bytes/second shared by its flows).
+struct Resource {
+  std::string name;
+  double capacity = kUnlimited;
+  // --- accounting (maintained by FlowManager, see manager.hpp) ---
+  double bytes_served = 0.0;  ///< total bytes pushed through this resource
+  double busy_time = 0.0;     ///< total time with at least one active flow
+};
+
+/// Parameters for a new flow.
+struct FlowSpec {
+  double volume = 0.0;                  ///< bytes to transfer (>= 0)
+  std::vector<ResourceId> path;         ///< resources traversed (may be empty)
+  double rate_cap = kUnlimited;         ///< per-flow ceiling (e.g. one POSIX stream)
+  double weight = 1.0;                  ///< max-min share weight (> 0)
+};
+
+/// Allocation state of one active flow.
+struct FlowState {
+  FlowSpec spec;
+  double remaining = 0.0;  ///< bytes still to transfer
+  double rate = 0.0;       ///< current allocation (bytes/second)
+  bool bottlenecked_by_cap = false;  ///< true if the cap froze it (diagnostics)
+};
+
+/// The set of resources and active flows, with the max-min solver.
+class Network {
+ public:
+  Network() = default;
+
+  /// Create a resource; `capacity` in bytes/second (kUnlimited allowed).
+  ResourceId add_resource(std::string name, double capacity);
+
+  std::size_t resource_count() const { return resources_.size(); }
+  const Resource& resource(ResourceId id) const;
+  Resource& resource(ResourceId id);
+
+  /// Change a resource's capacity (used by interference injection). The
+  /// caller is responsible for re-solving.
+  void set_capacity(ResourceId id, double capacity);
+
+  /// Register a new flow. Rates are stale until solve() is called.
+  FlowId add_flow(FlowSpec spec);
+
+  /// Remove a flow (completed or aborted).
+  void remove_flow(FlowId id);
+
+  bool has_flow(FlowId id) const { return index_of(id) != kNoFlow; }
+  std::size_t flow_count() const { return flows_.size(); }
+  const FlowState& flow(FlowId id) const;
+
+  /// Decrease a flow's remaining volume (called by the manager as time
+  /// advances). Clamps at zero.
+  void consume(FlowId id, double bytes);
+
+  /// Recompute all flow rates with progressive filling. O(F * R) per
+  /// freezing round, at most F rounds. Returns the number of rounds.
+  int solve();
+
+  /// All flow ids currently active, in creation order (deterministic).
+  std::vector<FlowId> flow_ids() const;
+
+  // ------------------------------------------------------- invariant checks
+  /// Verifies that no resource is over capacity and every unfrozen flow is
+  /// bottlenecked somewhere (max-min optimality witness). Throws
+  /// InvariantError on violation; used by tests and debug builds.
+  void check_invariants(double tolerance = 1e-6) const;
+
+ private:
+  static constexpr std::size_t kNoFlow = static_cast<std::size_t>(-1);
+
+  std::vector<Resource> resources_;
+  std::vector<FlowId> ids_;          // parallel arrays for cache-friendly solve
+  std::vector<FlowState> flows_;
+  std::vector<std::size_t> id_to_index_;  // FlowId -> index, kNoFlow when gone
+  FlowId next_flow_id_ = 0;
+
+  std::size_t index_of(FlowId id) const {
+    return id < id_to_index_.size() ? id_to_index_[id] : kNoFlow;
+  }
+  std::size_t checked_index(FlowId id) const;
+};
+
+}  // namespace bbsim::flow

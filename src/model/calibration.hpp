@@ -1,0 +1,62 @@
+// bbsim -- the paper's performance model (Section IV-A, Equations (1)-(4)).
+//
+// The simulator needs each task's *purely computational sequential* time
+// T_c(1). Real measurements give the observed multi-core time T(p) and the
+// observed fraction of that time spent in I/O, lambda_io. The paper derives:
+//
+//   (1)  T_c(p) = (1 - lambda_io) * T(p)
+//   (2)  T_c(p) = alpha * T_c(1) + (1 - alpha) * T_c(1) / p      (Amdahl)
+//   (3)  T_c(1) = (1 - lambda_io) * T(p) / (alpha + (1 - alpha)/p)
+//   (4)  T_c(1) = p * (1 - lambda_io) * T(p)                     (alpha = 0)
+//
+// The paper instantiates (4) -- the perfect-speedup assumption -- and uses
+// lambda values from the Daley et al. characterization [24]:
+// 0.203 for Resample, 0.260 for Combine.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "workflow/workflow.hpp"
+
+namespace bbsim::model {
+
+/// Paper constants: observed I/O time fractions for SWarp tasks [24].
+inline constexpr double kPaperLambdaResample = 0.203;
+inline constexpr double kPaperLambdaCombine = 0.260;
+
+/// Amdahl's Law (Eq. (2)): execution time of sequential work `t_seq` on
+/// `cores` cores with non-parallelisable fraction `alpha`.
+double amdahl_time(double t_seq, int cores, double alpha);
+
+/// Speedup factor t_seq / amdahl_time.
+double amdahl_speedup(int cores, double alpha);
+
+/// Eq. (1): compute-only time at p cores from the observed time.
+double compute_time_from_observed(double observed_time, double lambda_io);
+
+/// Eq. (3): calibrated sequential compute time, general alpha.
+double sequential_compute_time(double observed_time, double lambda_io, int cores,
+                               double alpha);
+
+/// Eq. (4): calibrated sequential compute time under perfect speedup.
+double sequential_compute_time_perfect(double observed_time, double lambda_io,
+                                       int cores);
+
+/// One task type's measured profile, as fed to the calibration.
+struct TaskObservation {
+  double observed_time = 0.0;  ///< T(p), seconds, including I/O
+  int observed_cores = 1;      ///< p
+  double lambda_io = 0.0;      ///< observed I/O fraction of T(p)
+  double alpha = 0.0;          ///< Amdahl fraction assumed by the model
+};
+
+/// Rewrites every task's `flops` (and `alpha`) from observations keyed by
+/// task type, using Eq. (3) (which reduces to Eq. (4) when alpha is 0) and
+/// the reference core speed. Task types without an observation are left
+/// untouched. Returns the number of tasks calibrated.
+std::size_t calibrate_workflow(wf::Workflow& workflow,
+                               const std::map<std::string, TaskObservation>& by_type,
+                               double reference_core_speed);
+
+}  // namespace bbsim::model

@@ -1,0 +1,90 @@
+#include "model/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bbsim::model {
+
+using util::InvariantError;
+
+namespace {
+
+/// Ordinary least squares for y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double rmse = 0.0;
+};
+
+LinearFit least_squares(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12 * std::max(1.0, sxx)) {
+    throw InvariantError("least_squares: degenerate input (identical x values)");
+  }
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss += r * r;
+  }
+  fit.rmse = std::sqrt(ss / n);
+  return fit;
+}
+
+}  // namespace
+
+AmdahlFit fit_amdahl(const std::vector<ScalingSample>& samples) {
+  if (samples.size() < 2) throw InvariantError("fit_amdahl: need >= 2 samples");
+  std::vector<double> x, y;
+  for (const ScalingSample& s : samples) {
+    if (s.cores < 1) throw InvariantError("fit_amdahl: cores must be >= 1");
+    if (s.time <= 0) throw InvariantError("fit_amdahl: time must be > 0");
+    x.push_back(1.0 / s.cores);
+    y.push_back(s.time);
+  }
+  // T(p) = a + b * (1/p); a = alpha*T1 >= 0, b = (1-alpha)*T1 >= 0.
+  LinearFit lin = least_squares(x, y);
+  double a = std::max(0.0, lin.intercept);
+  double b = std::max(0.0, lin.slope);
+  if (a + b <= 0) throw InvariantError("fit_amdahl: degenerate fit (T1 <= 0)");
+  AmdahlFit fit;
+  fit.t1 = a + b;
+  fit.alpha = std::clamp(a / (a + b), 0.0, 1.0);
+  fit.rmse = lin.rmse;
+  return fit;
+}
+
+BandwidthFit fit_bandwidth(const std::vector<TransferSample>& samples) {
+  if (samples.size() < 2) throw InvariantError("fit_bandwidth: need >= 2 samples");
+  std::vector<double> x, y;
+  for (const TransferSample& s : samples) {
+    if (s.bytes <= 0) throw InvariantError("fit_bandwidth: bytes must be > 0");
+    if (s.seconds <= 0) throw InvariantError("fit_bandwidth: seconds must be > 0");
+    x.push_back(s.bytes);
+    y.push_back(s.seconds);
+  }
+  const LinearFit lin = least_squares(x, y);
+  if (lin.slope <= 0) {
+    throw InvariantError("fit_bandwidth: non-positive slope (times do not grow "
+                         "with size; measurements are latency-dominated)");
+  }
+  BandwidthFit fit;
+  fit.latency = std::max(0.0, lin.intercept);
+  fit.bandwidth = 1.0 / lin.slope;
+  fit.rmse = lin.rmse;
+  return fit;
+}
+
+}  // namespace bbsim::model

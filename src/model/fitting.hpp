@@ -1,0 +1,54 @@
+// bbsim -- calibration fitting: estimate model parameters from measurements.
+//
+// The paper hand-picks alpha = 0 (Eq. (4)) because fitting Amdahl's alpha
+// per task "requires fine-grained knowledge about the execution platform".
+// When multi-core timings *are* available (our testbed produces them, and
+// so does any real strong-scaling study), these least-squares fits recover
+// the general Eq. (3) parameters:
+//
+//   Amdahl:     T(p) = a + b / p          with a = alpha*T1, b = (1-alpha)*T1
+//   bandwidth:  t(S) = L + S / B          per-operation latency L, bandwidth B
+//
+// Both are linear least squares with closed-form solutions.
+#pragma once
+
+#include <vector>
+
+namespace bbsim::model {
+
+/// One strong-scaling observation: time measured on `cores` cores.
+struct ScalingSample {
+  int cores = 1;
+  double time = 0.0;
+};
+
+/// Result of the Amdahl fit.
+struct AmdahlFit {
+  double t1 = 0.0;     ///< estimated sequential time (= a + b)
+  double alpha = 0.0;  ///< estimated serial fraction, clamped to [0, 1]
+  double rmse = 0.0;   ///< root-mean-square residual of the fit
+};
+
+/// Fits T(p) = alpha*T1 + (1-alpha)*T1/p to >= 2 samples with distinct core
+/// counts. Throws InvariantError on degenerate input.
+AmdahlFit fit_amdahl(const std::vector<ScalingSample>& samples);
+
+/// One transfer observation: `seconds` to move `bytes`.
+struct TransferSample {
+  double bytes = 0.0;
+  double seconds = 0.0;
+};
+
+/// Result of the latency/bandwidth fit.
+struct BandwidthFit {
+  double latency = 0.0;    ///< seconds per operation (intercept, clamped >= 0)
+  double bandwidth = 0.0;  ///< bytes/second (1 / slope)
+  double rmse = 0.0;
+};
+
+/// Fits t = L + S/B to >= 2 samples with distinct sizes.
+/// Throws InvariantError on degenerate input (e.g. non-increasing times
+/// making the slope non-positive).
+BandwidthFit fit_bandwidth(const std::vector<TransferSample>& samples);
+
+}  // namespace bbsim::model

@@ -1,0 +1,64 @@
+// bbsim -- Fabric: a live instance of a platform.
+//
+// Fabric owns the event engine and the flow manager, and materialises every
+// capacity in the PlatformSpec as a flow resource:
+//   - per host: NIC up / NIC down
+//   - per storage node: disk read channel, disk write channel,
+//                       link up (to storage), link down (from storage)
+//   - per storage service: one metadata resource (ops/second)
+//
+// Storage services (src/storage) compose these ids into operation paths.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "flow/manager.hpp"
+#include "platform/spec.hpp"
+#include "sim/engine.hpp"
+
+namespace bbsim::platform {
+
+/// Flow-resource handles for one storage service.
+struct StorageResources {
+  std::vector<flow::ResourceId> disk_read;   ///< one per storage node
+  std::vector<flow::ResourceId> disk_write;  ///< one per storage node
+  std::vector<flow::ResourceId> link_up;     ///< host/fabric -> storage node
+  std::vector<flow::ResourceId> link_down;   ///< storage node -> host/fabric
+  flow::ResourceId metadata = 0;             ///< ops/second server
+};
+
+/// Flow-resource handles for one compute host.
+struct HostResources {
+  flow::ResourceId nic_up = 0;
+  flow::ResourceId nic_down = 0;
+};
+
+class Fabric {
+ public:
+  /// Validates the spec and builds all resources at time zero.
+  explicit Fabric(PlatformSpec spec);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  flow::FlowManager& flows() { return flows_; }
+  const PlatformSpec& spec() const { return spec_; }
+
+  const HostResources& host_resources(std::size_t host_idx) const;
+  const StorageResources& storage_resources(std::size_t storage_idx) const;
+
+  /// Uniform interference hook: scale one storage service's link and disk
+  /// capacities by `factor` (1.0 = nominal). Used by the testbed to model
+  /// background load from other jobs on shared resources.
+  void scale_storage_capacity(std::size_t storage_idx, double factor);
+
+ private:
+  PlatformSpec spec_;
+  sim::Engine engine_;
+  flow::FlowManager flows_;
+  std::vector<HostResources> host_res_;
+  std::vector<StorageResources> storage_res_;
+};
+
+}  // namespace bbsim::platform

@@ -1,0 +1,80 @@
+#include "platform/presets.hpp"
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace bbsim::platform {
+
+namespace {
+
+std::vector<HostSpec> make_hosts(int count, int cores, double core_speed) {
+  std::vector<HostSpec> hosts;
+  hosts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    HostSpec h;
+    h.name = util::format("cn%03d", i);
+    h.cores = cores;
+    h.core_speed = core_speed;
+    // Node injection bandwidth: generous; the storage links are the
+    // bottlenecks the paper models (Table I lists no NIC limit).
+    h.nic_bw = 16e9;
+    hosts.push_back(std::move(h));
+  }
+  return hosts;
+}
+
+}  // namespace
+
+PlatformSpec cori_platform(const PresetOptions& opt) {
+  using namespace table1;
+  PlatformSpec p;
+  p.name = "cori";
+  p.hosts = make_hosts(opt.compute_nodes, kCoriCoresPerNode, kCoriCoreSpeed);
+
+  StorageSpec pfs;
+  pfs.name = "pfs";
+  pfs.kind = StorageKind::PFS;
+  pfs.disk = DiskSpec{kCoriPFSDisk, kCoriPFSDisk, kUnlimited};
+  pfs.link = LinkSpec{kCoriPFSNet, 0.5e-3};
+  p.storage.push_back(pfs);
+
+  StorageSpec bb;
+  bb.name = "bb";
+  bb.kind = StorageKind::SharedBB;
+  bb.mode = opt.bb_mode;
+  bb.num_nodes = opt.bb_nodes;
+  bb.disk = DiskSpec{kCoriBBDisk, kCoriBBDisk, 6.4 * util::TB};
+  bb.link = LinkSpec{kCoriBBNet, 0.25e-3};
+  p.storage.push_back(bb);
+
+  p.validate_and_normalize();
+  return p;
+}
+
+PlatformSpec summit_platform(const PresetOptions& opt) {
+  using namespace table1;
+  PlatformSpec p;
+  p.name = "summit";
+  p.hosts = make_hosts(opt.compute_nodes, kSummitCoresPerNode, kSummitCoreSpeed);
+
+  StorageSpec pfs;
+  pfs.name = "pfs";
+  pfs.kind = StorageKind::PFS;
+  pfs.disk = DiskSpec{kSummitPFSDisk, kSummitPFSDisk, kUnlimited};
+  pfs.link = LinkSpec{kSummitPFSNet, 0.5e-3};
+  p.storage.push_back(pfs);
+
+  StorageSpec bb;
+  bb.name = "bb";
+  bb.kind = StorageKind::NodeLocalBB;
+  // Table I: "network" = NVMe host interface (6.5 GB/s), "disk" = device
+  // media throughput (3.3 GB/s). Latency is microseconds (local PCIe).
+  bb.disk = DiskSpec{kSummitBBDisk, kSummitBBDisk, 1.6 * util::TB};
+  bb.link = LinkSpec{kSummitBBNet, 10e-6};
+  p.storage.push_back(bb);
+
+  p.validate_and_normalize();
+  return p;
+}
+
+}  // namespace bbsim::platform

@@ -1,0 +1,46 @@
+// bbsim -- platform presets calibrated from the paper's Table I.
+//
+//               | core speed        | BB net   | BB disk  | PFS net  | PFS disk
+//   Cori   [11] | 36.80 GFlop/s/core| 800 MB/s | 950 MB/s | 1.0 GB/s | 100 MB/s
+//   Summit [12] | 49.12 GFlop/s/core| 6.5 GB/s | 3.3 GB/s | 2.1 GB/s | 100 MB/s
+//
+// Cori hosts have 32 Haswell cores (the paper uses the Haswell partition);
+// Summit hosts have 42 usable POWER9 cores. BB node capacity: 6.4 TB per
+// Cori DataWarp node, 1.6 TB per Summit NVMe device (Section III-A).
+#pragma once
+
+#include "platform/spec.hpp"
+
+namespace bbsim::platform {
+
+/// Options beyond Table I that presets expose for sweeps/ablations.
+struct PresetOptions {
+  int compute_nodes = 1;
+  int bb_nodes = 1;               ///< shared-BB nodes (Cori only)
+  BBMode bb_mode = BBMode::Private;  ///< Cori DataWarp mode
+};
+
+/// Cori-like platform: shared burst buffer on dedicated nodes.
+PlatformSpec cori_platform(const PresetOptions& opt = {});
+
+/// Summit-like platform: node-local NVMe burst buffer per compute node.
+PlatformSpec summit_platform(const PresetOptions& opt = {});
+
+/// Table I values as named constants (bytes/s and flop/s).
+namespace table1 {
+inline constexpr double kCoriCoreSpeed = 36.80e9;
+inline constexpr double kCoriBBNet = 800e6;
+inline constexpr double kCoriBBDisk = 950e6;
+inline constexpr double kCoriPFSNet = 1.0e9;
+inline constexpr double kCoriPFSDisk = 100e6;
+inline constexpr int kCoriCoresPerNode = 32;
+
+inline constexpr double kSummitCoreSpeed = 49.12e9;
+inline constexpr double kSummitBBNet = 6.5e9;
+inline constexpr double kSummitBBDisk = 3.3e9;
+inline constexpr double kSummitPFSNet = 2.1e9;
+inline constexpr double kSummitPFSDisk = 100e6;
+inline constexpr int kSummitCoresPerNode = 42;
+}  // namespace table1
+
+}  // namespace bbsim::platform

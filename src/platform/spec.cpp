@@ -1,0 +1,114 @@
+#include "platform/spec.hpp"
+
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace bbsim::platform {
+
+using util::ConfigError;
+using util::NotFoundError;
+
+const char* to_string(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::PFS: return "pfs";
+    case StorageKind::SharedBB: return "shared_bb";
+    case StorageKind::NodeLocalBB: return "node_local_bb";
+  }
+  return "?";
+}
+
+const char* to_string(BBMode mode) {
+  switch (mode) {
+    case BBMode::Private: return "private";
+    case BBMode::Striped: return "striped";
+  }
+  return "?";
+}
+
+StorageKind storage_kind_from_string(const std::string& text) {
+  const std::string t = util::to_lower(text);
+  if (t == "pfs") return StorageKind::PFS;
+  if (t == "shared_bb" || t == "shared") return StorageKind::SharedBB;
+  if (t == "node_local_bb" || t == "node_local" || t == "on_node") {
+    return StorageKind::NodeLocalBB;
+  }
+  throw ConfigError("unknown storage kind '" + text + "'");
+}
+
+BBMode bb_mode_from_string(const std::string& text) {
+  const std::string t = util::to_lower(text);
+  if (t == "private") return BBMode::Private;
+  if (t == "striped" || t == "shared") return BBMode::Striped;
+  throw ConfigError("unknown burst buffer mode '" + text + "'");
+}
+
+std::size_t PlatformSpec::host_index(const std::string& host_name) const {
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (hosts[i].name == host_name) return i;
+  }
+  throw NotFoundError("host '" + host_name + "' in platform '" + name + "'");
+}
+
+std::size_t PlatformSpec::storage_index(const std::string& storage_name) const {
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    if (storage[i].name == storage_name) return i;
+  }
+  throw NotFoundError("storage '" + storage_name + "' in platform '" + name + "'");
+}
+
+std::size_t PlatformSpec::find_kind(StorageKind kind) const {
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    if (storage[i].kind == kind) return i;
+  }
+  return npos;
+}
+
+int PlatformSpec::total_cores() const {
+  int total = 0;
+  for (const HostSpec& h : hosts) total += h.cores;
+  return total;
+}
+
+void PlatformSpec::validate_and_normalize() {
+  if (hosts.empty()) throw ConfigError("platform '" + name + "' has no hosts");
+  std::set<std::string> names;
+  for (const HostSpec& h : hosts) {
+    if (h.name.empty()) throw ConfigError("host with empty name");
+    if (!names.insert(h.name).second) throw ConfigError("duplicate host name '" + h.name + "'");
+    if (h.cores <= 0) throw ConfigError("host '" + h.name + "': cores must be > 0");
+    if (h.core_speed <= 0) throw ConfigError("host '" + h.name + "': core_speed must be > 0");
+    if (h.nic_bw <= 0) throw ConfigError("host '" + h.name + "': nic_bw must be > 0");
+  }
+  for (StorageSpec& s : storage) {
+    if (s.name.empty()) throw ConfigError("storage with empty name");
+    if (!names.insert(s.name).second) {
+      throw ConfigError("duplicate storage/host name '" + s.name + "'");
+    }
+    if (s.kind == StorageKind::NodeLocalBB) {
+      // One device per compute node by definition.
+      s.num_nodes = static_cast<int>(hosts.size());
+    }
+    if (s.num_nodes <= 0) throw ConfigError("storage '" + s.name + "': num_nodes must be > 0");
+    if (s.disk.read_bw <= 0 || s.disk.write_bw <= 0) {
+      throw ConfigError("storage '" + s.name + "': disk bandwidths must be > 0");
+    }
+    if (s.disk.capacity <= 0) {
+      throw ConfigError("storage '" + s.name + "': capacity must be > 0");
+    }
+    if (s.link.bandwidth <= 0) {
+      throw ConfigError("storage '" + s.name + "': link bandwidth must be > 0");
+    }
+    if (s.link.latency < 0 || s.base_latency < 0 || s.stage_latency < 0) {
+      throw ConfigError("storage '" + s.name + "': latencies must be >= 0");
+    }
+    if (s.stream_bw <= 0) {
+      throw ConfigError("storage '" + s.name + "': stream_bw must be > 0");
+    }
+    if (s.metadata_ops_per_sec <= 0) {
+      throw ConfigError("storage '" + s.name + "': metadata_ops_per_sec must be > 0");
+    }
+  }
+}
+
+}  // namespace bbsim::platform

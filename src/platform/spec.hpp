@@ -1,0 +1,108 @@
+// bbsim -- platform description (value types).
+//
+// A PlatformSpec is a pure description of an execution platform: compute
+// hosts, storage services (PFS and burst buffers), and the network/disk
+// capacities connecting them. It is the C++ analogue of the XML platform
+// file the paper's WRENCH simulator consumes. Fabric (fabric.hpp) turns a
+// spec into live simulation resources.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bbsim::platform {
+
+inline constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+/// Storage architecture kinds (paper Section III-A).
+enum class StorageKind {
+  PFS,          ///< global parallel file system (e.g. Lustre / GPFS)
+  SharedBB,     ///< remote-shared burst buffer on dedicated nodes (Cori)
+  NodeLocalBB,  ///< on-node burst buffer, one per compute node (Summit)
+};
+
+/// Cray DataWarp allocation modes for the shared architecture (Cori).
+enum class BBMode {
+  Private,  ///< per-compute-node namespace; only the creating node reads
+  Striped,  ///< files striped over BB nodes; any node reads; N:1-optimised
+};
+
+const char* to_string(StorageKind kind);
+const char* to_string(BBMode mode);
+StorageKind storage_kind_from_string(const std::string& text);
+BBMode bb_mode_from_string(const std::string& text);
+
+/// A compute host (one "node" of the machine).
+struct HostSpec {
+  std::string name;
+  int cores = 1;
+  double core_speed = 1e9;      ///< flop/s per core
+  double nic_bw = kUnlimited;   ///< injection bandwidth into the fabric (B/s)
+};
+
+/// One storage node's device channels.
+struct DiskSpec {
+  double read_bw = kUnlimited;   ///< B/s, shared by concurrent reads
+  double write_bw = kUnlimited;  ///< B/s, shared by concurrent writes
+  double capacity = kUnlimited;  ///< bytes per storage node
+};
+
+/// The network attachment of a storage node.
+struct LinkSpec {
+  double bandwidth = kUnlimited;  ///< B/s each direction (full duplex)
+  double latency = 0.0;           ///< seconds, added per operation
+};
+
+/// A storage service: the PFS or one burst-buffer deployment.
+struct StorageSpec {
+  std::string name;
+  StorageKind kind = StorageKind::PFS;
+  BBMode mode = BBMode::Private;  ///< meaningful only for SharedBB
+  /// Number of storage nodes. For NodeLocalBB this is forced to the host
+  /// count at validation time (one device per compute node).
+  int num_nodes = 1;
+  DiskSpec disk;  ///< per storage node
+  LinkSpec link;  ///< per storage node attachment (PCIe for NodeLocalBB)
+  /// Fixed service-side latency added to every operation (metadata open,
+  /// request routing). The paper's simple model leaves this at ~0; the
+  /// testbed emulator sets mode-dependent values.
+  double base_latency = 0.0;
+  /// Per-stream bandwidth ceiling (a single POSIX I/O stream cannot use the
+  /// whole device). kUnlimited disables the cap (paper's simple model).
+  double stream_bw = kUnlimited;
+  /// Metadata server throughput in operations/second; every file operation
+  /// consumes one op. kUnlimited disables metadata contention.
+  double metadata_ops_per_sec = kUnlimited;
+  /// Per-file overhead of the staging API (e.g. Cray DataWarp stage-in
+  /// requests), paid once per transferred file on top of the data movement.
+  /// Zero for the paper's simple model; the testbed sets shared-BB values.
+  double stage_latency = 0.0;
+};
+
+/// The whole machine.
+struct PlatformSpec {
+  std::string name;
+  std::vector<HostSpec> hosts;
+  std::vector<StorageSpec> storage;
+
+  /// Index of a host by name; throws NotFoundError.
+  std::size_t host_index(const std::string& host_name) const;
+  /// Index of a storage service by name; throws NotFoundError.
+  std::size_t storage_index(const std::string& storage_name) const;
+  /// First storage service of the given kind, or npos.
+  std::size_t find_kind(StorageKind kind) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  int total_cores() const;
+
+  /// Checks structural consistency (unique names, positive counts/speeds,
+  /// node-local BB node count) and normalises NodeLocalBB num_nodes.
+  /// Throws ConfigError on violation.
+  void validate_and_normalize();
+};
+
+}  // namespace bbsim::platform

@@ -1,0 +1,76 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+
+namespace bbsim::sim {
+
+EventId Engine::schedule_at(Time t, EventHandler fn) {
+  if (!(t >= now_)) {  // also rejects NaN
+    throw util::InvariantError("schedule_at: time " + std::to_string(t) +
+                               " is in the past (now=" + std::to_string(now_) + ")");
+  }
+  if (!std::isfinite(t)) {
+    throw util::InvariantError("schedule_at: non-finite time");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Record{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  if (handlers_.count(id) == 0) return false;
+  cancelled_.insert(id);
+  handlers_.erase(id);
+  return true;
+}
+
+bool Engine::pop_next(Record& out) {
+  while (!queue_.empty()) {
+    Record r = queue_.top();
+    if (cancelled_.count(r.id) > 0) {
+      queue_.pop();
+      cancelled_.erase(r.id);
+      continue;
+    }
+    out = r;
+    return true;
+  }
+  return false;
+}
+
+bool Engine::step() {
+  Record r{};
+  if (!pop_next(r)) return false;
+  queue_.pop();
+  now_ = r.time;
+  // Move the handler out before invoking: the callback may schedule or
+  // cancel other events, mutating handlers_.
+  auto it = handlers_.find(r.id);
+  EventHandler fn = std::move(it->second);
+  handlers_.erase(it);
+  ++executed_;
+  fn();
+  return true;
+}
+
+Time Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+bool Engine::run_until(Time t) {
+  Record r{};
+  while (pop_next(r)) {
+    if (r.time > t) {
+      now_ = t;
+      return true;
+    }
+    step();
+  }
+  now_ = std::max(now_, t);
+  return false;
+}
+
+}  // namespace bbsim::sim

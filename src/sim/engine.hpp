@@ -1,0 +1,99 @@
+// bbsim -- discrete-event simulation kernel.
+//
+// A minimal, deterministic event engine in the style of SimGrid's kernel:
+// a virtual clock and a priority queue of timestamped events. Everything
+// above (flows, storage services, the workflow engine) is driven by
+// callbacks scheduled here.
+//
+// Determinism: ties in time are broken by insertion order (a monotonically
+// increasing sequence number), so two runs of the same program produce the
+// same event interleaving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bbsim::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Handle for a scheduled event, usable with Engine::cancel().
+using EventId = std::uint64_t;
+
+/// Callback invoked when an event fires. It runs at `Engine::now()` equal to
+/// the event's timestamp and may schedule further events.
+using EventHandler = std::function<void()>;
+
+/// The simulation engine: virtual clock + event queue.
+///
+/// Usage:
+///   Engine e;
+///   e.schedule_in(5.0, []{ ... });
+///   e.run();
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time (seconds). Starts at 0.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, EventHandler fn);
+
+  /// Schedule `fn` after a delay of `dt` seconds (must be >= 0).
+  EventId schedule_in(Time dt, EventHandler fn) { return schedule_at(now_ + dt, fn); }
+
+  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Run until the event queue is empty. Returns the final clock value.
+  Time run();
+
+  /// Process all events with timestamp <= `t`, then set the clock to `t`.
+  /// Returns true if the queue still holds future events.
+  bool run_until(Time t);
+
+  /// Execute exactly one event (the earliest); returns false if none pending.
+  bool step();
+
+  /// Number of events executed so far.
+  std::size_t executed_count() const { return executed_; }
+
+  /// Number of events currently pending (cancelled ones are excluded).
+  std::size_t pending_count() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Record {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    // `greater` ordering for a min-heap on (time, seq).
+    friend bool operator>(const Record& a, const Record& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t executed_ = 0;
+  std::priority_queue<Record, std::vector<Record>, std::greater<Record>> queue_;
+  std::unordered_map<EventId, EventHandler> handlers_;
+  std::unordered_set<EventId> cancelled_;
+
+  /// Pops the next live record or returns false.
+  bool pop_next(Record& out);
+};
+
+}  // namespace bbsim::sim

@@ -1,0 +1,45 @@
+#include "storage/node_local_bb.hpp"
+
+#include "util/error.hpp"
+
+namespace bbsim::storage {
+
+NodeLocalBurstBuffer::NodeLocalBurstBuffer(platform::Fabric& fabric, std::size_t storage_idx)
+    : StorageService(fabric, storage_idx) {
+  if (spec().kind != platform::StorageKind::NodeLocalBB) {
+    throw util::ConfigError("NodeLocalBurstBuffer bound to non-node-local spec '" +
+                            name() + "'");
+  }
+}
+
+bool NodeLocalBurstBuffer::readable_from(const std::string& file_name,
+                                         std::size_t host_idx) const {
+  const Replica* rep = replica(file_name);
+  return rep != nullptr && static_cast<std::size_t>(rep->node) == host_idx;
+}
+
+std::size_t NodeLocalBurstBuffer::holder_host(const std::string& file_name) const {
+  const Replica* rep = replica(file_name);
+  return rep == nullptr ? npos : static_cast<std::size_t>(rep->node);
+}
+
+int NodeLocalBurstBuffer::placement_node(const FileRef&, std::size_t host_idx) const {
+  return static_cast<int>(host_idx);  // the writer's own device
+}
+
+std::vector<SubFlow> NodeLocalBurstBuffer::route_read(const Replica& rep,
+                                                      const FileRef& file,
+                                                      std::size_t) const {
+  const auto& r = res();
+  const std::size_t node = static_cast<std::size_t>(rep.node);
+  // Local path: device channel + host interface. No NIC involved.
+  return {SubFlow{file.size, {r.disk_read[node], r.link_down[node]}}};
+}
+
+std::vector<SubFlow> NodeLocalBurstBuffer::route_write(const FileRef& file,
+                                                       std::size_t host_idx) const {
+  const auto& r = res();
+  return {SubFlow{file.size, {r.link_up[host_idx], r.disk_write[host_idx]}}};
+}
+
+}  // namespace bbsim::storage

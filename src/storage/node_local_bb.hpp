@@ -1,0 +1,31 @@
+// bbsim -- the node-local burst buffer service (Summit NVMe).
+//
+// Each compute node embeds its own device; I/O never crosses the network
+// (the "link" resources model the local NVMe/PCIe interface). A file is
+// only accessible from the node that holds it -- the data-management
+// challenge the paper highlights for on-node designs.
+#pragma once
+
+#include "storage/service.hpp"
+
+namespace bbsim::storage {
+
+class NodeLocalBurstBuffer final : public StorageService {
+ public:
+  NodeLocalBurstBuffer(platform::Fabric& fabric, std::size_t storage_idx);
+
+  bool readable_from(const std::string& file_name, std::size_t host_idx) const override;
+
+  /// Host index holding this file's device, or npos if absent.
+  std::size_t holder_host(const std::string& file_name) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ protected:
+  std::vector<SubFlow> route_read(const Replica& rep, const FileRef& file,
+                                  std::size_t host_idx) const override;
+  std::vector<SubFlow> route_write(const FileRef& file,
+                                   std::size_t host_idx) const override;
+  int placement_node(const FileRef& file, std::size_t host_idx) const override;
+};
+
+}  // namespace bbsim::storage

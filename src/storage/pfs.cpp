@@ -1,0 +1,38 @@
+#include "storage/pfs.hpp"
+
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace bbsim::storage {
+
+PfsService::PfsService(platform::Fabric& fabric, std::size_t storage_idx)
+    : StorageService(fabric, storage_idx) {
+  if (spec().kind != platform::StorageKind::PFS) {
+    throw util::ConfigError("PfsService bound to non-PFS spec '" + name() + "'");
+  }
+}
+
+int PfsService::placement_node(const FileRef& file, std::size_t) const {
+  // Deterministic spread across I/O nodes by file-name hash.
+  return static_cast<int>(std::hash<std::string>{}(file.name) %
+                          static_cast<std::size_t>(spec().num_nodes));
+}
+
+std::vector<SubFlow> PfsService::route_read(const Replica& rep, const FileRef& file,
+                                            std::size_t host_idx) const {
+  const auto& r = res();
+  const auto& h = fabric_.host_resources(host_idx);
+  const std::size_t node = static_cast<std::size_t>(rep.node);
+  return {SubFlow{file.size, {r.disk_read[node], r.link_down[node], h.nic_down}}};
+}
+
+std::vector<SubFlow> PfsService::route_write(const FileRef& file,
+                                             std::size_t host_idx) const {
+  const auto& r = res();
+  const auto& h = fabric_.host_resources(host_idx);
+  const std::size_t node = static_cast<std::size_t>(placement_node(file, host_idx));
+  return {SubFlow{file.size, {h.nic_up, r.link_up[node], r.disk_write[node]}}};
+}
+
+}  // namespace bbsim::storage

@@ -1,0 +1,24 @@
+// bbsim -- the parallel file system service.
+//
+// The PFS is globally shared: any compute node may read or write any file.
+// Files are placed on one PFS I/O node each (hash-spread when num_nodes > 1;
+// the presets use a single aggregate node per Table I).
+#pragma once
+
+#include "storage/service.hpp"
+
+namespace bbsim::storage {
+
+class PfsService final : public StorageService {
+ public:
+  PfsService(platform::Fabric& fabric, std::size_t storage_idx);
+
+ protected:
+  std::vector<SubFlow> route_read(const Replica& rep, const FileRef& file,
+                                  std::size_t host_idx) const override;
+  std::vector<SubFlow> route_write(const FileRef& file,
+                                   std::size_t host_idx) const override;
+  int placement_node(const FileRef& file, std::size_t host_idx) const override;
+};
+
+}  // namespace bbsim::storage

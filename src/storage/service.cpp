@@ -1,0 +1,184 @@
+#include "storage/service.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace bbsim::storage {
+
+using util::ConfigError;
+using util::InvariantError;
+using util::NotFoundError;
+
+void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done) {
+  // Shared state for the sub-flow countdown.
+  struct State {
+    std::size_t pending = 0;
+    Done done;
+  };
+  auto state = std::make_shared<State>();
+  state->done = std::move(done);
+
+  auto start_data = [&fabric, plan = std::move(plan), state]() mutable {
+    auto launch_subflows = [&fabric, state](const IoPlan& p) {
+      if (p.data.empty()) {
+        if (state->done) state->done();
+        return;
+      }
+      state->pending = p.data.size();
+      for (const SubFlow& sf : p.data) {
+        flow::FlowSpec spec;
+        spec.volume = sf.volume;
+        spec.path = sf.path;
+        spec.rate_cap = p.rate_cap;
+        fabric.flows().start(std::move(spec), [state] {
+          if (--state->pending == 0 && state->done) state->done();
+        });
+      }
+    };
+
+    if (plan.metadata_ops > 0.0) {
+      flow::FlowSpec meta;
+      meta.volume = plan.metadata_ops;
+      meta.path = {plan.metadata_res};
+      fabric.flows().start(std::move(meta),
+                           [launch_subflows, plan]() { launch_subflows(plan); });
+    } else {
+      launch_subflows(plan);
+    }
+  };
+
+  if (plan.latency > 0.0) {
+    fabric.engine().schedule_in(plan.latency, std::move(start_data));
+  } else {
+    // Still defer by a zero-delay event to keep run-to-completion semantics.
+    fabric.engine().schedule_in(0.0, std::move(start_data));
+  }
+}
+
+StorageService::StorageService(platform::Fabric& fabric, std::size_t storage_idx)
+    : fabric_(fabric), storage_idx_(storage_idx), spec_(fabric.spec().storage.at(storage_idx)) {}
+
+bool StorageService::has_file(const std::string& file_name) const {
+  return replicas_.count(file_name) > 0;
+}
+
+const StorageService::Replica* StorageService::replica(const std::string& file_name) const {
+  const auto it = replicas_.find(file_name);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+double StorageService::total_capacity() const {
+  if (spec_.disk.capacity == platform::kUnlimited) return platform::kUnlimited;
+  return spec_.disk.capacity * spec_.num_nodes;
+}
+
+void StorageService::reserve_capacity(const FileRef& file) {
+  if (file.size < 0) throw InvariantError("negative file size: " + file.name);
+  double delta = file.size;
+  const auto it = replicas_.find(file.name);
+  if (it != replicas_.end()) delta -= it->second.size;  // overwrite frees old bytes
+  const double cap = total_capacity();
+  if (cap != platform::kUnlimited && used_bytes_ + delta > cap * (1 + 1e-9)) {
+    throw ConfigError("storage '" + name() + "' capacity exceeded writing '" + file.name +
+                      "' (" + std::to_string(used_bytes_ + delta) + " > " +
+                      std::to_string(cap) + " bytes)");
+  }
+  used_bytes_ += delta;
+}
+
+void StorageService::register_file(const FileRef& file, std::size_t host_idx) {
+  reserve_capacity(file);
+  Replica rep;
+  rep.size = file.size;
+  rep.node = placement_node(file, host_idx);
+  rep.creator_host = host_idx;
+  replicas_[file.name] = rep;
+}
+
+void StorageService::erase_file(const std::string& file_name) {
+  const auto it = replicas_.find(file_name);
+  if (it == replicas_.end()) return;
+  used_bytes_ -= it->second.size;
+  replicas_.erase(it);
+}
+
+bool StorageService::readable_from(const std::string& file_name, std::size_t) const {
+  return has_file(file_name);
+}
+
+void StorageService::apply_perturbation(IoPlan& plan, const FileRef& file, bool is_write,
+                                        std::size_t host_idx) const {
+  if (!perturb_) return;
+  const IoPerturbation p = perturb_(file, is_write, host_idx);
+  plan.latency += p.extra_latency;
+  if (p.rate_cap_scale != 1.0 && plan.rate_cap != flow::kUnlimited) {
+    plan.rate_cap *= p.rate_cap_scale;
+  }
+}
+
+IoPlan StorageService::plan_read(const FileRef& file, std::size_t host_idx) const {
+  const Replica* rep = replica(file.name);
+  if (rep == nullptr) {
+    throw NotFoundError("file '" + file.name + "' on storage '" + name() + "'");
+  }
+  if (!readable_from(file.name, host_idx)) {
+    throw InvariantError("file '" + file.name + "' on '" + name() +
+                         "' is not readable from host index " + std::to_string(host_idx));
+  }
+  IoPlan plan;
+  plan.latency = spec_.link.latency + spec_.base_latency;
+  plan.metadata_ops = metadata_ops_per_file();
+  plan.metadata_res = res().metadata;
+  plan.rate_cap = spec_.stream_bw;
+  plan.data = route_read(*rep, file, host_idx);
+  apply_perturbation(plan, file, /*is_write=*/false, host_idx);
+  return plan;
+}
+
+IoPlan StorageService::plan_write(const FileRef& file, std::size_t host_idx) const {
+  IoPlan plan;
+  plan.latency = spec_.link.latency + spec_.base_latency;
+  plan.metadata_ops = metadata_ops_per_file();
+  plan.metadata_res = res().metadata;
+  plan.rate_cap = spec_.stream_bw;
+  plan.data = route_write(file, host_idx);
+  apply_perturbation(plan, file, /*is_write=*/true, host_idx);
+  return plan;
+}
+
+void StorageService::read(const FileRef& file, std::size_t host_idx, Done done) {
+  execute_plan(fabric_, plan_read(file, host_idx), std::move(done));
+}
+
+void StorageService::write(const FileRef& file, std::size_t host_idx, Done done) {
+  IoPlan plan = plan_write(file, host_idx);
+  reserve_capacity(file);
+  // The replica becomes visible only when the last byte lands.
+  execute_plan(fabric_, std::move(plan),
+               [this, file, host_idx, done = std::move(done)] {
+                 Replica rep;
+                 rep.size = file.size;
+                 rep.node = placement_node(file, host_idx);
+                 rep.creator_host = host_idx;
+                 replicas_[file.name] = rep;
+                 if (done) done();
+               });
+}
+
+void StorageService::begin_external_write(const FileRef& file) {
+  reserve_capacity(file);
+}
+
+void StorageService::complete_external_write(const FileRef& file, std::size_t host_idx) {
+  // Capacity was reserved at begin_external_write; only the replica record
+  // is created here. Adjust for an overwrite of a pre-existing replica
+  // (reserve_capacity already credited its bytes back).
+  Replica rep;
+  rep.size = file.size;
+  rep.node = placement_node(file, host_idx);
+  rep.creator_host = host_idx;
+  replicas_[file.name] = rep;
+}
+
+}  // namespace bbsim::storage

@@ -1,0 +1,158 @@
+// bbsim -- storage services: the objects workflow tasks read from / write to.
+//
+// A StorageService models one deployment from the platform spec (the PFS,
+// Cori's shared DataWarp burst buffer, or Summit's node-local NVMe). Each
+// I/O operation is planned as:
+//
+//   fixed latency  ->  metadata ops (flow through the metadata resource)
+//                  ->  one or more data sub-flows (max-min shared)
+//
+// Subclasses decide replica placement (which storage node holds a file),
+// access restrictions (private-mode namespaces, node locality) and how data
+// sub-flows are routed/striped. The base class owns replica bookkeeping,
+// capacity accounting and plan execution.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/network.hpp"
+#include "platform/fabric.hpp"
+
+namespace bbsim::storage {
+
+/// A file as the storage layer sees it: a name and a size in bytes.
+struct FileRef {
+  std::string name;
+  double size = 0.0;
+};
+
+/// Completion callback for asynchronous operations.
+using Done = std::function<void()>;
+
+/// Per-operation perturbation injected by the testbed emulator (interference
+/// from competing jobs, metadata jitter). Identity by default.
+struct IoPerturbation {
+  double extra_latency = 0.0;    ///< seconds added to the fixed latency
+  double rate_cap_scale = 1.0;   ///< multiplies the per-stream rate cap
+};
+
+/// host_idx is the initiating compute node; is_write distinguishes the
+/// direction.
+using PerturbFn =
+    std::function<IoPerturbation(const FileRef&, bool is_write, std::size_t host_idx)>;
+
+/// One data movement of an operation plan.
+struct SubFlow {
+  double volume = 0.0;
+  std::vector<flow::ResourceId> path;
+};
+
+/// A fully planned operation, ready to execute on the fabric.
+struct IoPlan {
+  double latency = 0.0;        ///< fixed delay before any byte moves
+  double metadata_ops = 0.0;   ///< ops pushed through metadata_res (0 = skip)
+  flow::ResourceId metadata_res = 0;
+  std::vector<SubFlow> data;
+  double rate_cap = flow::kUnlimited;  ///< per sub-flow ceiling
+};
+
+/// Execute a plan on the fabric; `done` fires when every sub-flow finished.
+void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done);
+
+/// Abstract storage service. Construct subclasses via make_service() or
+/// StorageSystem (system.hpp).
+class StorageService {
+ public:
+  /// Where a file's bytes live inside this service.
+  struct Replica {
+    double size = 0.0;
+    int node = 0;                  ///< storage node index; -1 = striped over all
+    std::size_t creator_host = 0;  ///< compute node that wrote the file
+  };
+
+  StorageService(platform::Fabric& fabric, std::size_t storage_idx);
+  virtual ~StorageService() = default;
+  StorageService(const StorageService&) = delete;
+  StorageService& operator=(const StorageService&) = delete;
+
+  const platform::StorageSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  platform::StorageKind kind() const { return spec_.kind; }
+  std::size_t storage_index() const { return storage_idx_; }
+
+  // ------------------------------------------------------------- replicas
+  bool has_file(const std::string& file_name) const;
+  /// nullptr when the file is not stored here.
+  const Replica* replica(const std::string& file_name) const;
+  /// Instantaneously place a file (initial dataset population at t=0).
+  /// Throws ConfigError when capacity would be exceeded.
+  void register_file(const FileRef& file, std::size_t host_idx);
+  /// Drop a replica (no simulated cost; deletion is metadata-only here).
+  void erase_file(const std::string& file_name);
+  double used_bytes() const { return used_bytes_; }
+  /// Total capacity across storage nodes (kUnlimited for the PFS).
+  double total_capacity() const;
+
+  /// May `host_idx` read this file from here? (Private-mode namespaces and
+  /// node-local devices restrict access; paper Section III-A.)
+  virtual bool readable_from(const std::string& file_name, std::size_t host_idx) const;
+
+  // ----------------------------------------------------------- operations
+  /// Asynchronously read `file` into host `host_idx`.
+  /// Throws NotFoundError if absent, InvariantError if not readable.
+  void read(const FileRef& file, std::size_t host_idx, Done done);
+
+  /// Asynchronously write `file` from host `host_idx`; the replica becomes
+  /// visible when `done` fires. Capacity is reserved up front. Overwrites
+  /// replace the previous replica.
+  void write(const FileRef& file, std::size_t host_idx, Done done);
+
+  // Plans exposed so StorageSystem can fuse read+write into one transfer.
+  IoPlan plan_read(const FileRef& file, std::size_t host_idx) const;
+  IoPlan plan_write(const FileRef& file, std::size_t host_idx) const;
+
+  /// Install the testbed's interference hook (nullptr to clear).
+  void set_perturbation(PerturbFn fn) { perturb_ = std::move(fn); }
+
+  /// Bookkeeping for a write planned via plan_write() but executed
+  /// externally (fused transfers): begin_external_write reserves capacity
+  /// when the data starts moving; complete_external_write registers the
+  /// replica when the last byte lands (without reserving again).
+  void begin_external_write(const FileRef& file);
+  void complete_external_write(const FileRef& file, std::size_t host_idx);
+
+ protected:
+  /// Subclass hooks: route the data sub-flows. The base class fills in
+  /// latency, metadata and caps.
+  virtual std::vector<SubFlow> route_read(const Replica& rep, const FileRef& file,
+                                          std::size_t host_idx) const = 0;
+  virtual std::vector<SubFlow> route_write(const FileRef& file,
+                                           std::size_t host_idx) const = 0;
+  /// Storage node that would hold a new file written by `host_idx`
+  /// (-1 = striped).
+  virtual int placement_node(const FileRef& file, std::size_t host_idx) const = 0;
+  /// Metadata ops consumed by one operation (striping costs more).
+  virtual double metadata_ops_per_file() const { return 1.0; }
+
+  platform::Fabric& fabric_;
+  const platform::StorageResources& res() const {
+    return fabric_.storage_resources(storage_idx_);
+  }
+
+ private:
+  std::size_t storage_idx_;
+  const platform::StorageSpec& spec_;
+  std::map<std::string, Replica> replicas_;
+  double used_bytes_ = 0.0;
+  PerturbFn perturb_;
+
+  void apply_perturbation(IoPlan& plan, const FileRef& file, bool is_write,
+                          std::size_t host_idx) const;
+  void reserve_capacity(const FileRef& file);
+};
+
+}  // namespace bbsim::storage

@@ -1,0 +1,74 @@
+#include "storage/shared_bb.hpp"
+
+#include "util/error.hpp"
+
+namespace bbsim::storage {
+
+using platform::BBMode;
+
+SharedBurstBuffer::SharedBurstBuffer(platform::Fabric& fabric, std::size_t storage_idx)
+    : StorageService(fabric, storage_idx) {
+  if (spec().kind != platform::StorageKind::SharedBB) {
+    throw util::ConfigError("SharedBurstBuffer bound to non-shared-BB spec '" + name() + "'");
+  }
+}
+
+bool SharedBurstBuffer::readable_from(const std::string& file_name,
+                                      std::size_t host_idx) const {
+  const Replica* rep = replica(file_name);
+  if (rep == nullptr) return false;
+  if (mode() == BBMode::Private) return rep->creator_host == host_idx;
+  return true;
+}
+
+int SharedBurstBuffer::placement_node(const FileRef&, std::size_t host_idx) const {
+  if (mode() == BBMode::Striped) return -1;  // striped over all nodes
+  // Private: the compute node's namespace lives on one BB node.
+  return static_cast<int>(host_idx % static_cast<std::size_t>(spec().num_nodes));
+}
+
+double SharedBurstBuffer::metadata_ops_per_file() const {
+  // Striped files touch every BB node's metadata on open/close.
+  return mode() == BBMode::Striped ? static_cast<double>(spec().num_nodes) : 1.0;
+}
+
+std::vector<SubFlow> SharedBurstBuffer::route_read(const Replica& rep, const FileRef& file,
+                                                   std::size_t host_idx) const {
+  const auto& r = res();
+  const auto& h = fabric_.host_resources(host_idx);
+  std::vector<SubFlow> flows;
+  if (rep.node >= 0) {  // pinned (private mode)
+    const std::size_t node = static_cast<std::size_t>(rep.node);
+    flows.push_back(SubFlow{file.size, {r.disk_read[node], r.link_down[node], h.nic_down}});
+  } else {  // striped: one sub-flow per stripe
+    const int n = spec().num_nodes;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t node = static_cast<std::size_t>(i);
+      flows.push_back(
+          SubFlow{file.size / n, {r.disk_read[node], r.link_down[node], h.nic_down}});
+    }
+  }
+  return flows;
+}
+
+std::vector<SubFlow> SharedBurstBuffer::route_write(const FileRef& file,
+                                                    std::size_t host_idx) const {
+  const auto& r = res();
+  const auto& h = fabric_.host_resources(host_idx);
+  std::vector<SubFlow> flows;
+  const int target = placement_node(file, host_idx);
+  if (target >= 0) {
+    const std::size_t node = static_cast<std::size_t>(target);
+    flows.push_back(SubFlow{file.size, {h.nic_up, r.link_up[node], r.disk_write[node]}});
+  } else {
+    const int n = spec().num_nodes;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t node = static_cast<std::size_t>(i);
+      flows.push_back(
+          SubFlow{file.size / n, {h.nic_up, r.link_up[node], r.disk_write[node]}});
+    }
+  }
+  return flows;
+}
+
+}  // namespace bbsim::storage

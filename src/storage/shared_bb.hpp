@@ -1,0 +1,35 @@
+// bbsim -- the remote-shared burst buffer service (Cori DataWarp).
+//
+// Two allocation modes (paper Section III-A1):
+//   Private: every compute node gets its own namespace, pinned to one BB
+//            node; only the creating compute node may read the file back.
+//            Cheap metadata (one op per file).
+//   Striped: every file is striped over all BB nodes; any compute node may
+//            read it; each file operation touches every stripe, so metadata
+//            cost scales with the stripe count. Optimised for N:1 access,
+//            pathological for the 1:N small-file patterns of workflows.
+#pragma once
+
+#include "storage/service.hpp"
+
+namespace bbsim::storage {
+
+class SharedBurstBuffer final : public StorageService {
+ public:
+  SharedBurstBuffer(platform::Fabric& fabric, std::size_t storage_idx);
+
+  platform::BBMode mode() const { return spec().mode; }
+
+  /// Private-mode namespaces restrict reads to the creating compute node.
+  bool readable_from(const std::string& file_name, std::size_t host_idx) const override;
+
+ protected:
+  std::vector<SubFlow> route_read(const Replica& rep, const FileRef& file,
+                                  std::size_t host_idx) const override;
+  std::vector<SubFlow> route_write(const FileRef& file,
+                                   std::size_t host_idx) const override;
+  int placement_node(const FileRef& file, std::size_t host_idx) const override;
+  double metadata_ops_per_file() const override;
+};
+
+}  // namespace bbsim::storage

@@ -1,0 +1,25 @@
+// bbsim -- I/O characterization reports, in the spirit of the paper's
+// Section III study: per-task-type timing/λ/bandwidth aggregates over a set
+// of repetitions, plus per-service counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "exec/trace.hpp"
+
+namespace bbsim::testbed {
+
+/// Per-type characterization table:
+///   type | count | duration mean±std | lambda_io | bytes R+W | perceived bw
+analysis::Table characterization_table(const std::vector<exec::Result>& results);
+
+/// Per-storage-service counters averaged over the repetitions:
+///   service | bytes served | busy time | device bandwidth
+analysis::Table storage_table(const std::vector<exec::Result>& results);
+
+/// Renders both tables as a printable report.
+std::string characterization_report(const std::vector<exec::Result>& results);
+
+}  // namespace bbsim::testbed

@@ -1,0 +1,42 @@
+// bbsim -- error types shared by all subsystems.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bbsim::util {
+
+/// Base class for all bbsim errors. Every subsystem throws a subclass of
+/// this so callers can catch the whole library with one handler.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed user input: bad JSON, bad platform file, bad workflow file.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A lookup by name/id failed (unknown host, file, task, ...).
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error("not found: " + what) {}
+};
+
+/// An operation violates an invariant of the simulated system
+/// (double-completion of a flow, negative file size, cycle in a DAG, ...).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error("invariant violated: " + what) {}
+};
+
+/// A configuration is self-inconsistent (e.g. task needs more cores than
+/// any host has, burst buffer capacity exceeded with eviction disabled).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("configuration error: " + what) {}
+};
+
+}  // namespace bbsim::util

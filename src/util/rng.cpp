@@ -1,0 +1,94 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace bbsim::util {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  return Rng(mix64(seed_ ^ mix64(salt)));
+}
+
+Rng Rng::fork(const std::string& label) const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (const char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return fork(h);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (hi < lo) throw InvariantError("uniform: hi < lo");
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw InvariantError("uniform_int: hi < lo");
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+  if (hi < lo) throw InvariantError("truncated_normal: hi < lo");
+  if (stddev <= 0) return std::clamp(mean, lo, hi);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+double Rng::lognormal_mean(double mean, double sigma) {
+  if (mean <= 0) throw InvariantError("lognormal_mean: mean must be positive");
+  if (sigma <= 0) return mean;
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); solve for mu.
+  const double mu = std::log(mean) - 0.5 * sigma * sigma;
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw InvariantError("exponential: mean must be positive");
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+bool Rng::chance(double probability) {
+  if (probability <= 0) return false;
+  if (probability >= 1) return true;
+  std::bernoulli_distribution d(probability);
+  return d(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) throw InvariantError("weighted_index: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0) throw InvariantError("weighted_index: non-positive total weight");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+}  // namespace bbsim::util

@@ -1,0 +1,69 @@
+// bbsim -- deterministic random number generation.
+//
+// All stochastic behaviour in the simulator (testbed interference, workload
+// generation) flows through Rng so that every experiment is reproducible
+// from a single seed. Sub-streams are derived with `fork()` so adding a new
+// consumer does not perturb existing draws.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace bbsim::util {
+
+/// A seeded pseudo-random stream (mt19937_64 based) with the distributions
+/// the simulator needs. Copyable and value-semantic; copies diverge.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed), seed_(seed) {}
+
+  /// The seed this stream was created with.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Derive an independent sub-stream. Deterministic: fork(i) of equal
+  /// parents are equal. Uses splitmix-style mixing of (seed, salt).
+  Rng fork(std::uint64_t salt) const;
+
+  /// Derive a sub-stream from a string label (e.g. a host or task name).
+  Rng fork(const std::string& label) const;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Normal draw truncated to [lo, hi] (by resampling, falls back to clamp).
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// Log-normal draw parameterised by the *target* mean and the sigma of the
+  /// underlying normal. A sigma of 0 returns `mean` exactly. The returned
+  /// distribution has expectation `mean` (we subtract sigma^2/2 in mu).
+  double lognormal_mean(double mean, double sigma);
+
+  /// Exponential draw with the given mean (= 1/lambda).
+  double exponential(double mean);
+
+  /// Bernoulli draw.
+  bool chance(double probability);
+
+  /// Sample an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Raw 64-bit draw (for hashing / sub-seeding).
+  std::uint64_t next_u64();
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+/// splitmix64 finaliser -- stateless 64-bit mixing used for seed derivation.
+std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace bbsim::util

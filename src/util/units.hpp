@@ -1,0 +1,60 @@
+// bbsim -- unit helpers.
+//
+// The simulator works in SI base units throughout:
+//   time       : seconds          (double)
+//   data       : bytes            (double -- file sizes fit exactly up to 2^53)
+//   bandwidth  : bytes / second   (double)
+//   compute    : flop             (double), rates in flop / second
+//
+// This header provides named constants and parsing/formatting helpers so
+// that call sites can say `32 * MiB` or `parse_bandwidth("6.5 GB/s")`
+// instead of sprinkling magic powers of ten.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bbsim::util {
+
+// ---------------------------------------------------------------- data units
+inline constexpr double KB = 1e3;   ///< kilobyte (SI)
+inline constexpr double MB = 1e6;   ///< megabyte (SI)
+inline constexpr double GB = 1e9;   ///< gigabyte (SI)
+inline constexpr double TB = 1e12;  ///< terabyte (SI)
+
+inline constexpr double KiB = 1024.0;        ///< kibibyte (IEC)
+inline constexpr double MiB = 1024.0 * KiB;  ///< mebibyte (IEC)
+inline constexpr double GiB = 1024.0 * MiB;  ///< gibibyte (IEC)
+inline constexpr double TiB = 1024.0 * GiB;  ///< tebibyte (IEC)
+
+// ------------------------------------------------------------- compute units
+inline constexpr double KFLOP = 1e3;
+inline constexpr double MFLOP = 1e6;
+inline constexpr double GFLOP = 1e9;
+inline constexpr double TFLOP = 1e12;
+
+// ---------------------------------------------------------------- time units
+inline constexpr double USEC = 1e-6;
+inline constexpr double MSEC = 1e-3;
+inline constexpr double SEC = 1.0;
+inline constexpr double MINUTE = 60.0;
+inline constexpr double HOUR = 3600.0;
+
+/// Parse a data size with an optional SI/IEC suffix: "512", "32MiB", "1.5 GB".
+/// Throws ParseError on malformed input.
+double parse_size(const std::string& text);
+
+/// Parse a bandwidth such as "800MB/s", "6.5 GB/s", "950MBps".
+/// Throws ParseError on malformed input.
+double parse_bandwidth(const std::string& text);
+
+/// Format a byte count with a human-friendly SI suffix ("1.50 GB").
+std::string format_size(double bytes);
+
+/// Format a bandwidth ("6.50 GB/s").
+std::string format_bandwidth(double bytes_per_sec);
+
+/// Format a duration in seconds with adaptive precision ("12.34 s", "3.2 ms").
+std::string format_time(double seconds);
+
+}  // namespace bbsim::util

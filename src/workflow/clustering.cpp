@@ -1,0 +1,161 @@
+#include "workflow/clustering.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace bbsim::wf {
+
+namespace {
+
+/// Is the link from `task` to its sole child mergeable?
+/// Returns the child name, or empty when the link cannot be merged.
+std::string mergeable_child(const Workflow& w, const std::string& task,
+                            const ClusteringOptions& opt) {
+  // Stage-in tasks get special engine treatment; never merge across them.
+  if (w.task(task).type == "stage_in") return {};
+  const auto children = w.children(task);
+  if (children.size() != 1) return {};
+  const std::string& child = children.front();
+  if (w.task(child).type == "stage_in") return {};
+  if (w.parents(child).size() != 1) return {};
+  // Every produced file must feed only the child (or nobody: final outputs
+  // are allowed and survive the merge); internalised files must be small.
+  for (const std::string& f : w.task(task).outputs) {
+    const auto consumers = w.consumers(f);
+    if (consumers.empty()) continue;  // final product of an inner task
+    if (consumers.size() != 1 || consumers.front() != child) return {};
+    if (w.file(f).size > opt.max_internal_file_bytes) return {};
+  }
+  return child;
+}
+
+}  // namespace
+
+ClusteringResult cluster_chains(const Workflow& workflow,
+                                const ClusteringOptions& options) {
+  ClusteringResult out;
+  std::set<std::string> absorbed;  // tasks merged into an earlier head
+  std::map<std::string, std::vector<std::string>> chain_of;  // head -> members
+
+  // Grow maximal chains greedily in topological order.
+  for (const std::string& head : workflow.topological_order()) {
+    if (absorbed.count(head) > 0) continue;
+    std::vector<std::string> chain{head};
+    double seconds = workflow.task(head).flops / options.reference_core_speed;
+    std::string current = head;
+    while (true) {
+      const std::string child = mergeable_child(workflow, current, options);
+      if (child.empty()) break;
+      const double child_seconds =
+          workflow.task(child).flops / options.reference_core_speed;
+      if (options.max_merged_seconds > 0 &&
+          seconds + child_seconds > options.max_merged_seconds) {
+        break;
+      }
+      chain.push_back(child);
+      absorbed.insert(child);
+      seconds += child_seconds;
+      current = child;
+    }
+    chain_of[head] = std::move(chain);
+  }
+
+  // Identify internalised files: produced and consumed within one chain.
+  std::set<std::string> internal_files;
+  for (const auto& [head, chain] : chain_of) {
+    if (chain.size() < 2) continue;
+    const std::set<std::string> members(chain.begin(), chain.end());
+    for (const std::string& member : chain) {
+      for (const std::string& f : workflow.task(member).outputs) {
+        const auto consumers = workflow.consumers(f);
+        if (!consumers.empty() &&
+            std::all_of(consumers.begin(), consumers.end(),
+                        [&](const std::string& c) { return members.count(c) > 0; })) {
+          internal_files.insert(f);
+        }
+      }
+    }
+  }
+  out.files_internalised = internal_files.size();
+
+  // Emit surviving files.
+  out.workflow.name = workflow.name + "-clustered";
+  for (const std::string& fname : workflow.file_names()) {
+    if (internal_files.count(fname) == 0) {
+      out.workflow.add_file(workflow.file(fname));
+    }
+  }
+
+  // Emit merged tasks (in original creation order of heads for stability).
+  for (const std::string& name : workflow.task_names()) {
+    const auto it = chain_of.find(name);
+    if (it == chain_of.end()) continue;  // absorbed member
+    const std::vector<std::string>& chain = it->second;
+
+    Task merged;
+    const Task& head_task = workflow.task(chain.front());
+    merged.name = chain.size() == 1
+                      ? head_task.name
+                      : util::format("%s__x%zu", head_task.name.c_str(), chain.size());
+    bool homogeneous = true;
+    std::set<std::string> in_set, out_set;
+    for (const std::string& member : chain) {
+      const Task& t = workflow.task(member);
+      if (t.type != head_task.type) homogeneous = false;
+      merged.flops += t.flops;
+      merged.requested_cores = std::max(merged.requested_cores, t.requested_cores);
+      for (const std::string& f : t.inputs) {
+        if (internal_files.count(f) == 0) in_set.insert(f);
+      }
+      for (const std::string& f : t.outputs) {
+        if (internal_files.count(f) == 0) out_set.insert(f);
+      }
+      out.mapping[member] = merged.name;
+    }
+    merged.type = homogeneous ? head_task.type : "cluster";
+    // Equivalent Amdahl fraction: the chain runs its members back to back,
+    // so preserve the total time at 1 core and at the merged core count:
+    //   T(p) = sum_i amdahl(T1_i, p, alpha_i) = alpha_eq*T1 + (1-alpha_eq)*T1/p.
+    if (merged.flops > 0 && merged.requested_cores > 1) {
+      const int p = merged.requested_cores;
+      double t1 = 0.0, tp = 0.0;
+      for (const std::string& member : chain) {
+        const Task& t = workflow.task(member);
+        t1 += t.flops;
+        tp += t.alpha * t.flops + (1.0 - t.alpha) * t.flops / p;
+      }
+      merged.alpha =
+          std::clamp((tp - t1 / p) / (t1 * (1.0 - 1.0 / p)), 0.0, 1.0);
+    }
+    merged.inputs.assign(in_set.begin(), in_set.end());
+    merged.outputs.assign(out_set.begin(), out_set.end());
+    if (chain.size() > 1) ++out.chains_merged;
+    out.workflow.add_task(std::move(merged));
+  }
+
+  // Re-create control dependencies between surviving tasks.
+  for (const std::string& name : workflow.task_names()) {
+    for (const std::string& child : workflow.children(name)) {
+      const std::string& from = out.mapping.at(name);
+      const std::string& to = out.mapping.at(child);
+      if (from == to) continue;  // merged away
+      // Only add when no file already induces the edge.
+      bool via_file = false;
+      for (const std::string& f : out.workflow.task(from).outputs) {
+        const auto consumers = out.workflow.consumers(f);
+        if (std::find(consumers.begin(), consumers.end(), to) != consumers.end()) {
+          via_file = true;
+          break;
+        }
+      }
+      if (!via_file) out.workflow.add_control_dep(from, to);
+    }
+  }
+
+  out.workflow.validate();
+  return out;
+}
+
+}  // namespace bbsim::wf

@@ -1,0 +1,48 @@
+// bbsim -- workflow transformation: task clustering.
+//
+// Workflow systems routinely merge chains of small tasks into one scheduled
+// unit to cut per-task overheads (scheduling latency, stage-in/out of tiny
+// intermediates). Clustering interacts with burst-buffer placement — a
+// merged chain's intermediate files never leave the node — which makes it a
+// natural knob for the placement-heuristic exploration the paper proposes.
+//
+// `cluster_chains` merges maximal linear chains: runs of tasks where each
+// link is the sole consumer of its predecessor's outputs and has no other
+// parents. The merged task:
+//   * sums the chain's flops (work is conserved);
+//   * takes the maximum alpha and requested_cores along the chain;
+//   * reads the chain head's inputs, writes the chain tail's outputs;
+//   * hides the intra-chain intermediate files entirely (they become
+//     node-internal and are dropped from the workflow).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "workflow/workflow.hpp"
+
+namespace bbsim::wf {
+
+struct ClusteringResult {
+  Workflow workflow;
+  /// original task name -> merged task name (identity for unmerged tasks).
+  std::map<std::string, std::string> mapping;
+  std::size_t chains_merged = 0;
+  std::size_t files_internalised = 0;
+};
+
+struct ClusteringOptions {
+  /// Only merge across a link when every intermediate file on it is at most
+  /// this large (big files may be worth exposing to the BB tier).
+  double max_internal_file_bytes = 1e18;
+  /// Never let a merged task exceed this much sequential work (seconds at
+  /// the given reference speed); 0 disables the limit.
+  double max_merged_seconds = 0.0;
+  double reference_core_speed = 36.80e9;
+};
+
+/// Merges maximal linear chains; the input workflow is left untouched.
+ClusteringResult cluster_chains(const Workflow& workflow,
+                                const ClusteringOptions& options = {});
+
+}  // namespace bbsim::wf

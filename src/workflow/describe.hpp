@@ -1,0 +1,42 @@
+// bbsim -- structural summaries of workflows (what the paper's Table-less
+// prose reports: task counts, data footprint, level structure, fan-in/out).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "workflow/workflow.hpp"
+
+namespace bbsim::wf {
+
+/// Per-task-type aggregate.
+struct TypeSummary {
+  std::size_t count = 0;
+  double total_flops = 0.0;
+  double total_input_bytes = 0.0;
+  double total_output_bytes = 0.0;
+  int max_requested_cores = 1;
+};
+
+struct WorkflowSummary {
+  std::size_t tasks = 0;
+  std::size_t files = 0;
+  std::size_t levels = 0;          ///< critical-path length in tasks
+  std::size_t max_level_width = 0; ///< most tasks at one depth
+  double total_flops = 0.0;
+  double total_bytes = 0.0;
+  double input_bytes = 0.0;        ///< workflow inputs (pre-staged data)
+  double output_bytes = 0.0;       ///< final products
+  double intermediate_bytes = 0.0;
+  std::size_t max_fan_in = 0;      ///< most inputs on one task
+  std::size_t max_fan_out = 0;     ///< most consumers of one file
+  std::map<std::string, TypeSummary> by_type;
+};
+
+/// Computes the summary (O(tasks + files)).
+WorkflowSummary summarize(const Workflow& workflow);
+
+/// Renders a human-readable multi-line report (used by bbsim_run --describe).
+std::string describe(const Workflow& workflow);
+
+}  // namespace bbsim::wf

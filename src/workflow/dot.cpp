@@ -1,0 +1,97 @@
+#include "workflow/dot.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace bbsim::wf {
+
+namespace {
+
+std::string quote(const std::string& id) {
+  std::string out = "\"";
+  for (const char c : id) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+const char* kPalette[] = {"#8dd3c7", "#ffffb3", "#bebada", "#fb8072",
+                          "#80b1d3", "#fdb462", "#b3de69", "#fccde5"};
+
+}  // namespace
+
+std::string to_dot(const Workflow& workflow, const DotOptions& options) {
+  std::string out = "digraph " + quote(workflow.name) + " {\n";
+  out += "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+
+  std::map<std::string, std::size_t> type_color;
+  for (const std::string& tname : workflow.task_names()) {
+    const Task& t = workflow.task(tname);
+    std::string attrs = "shape=box";
+    if (options.color_by_type) {
+      const auto [it, inserted] = type_color.emplace(t.type, type_color.size());
+      attrs += util::format(",style=filled,fillcolor=\"%s\"",
+                            kPalette[it->second % 8]);
+    }
+    attrs += util::format(",label=\"%s\\n(%s)\"", t.name.c_str(), t.type.c_str());
+    out += "  " + quote(t.name) + " [" + attrs + "];\n";
+  }
+
+  if (options.show_files) {
+    for (const std::string& fname : workflow.file_names()) {
+      const File& f = workflow.file(fname);
+      std::string label = fname;
+      if (options.label_sizes) label += "\\n" + util::format_size(f.size);
+      out += "  " + quote("file:" + fname) +
+             " [shape=ellipse,fontsize=10,label=\"" + label + "\"];\n";
+    }
+    for (const std::string& fname : workflow.file_names()) {
+      if (const auto producer = workflow.producer(fname)) {
+        out += "  " + quote(*producer) + " -> " + quote("file:" + fname) + ";\n";
+      }
+      for (const std::string& consumer : workflow.consumers(fname)) {
+        out += "  " + quote("file:" + fname) + " -> " + quote(consumer) + ";\n";
+      }
+    }
+    // Control dependencies have no file vertex; draw them dashed.
+    for (const std::string& tname : workflow.task_names()) {
+      for (const std::string& child : workflow.children(tname)) {
+        bool via_file = false;
+        for (const std::string& fname : workflow.task(tname).outputs) {
+          const auto consumers = workflow.consumers(fname);
+          if (std::find(consumers.begin(), consumers.end(), child) != consumers.end()) {
+            via_file = true;
+            break;
+          }
+        }
+        if (!via_file) {
+          out += "  " + quote(tname) + " -> " + quote(child) + " [style=dashed];\n";
+        }
+      }
+    }
+  } else {
+    for (const std::string& tname : workflow.task_names()) {
+      for (const std::string& child : workflow.children(tname)) {
+        out += "  " + quote(tname) + " -> " + quote(child) + ";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void save_dot(const std::string& path, const Workflow& workflow,
+              const DotOptions& options) {
+  std::ofstream out_file(path, std::ios::binary);
+  if (!out_file) throw util::Error("cannot open DOT file for writing: '" + path + "'");
+  out_file << to_dot(workflow, options);
+  if (!out_file) throw util::Error("write failed: '" + path + "'");
+}
+
+}  // namespace bbsim::wf

@@ -1,0 +1,26 @@
+// bbsim -- Graphviz DOT export of workflows.
+//
+// Task vertices are boxes, file vertices (optional) are ellipses; edges run
+// producer -> file -> consumer, or task -> task when files are elided.
+#pragma once
+
+#include <string>
+
+#include "workflow/workflow.hpp"
+
+namespace bbsim::wf {
+
+struct DotOptions {
+  bool show_files = false;       ///< emit file vertices between tasks
+  bool color_by_type = true;     ///< one fill colour per task type
+  bool label_sizes = true;       ///< annotate file vertices with sizes
+};
+
+/// Renders the workflow as a DOT digraph (stable output for a given DAG).
+std::string to_dot(const Workflow& workflow, const DotOptions& options = {});
+
+/// Writes to_dot() output to a file; throws util::Error on I/O failure.
+void save_dot(const std::string& path, const Workflow& workflow,
+              const DotOptions& options = {});
+
+}  // namespace bbsim::wf

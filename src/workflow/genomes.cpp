@@ -1,0 +1,99 @@
+#include "workflow/genomes.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::wf {
+
+Workflow make_1000genomes(const GenomesConfig& config) {
+  if (config.chromosomes < 1 || config.individuals_per_chromosome < 1 ||
+      config.populations < 1) {
+    throw util::ConfigError("1000genomes: counts must be >= 1");
+  }
+  Workflow w;
+  w.name = util::format("1000genomes-%dch", config.chromosomes);
+  const double speed = config.reference_core_speed;
+
+  // Global populations task: parses the raw population lists once.
+  Task populations;
+  populations.name = "populations";
+  populations.type = "populations";
+  populations.flops = config.populations_seconds * speed;
+  for (int p = 0; p < config.populations; ++p) {
+    const std::string raw = util::format("pop_raw_%d.txt", p);
+    const std::string out = util::format("pop_%d.txt", p);
+    w.add_file(File{raw, config.population_raw_size});
+    w.add_file(File{out, config.population_size});
+    populations.inputs.push_back(raw);
+    populations.outputs.push_back(out);
+  }
+  w.add_task(std::move(populations));
+
+  for (int c = 0; c < config.chromosomes; ++c) {
+    Task merge;
+    merge.name = util::format("individuals_merge_c%02d", c);
+    merge.type = "individuals_merge";
+    merge.flops = config.merge_seconds * speed;
+
+    for (int i = 0; i < config.individuals_per_chromosome; ++i) {
+      Task ind;
+      ind.name = util::format("individuals_c%02d_%02d", c, i);
+      ind.type = "individuals";
+      ind.flops = config.individuals_seconds * speed;
+      const std::string chunk = util::format("chunk_c%02d_%02d.vcf", c, i);
+      const std::string out = util::format("ind_c%02d_%02d.tar.gz", c, i);
+      w.add_file(File{chunk, config.chunk_size});
+      w.add_file(File{out, config.individuals_out_size});
+      ind.inputs.push_back(chunk);
+      ind.outputs.push_back(out);
+      merge.inputs.push_back(out);
+      w.add_task(std::move(ind));
+    }
+
+    const std::string merged = util::format("merged_c%02d.tar.gz", c);
+    w.add_file(File{merged, config.merged_size});
+    merge.outputs.push_back(merged);
+    w.add_task(std::move(merge));
+
+    Task sifting;
+    sifting.name = util::format("sifting_c%02d", c);
+    sifting.type = "sifting";
+    sifting.flops = config.sifting_seconds * speed;
+    const std::string sift_in = util::format("sift_in_c%02d.vcf", c);
+    const std::string sifted = util::format("sifted_c%02d.txt", c);
+    w.add_file(File{sift_in, config.sifting_in_size});
+    w.add_file(File{sifted, config.sifted_size});
+    sifting.inputs.push_back(sift_in);
+    sifting.outputs.push_back(sifted);
+    w.add_task(std::move(sifting));
+
+    for (int p = 0; p < config.populations; ++p) {
+      const std::string pop = util::format("pop_%d.txt", p);
+
+      Task pair;
+      pair.name = util::format("pair_overlap_c%02d_p%d", c, p);
+      pair.type = "pair_overlap";
+      pair.flops = config.pair_seconds * speed;
+      pair.inputs = {merged, sifted, pop};
+      const std::string pair_out = util::format("pair_c%02d_p%d.tar.gz", c, p);
+      w.add_file(File{pair_out, config.overlap_out_size});
+      pair.outputs.push_back(pair_out);
+      w.add_task(std::move(pair));
+
+      Task freq;
+      freq.name = util::format("freq_overlap_c%02d_p%d", c, p);
+      freq.type = "frequency_overlap";
+      freq.flops = config.freq_seconds * speed;
+      freq.inputs = {merged, sifted, pop};
+      const std::string freq_out = util::format("freq_c%02d_p%d.tar.gz", c, p);
+      w.add_file(File{freq_out, config.overlap_out_size});
+      freq.outputs.push_back(freq_out);
+      w.add_task(std::move(freq));
+    }
+  }
+
+  w.validate();
+  return w;
+}
+
+}  // namespace bbsim::wf

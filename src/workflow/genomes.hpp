@@ -1,0 +1,57 @@
+// bbsim -- generator for the 1000Genomes workflow (paper Section IV-C).
+//
+// The paper's case study uses a WorkflowHub execution trace of the
+// 1000Genomes mutation-overlap workflow: 903 tasks over 22 chromosomes,
+// ~67 GB total data footprint of which ~52 GB (77%) is input data. The
+// trace itself is not redistributable here, so this generator synthesises
+// an instance with the published aggregate characteristics and the task
+// structure of paper Figure 12:
+//
+//   per chromosome c:
+//     individuals_c_i   (i = 1..25)  chunk_c_i(90 MB) -> ind_c_i(20 MB)
+//     individuals_merge_c            all ind_c_i      -> merged_c(180 MB)
+//     sifting_c                      sift_in_c(110MB) -> sifted_c(2 MB)
+//     pair_overlap_c_p  (p = 1..7)   merged_c, sifted_c, pop_p -> pair out
+//     freq_overlap_c_p  (p = 1..7)   merged_c, sifted_c, pop_p -> freq out
+//   plus one global "populations" task producing the 7 population files.
+//
+//   22 * (25 + 1 + 1 + 7 + 7) + 1 = 903 tasks
+//   input  = 22*25*90MB + 22*110MB + 140MB            ~ 52.0 GB
+//   total  = input + 22*25*20MB + 22*180MB + ...      ~ 67   GB
+#pragma once
+
+#include "workflow/workflow.hpp"
+
+namespace bbsim::wf {
+
+struct GenomesConfig {
+  int chromosomes = 22;
+  int individuals_per_chromosome = 25;
+  int populations = 7;  ///< 5 super-populations + ALL + a columns set
+
+  // File sizes (bytes). Defaults hit the published 52 GB / 67 GB totals.
+  double chunk_size = 90e6;
+  double individuals_out_size = 20e6;
+  double merged_size = 180e6;
+  double sifting_in_size = 110e6;
+  double sifted_size = 2e6;
+  double population_raw_size = 20e6;
+  double population_size = 20e6;
+  double overlap_out_size = 1e6;
+
+  // Sequential compute seconds at the reference core speed (all tasks are
+  // single-core in the trace).
+  double individuals_seconds = 320.0;
+  double merge_seconds = 60.0;
+  double sifting_seconds = 24.0;
+  double pair_seconds = 80.0;
+  double freq_seconds = 70.0;
+  double populations_seconds = 40.0;
+  double reference_core_speed = 36.80e9;
+};
+
+/// Builds the workflow (task types: "individuals", "individuals_merge",
+/// "sifting", "pair_overlap", "frequency_overlap", "populations").
+Workflow make_1000genomes(const GenomesConfig& config);
+
+}  // namespace bbsim::wf

@@ -1,0 +1,139 @@
+#include "workflow/montage.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::wf {
+
+Workflow make_montage(const MontageConfig& config) {
+  if (config.tiles < 2) throw util::ConfigError("montage: tiles must be >= 2");
+  Workflow w;
+  w.name = util::format("montage-%dt", config.tiles);
+  const double speed = config.reference_core_speed;
+
+  Task concat;
+  concat.name = "mConcatFit";
+  concat.type = "mConcatFit";
+  concat.flops = config.concat_seconds * speed;
+  w.add_file({"fits.tbl", 1e6});
+  concat.outputs.push_back("fits.tbl");
+
+  Task add;
+  add.name = "mAdd";
+  add.type = "mAdd";
+  add.flops = config.add_seconds * speed;
+  add.alpha = 0.4;  // coaddition partially serialises, like SWarp's Combine
+  w.add_file({"mosaic.fits", config.mosaic_size});
+  add.outputs.push_back("mosaic.fits");
+
+  for (int i = 0; i < config.tiles; ++i) {
+    const std::string img = util::format("tile_%02d.fits", i);
+    const std::string proj = util::format("proj_%02d.fits", i);
+    const std::string corr = util::format("corr_%02d.fits", i);
+    w.add_file({img, config.image_size});
+    w.add_file({proj, config.projected_size});
+    w.add_file({corr, config.corrected_size});
+
+    Task project;
+    project.name = util::format("mProject_%02d", i);
+    project.type = "mProject";
+    project.flops = config.project_seconds * speed;
+    project.inputs.push_back(img);
+    project.outputs.push_back(proj);
+    w.add_task(std::move(project));
+
+    Task background;
+    background.name = util::format("mBackground_%02d", i);
+    background.type = "mBackground";
+    background.flops = config.background_seconds * speed;
+    background.inputs = {proj, "fits.tbl"};
+    background.outputs.push_back(corr);
+    w.add_task(std::move(background));
+    add.inputs.push_back(corr);
+  }
+
+  // Overlap pairs: consecutive tiles (a ring would also work; the shape is
+  // what matters -- a wide diff layer feeding one global fit).
+  for (int i = 0; i + 1 < config.tiles; ++i) {
+    const std::string diff = util::format("diff_%02d.fits", i);
+    w.add_file({diff, config.diff_size});
+    Task difffit;
+    difffit.name = util::format("mDiffFit_%02d", i);
+    difffit.type = "mDiffFit";
+    difffit.flops = config.diff_seconds * speed;
+    difffit.inputs = {util::format("proj_%02d.fits", i),
+                      util::format("proj_%02d.fits", i + 1)};
+    difffit.outputs.push_back(diff);
+    w.add_task(std::move(difffit));
+    concat.inputs.push_back(diff);
+  }
+
+  w.add_task(std::move(concat));
+  w.add_task(std::move(add));
+  w.validate();
+  return w;
+}
+
+Workflow make_cybershake(const CyberShakeConfig& config) {
+  if (config.variations < 1 || config.ruptures < 1) {
+    throw util::ConfigError("cybershake: counts must be >= 1");
+  }
+  Workflow w;
+  w.name = util::format("cybershake-%dv%dr", config.variations, config.ruptures);
+  const double speed = config.reference_core_speed;
+
+  Task zip;
+  zip.name = "ZipSeis";
+  zip.type = "ZipSeis";
+  zip.flops = config.zip_seconds * speed;
+  w.add_file({"hazard.zip", 1e6});
+  zip.outputs.push_back("hazard.zip");
+
+  for (int s = 0; s < config.ruptures; ++s) {
+    w.add_file({util::format("rupture_%03d.src", s), config.rupture_size});
+  }
+
+  for (int v = 0; v < config.variations; ++v) {
+    const std::string sgt = util::format("sgt_%d.bin", v);
+    const std::string sub = util::format("sub_sgt_%d.bin", v);
+    w.add_file({sgt, config.sgt_size});
+    w.add_file({sub, config.sub_sgt_size});
+
+    Task extract;
+    extract.name = util::format("ExtractSGT_%d", v);
+    extract.type = "ExtractSGT";
+    extract.flops = config.extract_seconds * speed;
+    extract.inputs.push_back(sgt);
+    extract.outputs.push_back(sub);
+    w.add_task(std::move(extract));
+
+    for (int s = 0; s < config.ruptures; ++s) {
+      const std::string seis = util::format("seis_%d_%03d.grm", v, s);
+      const std::string peak = util::format("peak_%d_%03d.bsa", v, s);
+      w.add_file({seis, config.seismogram_size});
+      w.add_file({peak, config.peak_size});
+
+      Task seismogram;
+      seismogram.name = util::format("Seismogram_%d_%03d", v, s);
+      seismogram.type = "Seismogram";
+      seismogram.flops = config.seismogram_seconds * speed;
+      seismogram.inputs = {sub, util::format("rupture_%03d.src", s)};
+      seismogram.outputs.push_back(seis);
+      w.add_task(std::move(seismogram));
+
+      Task peakval;
+      peakval.name = util::format("PeakVal_%d_%03d", v, s);
+      peakval.type = "PeakVal";
+      peakval.flops = config.peak_seconds * speed;
+      peakval.inputs.push_back(seis);
+      peakval.outputs.push_back(peak);
+      w.add_task(std::move(peakval));
+      zip.inputs.push_back(peak);
+    }
+  }
+  w.add_task(std::move(zip));
+  w.validate();
+  return w;
+}
+
+}  // namespace bbsim::wf

@@ -1,0 +1,62 @@
+// bbsim -- generators for two further classic Pegasus workflow shapes.
+//
+// The paper argues SWarp's pipelines proxy "most patterns that commonly
+// occur in production scientific workflows"; these generators provide the
+// other canonical shapes (fan-in mosaicking and two-level post-processing)
+// so placement/scheduling studies can check that claim.
+//
+// Montage-like (astronomy mosaicking):
+//   mProject_i  : image_i -> proj_i                 (parallel, one per tile)
+//   mDiffFit_k  : proj_i, proj_j -> diff_k          (one per overlapping pair)
+//   mConcatFit  : all diff_k -> fits.tbl            (global fan-in)
+//   mBackground_i: proj_i, fits.tbl -> corr_i       (parallel)
+//   mAdd        : all corr_i -> mosaic              (global fan-in)
+//
+// CyberShake-like (seismic hazard):
+//   ExtractSGT_v: sgt_v -> sub_v                    (one per variation)
+//   Seismogram_{v,s}: sub_v, rupture_s -> seis_{v,s}  (wide middle layer)
+//   PeakVal_{v,s}: seis_{v,s} -> peak_{v,s}
+//   ZipSeis     : all peak_{v,s} -> hazard.zip      (global fan-in)
+#pragma once
+
+#include "workflow/workflow.hpp"
+
+namespace bbsim::wf {
+
+struct MontageConfig {
+  int tiles = 16;
+  double image_size = 16e6;
+  double projected_size = 24e6;
+  double diff_size = 2e6;
+  double corrected_size = 24e6;
+  double mosaic_size = 200e6;
+  double project_seconds = 20.0;
+  double diff_seconds = 4.0;
+  double concat_seconds = 10.0;
+  double background_seconds = 12.0;
+  double add_seconds = 60.0;
+  double reference_core_speed = 36.80e9;
+};
+
+/// Builds a Montage-like mosaicking workflow (overlaps = consecutive tiles).
+Workflow make_montage(const MontageConfig& config);
+
+struct CyberShakeConfig {
+  int variations = 4;
+  int ruptures = 20;
+  double sgt_size = 400e6;
+  double sub_sgt_size = 150e6;
+  double rupture_size = 1e6;
+  double seismogram_size = 0.2e6;
+  double peak_size = 0.01e6;
+  double extract_seconds = 110.0;
+  double seismogram_seconds = 48.0;
+  double peak_seconds = 2.0;
+  double zip_seconds = 30.0;
+  double reference_core_speed = 36.80e9;
+};
+
+/// Builds a CyberShake-like hazard workflow.
+Workflow make_cybershake(const CyberShakeConfig& config);
+
+}  // namespace bbsim::wf

@@ -1,0 +1,63 @@
+#include "workflow/random_dag.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::wf {
+
+Workflow make_random_layered(const RandomDagConfig& config, util::Rng& rng) {
+  if (config.levels < 1 || config.min_width < 1 || config.max_width < config.min_width) {
+    throw util::ConfigError("random_dag: invalid level/width configuration");
+  }
+  Workflow w;
+  w.name = "random-layered";
+
+  std::vector<std::vector<std::string>> level_outputs;  // files produced per level
+
+  // Level-0 inputs: a pool of workflow input files.
+  std::vector<std::string> inputs;
+  const int n_inputs =
+      static_cast<int>(rng.uniform_int(config.min_width, config.max_width));
+  for (int i = 0; i < n_inputs; ++i) {
+    const std::string f = util::format("in_%02d.dat", i);
+    w.add_file(File{f, rng.uniform(config.min_file_size, config.max_file_size)});
+    inputs.push_back(f);
+  }
+  level_outputs.push_back(inputs);
+
+  for (int level = 0; level < config.levels; ++level) {
+    const int width =
+        static_cast<int>(rng.uniform_int(config.min_width, config.max_width));
+    std::vector<std::string> produced;
+    const std::vector<std::string>& pool = level_outputs.back();
+    for (int t = 0; t < width; ++t) {
+      Task task;
+      task.name = util::format("t_l%02d_%02d", level, t);
+      task.type = util::format("level%d", level);
+      task.flops = rng.uniform(config.min_seq_seconds, config.max_seq_seconds) *
+                   config.reference_core_speed;
+      task.alpha = rng.uniform(0.0, 0.3);
+      task.requested_cores =
+          static_cast<int>(rng.uniform_int(1, config.max_requested_cores));
+      for (const std::string& f : pool) {
+        if (rng.chance(config.fan_in_probability)) task.inputs.push_back(f);
+      }
+      if (task.inputs.empty()) {
+        // Keep the DAG connected level to level.
+        task.inputs.push_back(pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+      }
+      const std::string out = util::format("f_l%02d_%02d.dat", level, t);
+      w.add_file(File{out, rng.uniform(config.min_file_size, config.max_file_size)});
+      task.outputs.push_back(out);
+      produced.push_back(out);
+      w.add_task(std::move(task));
+    }
+    level_outputs.push_back(std::move(produced));
+  }
+
+  w.validate();
+  return w;
+}
+
+}  // namespace bbsim::wf

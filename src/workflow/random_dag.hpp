@@ -1,0 +1,30 @@
+// bbsim -- random layered workflow generator.
+//
+// Used by property tests (engine invariants must hold on arbitrary DAGs)
+// and by the data-placement heuristic study, where structure diversity
+// matters more than realism.
+#pragma once
+
+#include "util/rng.hpp"
+#include "workflow/workflow.hpp"
+
+namespace bbsim::wf {
+
+struct RandomDagConfig {
+  int levels = 4;
+  int min_width = 2;
+  int max_width = 8;
+  /// Probability that a task consumes any given file of the previous level.
+  double fan_in_probability = 0.35;
+  double min_file_size = 1e6;
+  double max_file_size = 64e6;
+  double min_seq_seconds = 1.0;
+  double max_seq_seconds = 30.0;
+  double reference_core_speed = 36.80e9;
+  int max_requested_cores = 4;
+};
+
+/// Builds a connected layered DAG. Deterministic for a given (config, rng).
+Workflow make_random_layered(const RandomDagConfig& config, util::Rng& rng);
+
+}  // namespace bbsim::wf

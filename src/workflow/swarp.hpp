@@ -1,0 +1,60 @@
+// bbsim -- generator for the SWarp cosmology workflow (paper Section III-B).
+//
+// Structure (paper Figure 2): one sequential stage-in task feeding P
+// independent pipelines; each pipeline is Resample -> Combine.
+//
+//   stage_in --> R_1 --> C_1
+//           \--> R_2 --> C_2
+//            ...
+//
+// Per pipeline the paper's instance has 16 input images of 32 MiB and 16
+// input weight maps of 16 MiB. Resample produces one resampled image and
+// one resampled weight per input pair (the intermediate files whose
+// placement Figures 5/10 study); Combine coadds them into a single image
+// and weight map.
+//
+// The compute profiles (sequential seconds at the reference core speed and
+// Amdahl alpha) are bbsim calibration choices: the paper publishes only
+// observed I/O fractions (0.203 / 0.260) and figure shapes. Defaults are
+// chosen so the characterization benches reproduce those shapes; see
+// EXPERIMENTS.md.
+#pragma once
+
+#include "workflow/workflow.hpp"
+
+namespace bbsim::wf {
+
+struct SwarpConfig {
+  int pipelines = 1;
+  int images_per_pipeline = 16;
+  double image_size = 32.0 * 1024 * 1024;   ///< bytes (32 MiB)
+  double weight_size = 16.0 * 1024 * 1024;  ///< bytes (16 MiB)
+  /// Output sizing: resampled files mirror their inputs; the coadded image
+  /// is combine_output_scale * image_size (and likewise for the weight map).
+  double combine_output_scale = 2.0;
+
+  /// Sequential compute time (s) of one Resample at reference_core_speed.
+  double resample_seq_seconds = 48.0;
+  /// Sequential compute time (s) of one Combine at reference_core_speed.
+  double combine_seq_seconds = 36.0;
+  double reference_core_speed = 36.80e9;  ///< Cori Table I
+
+  /// Amdahl fractions: Resample parallelises well (per-image threads);
+  /// Combine's coaddition serialises on locks (paper Figure 6 discussion).
+  double resample_alpha = 0.08;
+  double combine_alpha = 0.85;
+
+  int cores_per_task = 32;  ///< requested cores for Resample/Combine
+  bool with_stage_in = true;
+  /// One stage-in task per pipeline instead of a single shared one. This is
+  /// the paper's Figure 7/8 setup: N independent one-pipeline workflow
+  /// instances submitted concurrently, each with its own (sequential)
+  /// stage-in that copies only that pipeline's inputs.
+  bool stage_in_per_pipeline = false;
+};
+
+/// Builds the workflow. Task names: "stage_in", "resample_<p>",
+/// "combine_<p>"; task types: "stage_in", "resample", "combine".
+Workflow make_swarp(const SwarpConfig& config);
+
+}  // namespace bbsim::wf

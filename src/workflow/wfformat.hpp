@@ -1,0 +1,53 @@
+// bbsim -- WfCommons/WorkflowHub JSON workflow interchange.
+//
+// The paper's 1000Genomes case study consumes execution traces published by
+// the WorkflowHub project [43,44] in the community "WfFormat". Two layouts
+// exist in the wild; both are accepted:
+//
+//   legacy (WorkflowHub traces, used by the paper):
+//     { "name": ..., "workflow": { "jobs": [
+//         { "name": "t1", "type": "compute", "runtime": 12.3, "cores": 1,
+//           "files": [ {"name":"f1", "size": 123, "link": "input"},
+//                      {"name":"f2", "size": 456, "link": "output"} ] } ] } }
+//
+//   modern (WfCommons >= 1.4):
+//     { "name": ..., "workflow": { "specification": {
+//         "tasks": [ {"name":"t1","inputFiles":["f1"],"outputFiles":["f2"]} ],
+//         "files": [ {"id":"f1","sizeInBytes":123} ] },
+//       "execution": { "tasks": [ {"id":"t1","runtimeInSeconds":12.3,
+//                                  "coreCount":1} ] } } }
+//
+// bbsim extension keys (both layouts, all optional): "flops", "alpha",
+// "ioFraction". When "flops" is absent it is derived from runtime via the
+// paper's Eq. (4): flops = cores * (1 - ioFraction) * runtime * ref_speed.
+#pragma once
+
+#include <string>
+
+#include "json/json.hpp"
+#include "workflow/workflow.hpp"
+
+namespace bbsim::wf {
+
+struct WfFormatOptions {
+  /// Reference core speed (flop/s) used to derive task flops from observed
+  /// runtimes (paper Eq. (4)). Defaults to Cori's Table I value.
+  double reference_core_speed = 36.80e9;
+  /// Default observed I/O fraction when a task carries none.
+  double default_io_fraction = 0.0;
+};
+
+/// Parse either layout; validates the result. Throws ParseError/ConfigError.
+Workflow from_wfformat(const json::Value& doc, const WfFormatOptions& opt = {});
+
+/// Load from a file on disk.
+Workflow load_workflow(const std::string& path, const WfFormatOptions& opt = {});
+
+/// Serialise to the legacy layout with bbsim extension keys (round-trips
+/// flops/alpha exactly).
+json::Value to_wfformat(const Workflow& workflow);
+
+/// Write to a file, pretty-printed.
+void save_workflow(const std::string& path, const Workflow& workflow);
+
+}  // namespace bbsim::wf

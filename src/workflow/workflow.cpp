@@ -1,0 +1,262 @@
+#include "workflow/workflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace bbsim::wf {
+
+using util::ConfigError;
+using util::InvariantError;
+using util::NotFoundError;
+
+void Workflow::add_file(File file) {
+  if (file.name.empty()) throw ConfigError("file with empty name");
+  if (file.size < 0) throw ConfigError("file '" + file.name + "': negative size");
+  const auto it = files_.find(file.name);
+  if (it == files_.end()) {
+    file_order_.push_back(file.name);
+    files_.emplace(file.name, std::move(file));
+  } else {
+    it->second.size = file.size;
+  }
+  index_dirty_ = true;
+}
+
+void Workflow::add_task(Task task) {
+  if (task.name.empty()) throw ConfigError("task with empty name");
+  if (tasks_.count(task.name) > 0) throw ConfigError("duplicate task '" + task.name + "'");
+  if (task.requested_cores < 1) {
+    throw ConfigError("task '" + task.name + "': requested_cores must be >= 1");
+  }
+  if (task.flops < 0) throw ConfigError("task '" + task.name + "': negative flops");
+  if (task.alpha < 0 || task.alpha > 1) {
+    throw ConfigError("task '" + task.name + "': alpha must be in [0, 1]");
+  }
+  task_order_.push_back(task.name);
+  tasks_.emplace(task.name, std::move(task));
+  index_dirty_ = true;
+}
+
+void Workflow::add_control_dep(const std::string& parent, const std::string& child) {
+  control_deps_.emplace_back(parent, child);
+  index_dirty_ = true;
+}
+
+bool Workflow::has_file(const std::string& file_name) const {
+  return files_.count(file_name) > 0;
+}
+
+bool Workflow::has_task(const std::string& task_name) const {
+  return tasks_.count(task_name) > 0;
+}
+
+const File& Workflow::file(const std::string& file_name) const {
+  const auto it = files_.find(file_name);
+  if (it == files_.end()) throw NotFoundError("file '" + file_name + "'");
+  return it->second;
+}
+
+const Task& Workflow::task(const std::string& task_name) const {
+  const auto it = tasks_.find(task_name);
+  if (it == tasks_.end()) throw NotFoundError("task '" + task_name + "'");
+  return it->second;
+}
+
+Task& Workflow::task_mut(const std::string& task_name) {
+  const auto it = tasks_.find(task_name);
+  if (it == tasks_.end()) throw NotFoundError("task '" + task_name + "'");
+  index_dirty_ = true;  // caller may change inputs/outputs
+  return it->second;
+}
+
+const Workflow::Index& Workflow::index() const {
+  if (!index_dirty_) return index_;
+  index_ = Index{};
+  for (const std::string& tname : task_order_) {
+    const Task& t = tasks_.at(tname);
+    for (const std::string& f : t.outputs) {
+      const auto [it, inserted] = index_.producer_of.emplace(f, tname);
+      if (!inserted && it->second != tname) {
+        throw InvariantError("file '" + f + "' written by both '" + it->second +
+                             "' and '" + tname + "'");
+      }
+    }
+    for (const std::string& f : t.inputs) index_.readers[f].push_back(tname);
+  }
+  auto add_edge = [this](const std::string& parent, const std::string& child) {
+    auto& kids = index_.child_of[parent];
+    if (std::find(kids.begin(), kids.end(), child) == kids.end()) {
+      kids.push_back(child);
+      index_.parent_of[child].push_back(parent);
+    }
+  };
+  for (const std::string& tname : task_order_) {
+    const Task& t = tasks_.at(tname);
+    for (const std::string& f : t.inputs) {
+      const auto p = index_.producer_of.find(f);
+      if (p != index_.producer_of.end() && p->second != tname) add_edge(p->second, tname);
+    }
+  }
+  for (const auto& [parent, child] : control_deps_) add_edge(parent, child);
+  index_dirty_ = false;
+  return index_;
+}
+
+std::optional<std::string> Workflow::producer(const std::string& file_name) const {
+  const auto& idx = index();
+  const auto it = idx.producer_of.find(file_name);
+  if (it == idx.producer_of.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Workflow::consumers(const std::string& file_name) const {
+  const auto& idx = index();
+  const auto it = idx.readers.find(file_name);
+  return it == idx.readers.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> Workflow::parents(const std::string& task_name) const {
+  const auto& idx = index();
+  const auto it = idx.parent_of.find(task_name);
+  return it == idx.parent_of.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> Workflow::children(const std::string& task_name) const {
+  const auto& idx = index();
+  const auto it = idx.child_of.find(task_name);
+  return it == idx.child_of.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> Workflow::entry_tasks() const {
+  std::vector<std::string> out;
+  for (const std::string& t : task_order_) {
+    if (parents(t).empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::exit_tasks() const {
+  std::vector<std::string> out;
+  for (const std::string& t : task_order_) {
+    if (children(t).empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::input_files() const {
+  std::vector<std::string> out;
+  const auto& idx = index();
+  for (const std::string& f : file_order_) {
+    if (idx.producer_of.count(f) == 0 && idx.readers.count(f) > 0) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::output_files() const {
+  std::vector<std::string> out;
+  const auto& idx = index();
+  for (const std::string& f : file_order_) {
+    if (idx.producer_of.count(f) > 0 && idx.readers.count(f) == 0) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::intermediate_files() const {
+  std::vector<std::string> out;
+  const auto& idx = index();
+  for (const std::string& f : file_order_) {
+    if (idx.producer_of.count(f) > 0 && idx.readers.count(f) > 0) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::topological_order() const {
+  std::map<std::string, std::size_t> in_degree;
+  for (const std::string& t : task_order_) in_degree[t] = parents(t).size();
+  std::deque<std::string> ready;
+  for (const std::string& t : task_order_) {
+    if (in_degree[t] == 0) ready.push_back(t);
+  }
+  std::vector<std::string> order;
+  order.reserve(task_order_.size());
+  while (!ready.empty()) {
+    const std::string t = ready.front();
+    ready.pop_front();
+    order.push_back(t);
+    for (const std::string& c : children(t)) {
+      if (--in_degree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (order.size() != task_order_.size()) {
+    for (const auto& [t, deg] : in_degree) {
+      if (deg > 0) {
+        throw InvariantError("workflow '" + name + "' has a cycle involving task '" +
+                             t + "'");
+      }
+    }
+  }
+  return order;
+}
+
+void Workflow::validate() const {
+  for (const std::string& tname : task_order_) {
+    const Task& t = tasks_.at(tname);
+    for (const std::string& f : t.inputs) {
+      if (!has_file(f)) {
+        throw ConfigError("task '" + tname + "' reads unknown file '" + f + "'");
+      }
+    }
+    for (const std::string& f : t.outputs) {
+      if (!has_file(f)) {
+        throw ConfigError("task '" + tname + "' writes unknown file '" + f + "'");
+      }
+    }
+    std::set<std::string> outs(t.outputs.begin(), t.outputs.end());
+    for (const std::string& f : t.inputs) {
+      if (outs.count(f) > 0) {
+        throw ConfigError("task '" + tname + "' both reads and writes file '" + f + "'");
+      }
+    }
+  }
+  for (const auto& [parent, child] : control_deps_) {
+    if (!has_task(parent) || !has_task(child)) {
+      throw ConfigError("control dependency references unknown task ('" + parent +
+                        "' -> '" + child + "')");
+    }
+  }
+  (void)index();              // single-writer check
+  (void)topological_order();  // acyclicity check
+}
+
+double Workflow::total_data_bytes() const {
+  double total = 0;
+  for (const auto& [_, f] : files_) total += f.size;
+  return total;
+}
+
+double Workflow::total_flops() const {
+  double total = 0;
+  for (const auto& [_, t] : tasks_) total += t.flops;
+  return total;
+}
+
+double Workflow::input_data_bytes() const {
+  double total = 0;
+  for (const std::string& f : input_files()) total += file(f).size;
+  return total;
+}
+
+std::size_t Workflow::critical_path_length() const {
+  std::map<std::string, std::size_t> depth;
+  std::size_t longest = 0;
+  for (const std::string& t : topological_order()) {
+    std::size_t d = 1;
+    for (const std::string& p : parents(t)) d = std::max(d, depth[p] + 1);
+    depth[t] = d;
+    longest = std::max(longest, d);
+  }
+  return longest;
+}
+
+}  // namespace bbsim::wf

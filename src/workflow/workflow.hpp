@@ -1,0 +1,126 @@
+// bbsim -- the scientific workflow model.
+//
+// A workflow is a DAG in which vertices are tasks and edges are induced by
+// the files tasks exchange (paper Section IV-A), plus optional explicit
+// control dependencies. Each task carries its sequential compute work in
+// flops and an Amdahl non-parallelisable fraction alpha; the calibration
+// module (src/model) fills flops in from observed runtimes via the paper's
+// Equations (1)-(4).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bbsim::wf {
+
+/// A data product exchanged between tasks.
+struct File {
+  std::string name;
+  double size = 0.0;  ///< bytes
+};
+
+/// A workflow task (vertex).
+struct Task {
+  std::string name;
+  std::string type;  ///< category, e.g. "resample", "combine", "individuals"
+  /// Sequential compute work (flop), excluding all I/O -- the paper's
+  /// T_c(1) times the reference core speed.
+  double flops = 0.0;
+  /// Amdahl non-parallelisable fraction (paper Eq. (2)); 0 = perfect speedup.
+  double alpha = 0.0;
+  /// Cores the task wants when scheduled (>= 1).
+  int requested_cores = 1;
+  std::vector<std::string> inputs;   ///< file names read
+  std::vector<std::string> outputs;  ///< file names produced (single writer)
+};
+
+/// The task/file DAG with validation and structural queries.
+class Workflow {
+ public:
+  std::string name = "workflow";
+
+  // ------------------------------------------------------------- mutation
+  /// Adds a file; re-adding the same name overwrites its size.
+  void add_file(File file);
+  /// Adds a task; duplicate names throw ConfigError. All referenced files
+  /// must be added (before or after); validate() checks.
+  void add_task(Task task);
+  /// Explicit control dependency (edge without a file).
+  void add_control_dep(const std::string& parent, const std::string& child);
+
+  // -------------------------------------------------------------- lookups
+  bool has_file(const std::string& file_name) const;
+  bool has_task(const std::string& task_name) const;
+  const File& file(const std::string& file_name) const;
+  const Task& task(const std::string& task_name) const;
+  Task& task_mut(const std::string& task_name);
+
+  /// Task names in creation order.
+  const std::vector<std::string>& task_names() const { return task_order_; }
+  /// File names in creation order.
+  const std::vector<std::string>& file_names() const { return file_order_; }
+  std::size_t task_count() const { return task_order_.size(); }
+  std::size_t file_count() const { return file_order_.size(); }
+
+  // ------------------------------------------------------------ structure
+  /// Producer task of a file, or nullopt for workflow inputs.
+  std::optional<std::string> producer(const std::string& file_name) const;
+  /// Tasks that read the file.
+  std::vector<std::string> consumers(const std::string& file_name) const;
+  /// Direct predecessors (file producers + control parents), de-duplicated.
+  std::vector<std::string> parents(const std::string& task_name) const;
+  /// Direct successors.
+  std::vector<std::string> children(const std::string& task_name) const;
+  /// Tasks with no parents.
+  std::vector<std::string> entry_tasks() const;
+  /// Tasks with no children.
+  std::vector<std::string> exit_tasks() const;
+  /// Files no task produces (must be pre-staged).
+  std::vector<std::string> input_files() const;
+  /// Files no task consumes (final products).
+  std::vector<std::string> output_files() const;
+  /// Files both produced and consumed.
+  std::vector<std::string> intermediate_files() const;
+
+  /// Kahn topological order; throws InvariantError when the graph has a
+  /// cycle (naming one involved task).
+  std::vector<std::string> topological_order() const;
+
+  /// Full structural validation: referenced files exist, single writer per
+  /// file, control deps reference real tasks, acyclicity, positive sizes.
+  /// Throws ConfigError / InvariantError.
+  void validate() const;
+
+  // ------------------------------------------------------------ aggregates
+  double total_data_bytes() const;
+  double total_flops() const;
+  /// Sum of sizes of input_files().
+  double input_data_bytes() const;
+
+  /// Longest chain length in tasks (for scheduling lower bounds in tests).
+  std::size_t critical_path_length() const;
+
+ private:
+  std::vector<std::string> task_order_;
+  std::vector<std::string> file_order_;
+  std::map<std::string, Task> tasks_;
+  std::map<std::string, File> files_;
+  std::vector<std::pair<std::string, std::string>> control_deps_;
+
+  // Cached derived indexes, rebuilt when the structure changes.
+  struct Index {
+    std::map<std::string, std::string> producer_of;          // file -> task
+    std::map<std::string, std::vector<std::string>> readers; // file -> tasks
+    std::map<std::string, std::vector<std::string>> parent_of;
+    std::map<std::string, std::vector<std::string>> child_of;
+  };
+  mutable Index index_;
+  mutable bool index_dirty_ = true;
+  const Index& index() const;
+};
+
+}  // namespace bbsim::wf

@@ -1,0 +1,188 @@
+// Unit tests for statistics and reporting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "util/error.hpp"
+
+namespace bbsim::analysis {
+namespace {
+
+TEST(Stats, DescribeBasics) {
+  const Stats s = describe({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);  // sample stddev
+  EXPECT_NEAR(s.cv(), 0.527, 1e-3);
+}
+
+TEST(Stats, SingleElement) {
+  const Stats s = describe({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Stats, EmptyThrows) { EXPECT_THROW(describe({}), util::InvariantError); }
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({4, 1, 3, 2}, 50), 2.5);  // unsorted input ok
+  EXPECT_THROW(percentile({1}, 101), util::InvariantError);
+}
+
+TEST(Errors, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110, 100), 0.10);
+  EXPECT_DOUBLE_EQ(relative_error(90, 100), 0.10);
+  EXPECT_THROW(relative_error(1, 0), util::InvariantError);
+}
+
+TEST(Errors, Mape) {
+  EXPECT_DOUBLE_EQ(mean_absolute_percentage_error({110, 90}, {100, 100}), 0.10);
+  EXPECT_THROW(mean_absolute_percentage_error({1}, {1, 2}), util::InvariantError);
+  EXPECT_THROW(mean_absolute_percentage_error({}, {}), util::InvariantError);
+}
+
+TEST(SeriesTest, AddAndSize) {
+  Series s;
+  s.label = "cori";
+  s.add(0, 10.5, 0.4);
+  s.add(25, 12.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.yerr[0], 0.4);
+}
+
+TEST(TableTest, AlignedRendering) {
+  Table t({"x", "long_column"});
+  t.add_row({"1", "a"});
+  t.add_row({"100", "bb"});
+  const std::string out = t.to_string();
+  // Header present, separator line, both rows.
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("long_column"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table t({"a", "b"});
+  t.add_numeric_row({1.234, 5.0}, 1);
+  EXPECT_NE(t.to_string().find("1.2"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  const std::string path = ::testing::TempDir() + "/bbsim_table.csv";
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string csv = ss.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), util::InvariantError);
+}
+
+TEST(SeriesTableTest, MergesOnX) {
+  Series a;
+  a.label = "a";
+  a.add(0, 1.0);
+  a.add(50, 2.0);
+  Series b;
+  b.label = "b";
+  b.add(0, 3.0);
+  b.add(100, 4.0);
+  const Table t = series_table("pct", {a, b});
+  EXPECT_EQ(t.row_count(), 3u);  // x = 0, 50, 100
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("pct"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+}
+
+TEST(SeriesTableTest, ErrorBarsShown) {
+  Series a;
+  a.label = "m";
+  a.add(1, 10.0, 0.5);
+  const Table t = series_table("x", {a});
+  EXPECT_NE(t.to_string().find("±"), std::string::npos);
+}
+
+TEST(PercentTest, Formats) {
+  EXPECT_EQ(percent(0.128), "12.8%");
+  EXPECT_EQ(percent(0.05599, 1), "5.6%");
+}
+
+}  // namespace
+}  // namespace bbsim::analysis
+
+// ---------------------------------------------------------------- plots
+
+#include "analysis/plot.hpp"
+
+namespace bbsim::analysis {
+namespace {
+
+Series line(const std::string& label, double slope) {
+  Series s;
+  s.label = label;
+  for (int i = 0; i <= 10; ++i) s.add(i, slope * i);
+  return s;
+}
+
+TEST(AsciiPlot, RendersAxesAndLegend) {
+  const std::string plot = ascii_plot({line("up", 2.0)});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("up"), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);   // axis corner
+  EXPECT_NE(plot.find("20"), std::string::npos);  // ymax label
+}
+
+TEST(AsciiPlot, MultipleSeriesUseDistinctGlyphs) {
+  const std::string plot = ascii_plot({line("a", 1.0), line("b", 2.0)});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find("  * a"), std::string::npos);
+  EXPECT_NE(plot.find("  + b"), std::string::npos);
+}
+
+TEST(AsciiPlot, LabelsIncluded) {
+  PlotOptions opt;
+  opt.x_label = "pipelines";
+  opt.y_label = "makespan (s)";
+  const std::string plot = ascii_plot({line("m", 1.0)}, opt);
+  EXPECT_NE(plot.find("pipelines"), std::string::npos);
+  EXPECT_NE(plot.find("makespan (s)"), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  Series flat;
+  flat.label = "flat";
+  flat.add(1, 5.0);
+  flat.add(2, 5.0);
+  EXPECT_NO_THROW(ascii_plot({flat}));
+}
+
+TEST(AsciiPlot, RejectsEmptyInput) {
+  EXPECT_THROW(ascii_plot({}), util::InvariantError);
+  Series empty;
+  empty.label = "none";
+  EXPECT_THROW(ascii_plot({empty}), util::InvariantError);
+}
+
+}  // namespace
+}  // namespace bbsim::analysis

@@ -1,0 +1,372 @@
+// Unit + property tests for the max-min fair-sharing flow model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/manager.hpp"
+#include "flow/network.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bbsim::flow {
+namespace {
+
+// ------------------------------------------------------------ solver (pure)
+
+TEST(Network, SingleFlowGetsFullCapacity) {
+  Network net;
+  const ResourceId r = net.add_resource("link", 100.0);
+  const FlowId f = net.add_flow({1000.0, {r}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f).rate, 100.0);
+  net.check_invariants();
+}
+
+TEST(Network, EqualShareAmongEqualFlows) {
+  Network net;
+  const ResourceId r = net.add_resource("link", 90.0);
+  const FlowId a = net.add_flow({1.0, {r}});
+  const FlowId b = net.add_flow({1.0, {r}});
+  const FlowId c = net.add_flow({1.0, {r}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(a).rate, 30.0);
+  EXPECT_DOUBLE_EQ(net.flow(b).rate, 30.0);
+  EXPECT_DOUBLE_EQ(net.flow(c).rate, 30.0);
+  net.check_invariants();
+}
+
+TEST(Network, BottleneckIsMinAlongPath) {
+  Network net;
+  const ResourceId fast = net.add_resource("fast", 1000.0);
+  const ResourceId slow = net.add_resource("slow", 10.0);
+  const FlowId f = net.add_flow({1.0, {fast, slow}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f).rate, 10.0);
+}
+
+TEST(Network, MaxMinRedistribution) {
+  // Classic example: r1 capacity 10 shared by f1,f2; r2 capacity 100 used by
+  // f2,f3. f1 and f2 get 5 each (r1 bottleneck); f3 gets the r2 remainder 95.
+  Network net;
+  const ResourceId r1 = net.add_resource("r1", 10.0);
+  const ResourceId r2 = net.add_resource("r2", 100.0);
+  const FlowId f1 = net.add_flow({1.0, {r1}});
+  const FlowId f2 = net.add_flow({1.0, {r1, r2}});
+  const FlowId f3 = net.add_flow({1.0, {r2}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f1).rate, 5.0);
+  EXPECT_DOUBLE_EQ(net.flow(f2).rate, 5.0);
+  EXPECT_DOUBLE_EQ(net.flow(f3).rate, 95.0);
+  net.check_invariants();
+}
+
+TEST(Network, RateCapFreezesFlowEarly) {
+  Network net;
+  const ResourceId r = net.add_resource("r", 100.0);
+  FlowSpec capped{1.0, {r}};
+  capped.rate_cap = 10.0;
+  const FlowId a = net.add_flow(capped);
+  const FlowId b = net.add_flow({1.0, {r}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(a).rate, 10.0);
+  EXPECT_TRUE(net.flow(a).bottlenecked_by_cap);
+  EXPECT_DOUBLE_EQ(net.flow(b).rate, 90.0);
+  net.check_invariants();
+}
+
+TEST(Network, WeightsSkewShares) {
+  Network net;
+  const ResourceId r = net.add_resource("r", 90.0);
+  FlowSpec heavy{1.0, {r}};
+  heavy.weight = 2.0;
+  const FlowId a = net.add_flow(heavy);
+  const FlowId b = net.add_flow({1.0, {r}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(a).rate, 60.0);
+  EXPECT_DOUBLE_EQ(net.flow(b).rate, 30.0);
+}
+
+TEST(Network, UnlimitedResourceDoesNotConstrain) {
+  Network net;
+  const ResourceId inf = net.add_resource("inf", kUnlimited);
+  const ResourceId fin = net.add_resource("fin", 50.0);
+  const FlowId f = net.add_flow({1.0, {inf, fin}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f).rate, 50.0);
+}
+
+TEST(Network, FullyUnconstrainedFlowGetsInfiniteRate) {
+  Network net;
+  const ResourceId inf = net.add_resource("inf", kUnlimited);
+  const FlowId f = net.add_flow({1.0, {inf}});
+  net.solve();
+  EXPECT_EQ(net.flow(f).rate, kUnlimited);
+}
+
+TEST(Network, PathlessCappedFlowRunsAtCap) {
+  Network net;
+  FlowSpec s{1.0, {}};
+  s.rate_cap = 7.0;
+  const FlowId f = net.add_flow(s);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f).rate, 7.0);
+}
+
+TEST(Network, RemoveFlowFreesCapacity) {
+  Network net;
+  const ResourceId r = net.add_resource("r", 100.0);
+  const FlowId a = net.add_flow({1.0, {r}});
+  const FlowId b = net.add_flow({1.0, {r}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(a).rate, 50.0);
+  net.remove_flow(b);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(a).rate, 100.0);
+  EXPECT_FALSE(net.has_flow(b));
+}
+
+TEST(Network, RejectsInvalidSpecs) {
+  Network net;
+  const ResourceId r = net.add_resource("r", 10.0);
+  EXPECT_THROW(net.add_flow({-1.0, {r}}), util::InvariantError);
+  FlowSpec bad_weight{1.0, {r}};
+  bad_weight.weight = 0.0;
+  EXPECT_THROW(net.add_flow(bad_weight), util::InvariantError);
+  EXPECT_THROW(net.add_flow({1.0, {99}}), util::NotFoundError);
+  EXPECT_THROW(net.add_resource("neg", -1.0), util::InvariantError);
+}
+
+TEST(Network, ZeroCapacityStarvesFlows) {
+  Network net;
+  const ResourceId r = net.add_resource("r", 0.0);
+  const FlowId f = net.add_flow({1.0, {r}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f).rate, 0.0);
+}
+
+// Property sweep: random networks satisfy feasibility + max-min optimality.
+class NetworkPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetworkPropertyTest, RandomNetworksSatisfyInvariants) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Network net;
+  const int n_res = static_cast<int>(rng.uniform_int(1, 12));
+  for (int i = 0; i < n_res; ++i) {
+    const double cap = rng.chance(0.15) ? kUnlimited : rng.uniform(1.0, 1000.0);
+    net.add_resource("r" + std::to_string(i), cap);
+  }
+  const int n_flows = static_cast<int>(rng.uniform_int(1, 40));
+  for (int i = 0; i < n_flows; ++i) {
+    FlowSpec s;
+    s.volume = rng.uniform(0.0, 100.0);
+    const int path_len = static_cast<int>(rng.uniform_int(0, std::min(4, n_res)));
+    for (int k = 0; k < path_len; ++k) {
+      s.path.push_back(static_cast<ResourceId>(rng.uniform_int(0, n_res - 1)));
+    }
+    if (rng.chance(0.3)) s.rate_cap = rng.uniform(1.0, 200.0);
+    if (rng.chance(0.3)) s.weight = rng.uniform(0.5, 4.0);
+    net.add_flow(s);
+  }
+  net.solve();
+  net.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkPropertyTest, ::testing::Range(0, 50));
+
+// --------------------------------------------------------- manager (timed)
+
+TEST(FlowManager, SingleFlowCompletionTime) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  double done_at = -1;
+  fm.start({1000.0, {r}}, [&] { done_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST(FlowManager, ZeroVolumeCompletesImmediately) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  double done_at = -1;
+  fm.start({0.0, {r}}, [&] { done_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+}
+
+TEST(FlowManager, TwoEqualFlowsShareAndFinishTogether) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  double a = -1, b = -1;
+  fm.start({1000.0, {r}}, [&] { a = engine.now(); });
+  fm.start({1000.0, {r}}, [&] { b = engine.now(); });
+  engine.run();
+  // Each gets 50 B/s -> both complete at t = 20.
+  EXPECT_DOUBLE_EQ(a, 20.0);
+  EXPECT_DOUBLE_EQ(b, 20.0);
+}
+
+TEST(FlowManager, LateArrivalSlowsExistingFlow) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  double a = -1, b = -1;
+  fm.start({1000.0, {r}}, [&] { a = engine.now(); });
+  engine.schedule_at(5.0, [&] { fm.start({1000.0, {r}}, [&] { b = engine.now(); }); });
+  engine.run();
+  // Flow A: 500 bytes alone (t=0..5), then shares 50/50. Remaining 500 at
+  // 50 B/s -> finishes at t=15. Flow B then runs alone: remaining 500 at
+  // 100 B/s -> finishes at t=20.
+  EXPECT_DOUBLE_EQ(a, 15.0);
+  EXPECT_DOUBLE_EQ(b, 20.0);
+}
+
+TEST(FlowManager, CompletionFreesBandwidthForRemainder) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  double small = -1, big = -1;
+  fm.start({200.0, {r}}, [&] { small = engine.now(); });
+  fm.start({1000.0, {r}}, [&] { big = engine.now(); });
+  engine.run();
+  // Shared 50/50 until small finishes at t=4 (200/50); big then has
+  // 800 left at 100 B/s -> t = 4 + 8 = 12.
+  EXPECT_DOUBLE_EQ(small, 4.0);
+  EXPECT_DOUBLE_EQ(big, 12.0);
+}
+
+TEST(FlowManager, AbortSuppressesCallback) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  bool fired = false;
+  const FlowId f = fm.start({1000.0, {r}}, [&] { fired = true; });
+  engine.schedule_at(1.0, [&] { EXPECT_TRUE(fm.abort(f)); });
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(fm.active_count(), 0u);
+}
+
+TEST(FlowManager, CapacityChangeMidFlight) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  double done = -1;
+  fm.start({1000.0, {r}}, [&] { done = engine.now(); });
+  engine.schedule_at(5.0, [&] { fm.set_capacity(r, 50.0); });
+  engine.run();
+  // 500 bytes in the first 5 s, then 500 at 50 B/s -> t = 15.
+  EXPECT_DOUBLE_EQ(done, 15.0);
+}
+
+TEST(FlowManager, CompletionCallbackCanStartNextFlow) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  double second_done = -1;
+  fm.start({500.0, {r}}, [&] {
+    fm.start({500.0, {r}}, [&] { second_done = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(second_done, 10.0);
+}
+
+TEST(FlowManager, ResourceAccountingTracksBytesAndBusyTime) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  fm.start({1000.0, {r}}, nullptr);
+  engine.run();
+  EXPECT_NEAR(fm.network().resource(r).bytes_served, 1000.0, 1e-6);
+  EXPECT_NEAR(fm.network().resource(r).busy_time, 10.0, 1e-9);
+}
+
+TEST(FlowManager, BusyTimeExcludesIdleGaps) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  fm.start({100.0, {r}}, nullptr);  // busy t=0..1
+  engine.schedule_at(5.0, [&] { fm.start({100.0, {r}}, nullptr); });  // busy t=5..6
+  engine.run();
+  EXPECT_NEAR(fm.network().resource(r).busy_time, 2.0, 1e-9);
+  EXPECT_NEAR(fm.network().resource(r).bytes_served, 200.0, 1e-6);
+}
+
+TEST(FlowManager, ManyConcurrentFlowsConserveWork) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 123.0);
+  const int n = 64;
+  int completed = 0;
+  util::Rng rng(5);
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    const double volume = rng.uniform(1.0, 500.0);
+    total += volume;
+    fm.start({volume, {r}}, [&] { ++completed; });
+  }
+  const double finish = engine.run();
+  EXPECT_EQ(completed, n);
+  EXPECT_NEAR(fm.network().resource(r).bytes_served, total, 1e-3);
+  // Work conservation: single saturated resource -> finish = total/capacity.
+  EXPECT_NEAR(finish, total / 123.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bbsim::flow
+
+namespace bbsim::flow {
+namespace {
+
+TEST(NetworkEdge, WeightAndCapInteract) {
+  // A heavy flow capped below its fair share: the cap wins, and the
+  // remainder redistributes to the light flow.
+  Network net;
+  const ResourceId r = net.add_resource("r", 100.0);
+  FlowSpec heavy{1.0, {r}};
+  heavy.weight = 9.0;
+  heavy.rate_cap = 30.0;
+  const FlowId a = net.add_flow(heavy);
+  const FlowId b = net.add_flow({1.0, {r}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(a).rate, 30.0);
+  EXPECT_DOUBLE_EQ(net.flow(b).rate, 70.0);
+  net.check_invariants();
+}
+
+TEST(NetworkEdge, RepeatedResourceInPathCountsTwice) {
+  // A flow crossing the same link twice (e.g. through a relay) consumes a
+  // double share of it.
+  Network net;
+  const ResourceId r = net.add_resource("r", 100.0);
+  const FlowId twice = net.add_flow({1.0, {r, r}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(twice).rate, 50.0);
+  net.check_invariants();
+}
+
+TEST(NetworkEdge, ManySmallPlusOneHuge) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  int small_done = 0;
+  double huge_done = -1;
+  for (int i = 0; i < 9; ++i) fm.start({10.0, {r}}, [&] { ++small_done; });
+  fm.start({1000.0, {r}}, [&] { huge_done = engine.now(); });
+  engine.run();
+  EXPECT_EQ(small_done, 9);
+  // Work conservation: total 1090 bytes over a 100 B/s resource.
+  EXPECT_DOUBLE_EQ(huge_done, 10.9);
+}
+
+TEST(NetworkEdge, AbortOfUnknownFlowIsFalse) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  EXPECT_FALSE(fm.abort(12345));
+}
+
+}  // namespace
+}  // namespace bbsim::flow

@@ -1,0 +1,211 @@
+// Unit + property tests for the paper's calibration model (Eqs (1)-(4)).
+#include <gtest/gtest.h>
+
+#include "model/calibration.hpp"
+#include "util/rng.hpp"
+#include "workflow/swarp.hpp"
+
+namespace bbsim::model {
+namespace {
+
+TEST(Amdahl, SerialAndParallelLimits) {
+  EXPECT_DOUBLE_EQ(amdahl_time(100.0, 1, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(amdahl_time(100.0, 4, 0.0), 25.0);   // perfect speedup
+  EXPECT_DOUBLE_EQ(amdahl_time(100.0, 4, 1.0), 100.0);  // fully serial
+  EXPECT_DOUBLE_EQ(amdahl_time(100.0, 2, 0.5), 75.0);
+}
+
+TEST(Amdahl, SpeedupBounds) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(8, 0.0), 8.0);
+  EXPECT_DOUBLE_EQ(amdahl_speedup(8, 1.0), 1.0);
+  // Asymptote: speedup <= 1/alpha.
+  EXPECT_LT(amdahl_speedup(1000000, 0.1), 10.0 + 1e-6);
+  EXPECT_NEAR(amdahl_speedup(1000000, 0.1), 10.0, 1e-3);
+}
+
+TEST(Amdahl, InputValidation) {
+  EXPECT_THROW(amdahl_time(1.0, 0, 0.0), util::InvariantError);
+  EXPECT_THROW(amdahl_time(1.0, 1, -0.1), util::InvariantError);
+  EXPECT_THROW(amdahl_time(1.0, 1, 1.1), util::InvariantError);
+  EXPECT_THROW(amdahl_time(-1.0, 1, 0.0), util::InvariantError);
+}
+
+TEST(Calibration, Eq1ComputeFraction) {
+  // T_c(p) = (1 - lambda) T(p).
+  EXPECT_DOUBLE_EQ(compute_time_from_observed(100.0, 0.203), 79.7);
+  EXPECT_DOUBLE_EQ(compute_time_from_observed(100.0, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(compute_time_from_observed(100.0, 1.0), 0.0);
+  EXPECT_THROW(compute_time_from_observed(100.0, 1.5), util::InvariantError);
+}
+
+TEST(Calibration, Eq4PerfectSpeedup) {
+  // T_c(1) = p (1 - lambda) T(p): paper's Resample example shape.
+  EXPECT_DOUBLE_EQ(sequential_compute_time_perfect(35.0, 0.203, 32),
+                   32.0 * (1.0 - 0.203) * 35.0);
+}
+
+TEST(Calibration, Eq3ReducesToEq4WhenAlphaZero) {
+  for (const int p : {1, 2, 8, 32}) {
+    EXPECT_DOUBLE_EQ(sequential_compute_time(50.0, 0.26, p, 0.0),
+                     sequential_compute_time_perfect(50.0, 0.26, p));
+  }
+}
+
+TEST(Calibration, Eq3WithAlphaIsSmallerThanEq4) {
+  // A serial fraction means less sequential work explains the same T(p).
+  EXPECT_LT(sequential_compute_time(50.0, 0.2, 32, 0.3),
+            sequential_compute_time_perfect(50.0, 0.2, 32));
+}
+
+TEST(Calibration, RoundTripThroughAmdahl) {
+  // Pick a ground truth, generate the observation, recover the truth.
+  const double t_c1 = 480.0;
+  const double alpha = 0.12;
+  const int p = 16;
+  const double lambda = 0.3;
+  const double t_c_p = amdahl_time(t_c1, p, alpha);
+  const double observed = t_c_p / (1.0 - lambda);  // io fraction lambda
+  EXPECT_NEAR(sequential_compute_time(observed, lambda, p, alpha), t_c1, 1e-9);
+}
+
+class CalibrationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibrationProperty, RecoveryIsExactForRandomProfiles) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const double t_c1 = rng.uniform(1.0, 1000.0);
+  const double alpha = rng.uniform(0.0, 1.0);
+  const int p = static_cast<int>(rng.uniform_int(1, 64));
+  const double lambda = rng.uniform(0.0, 0.9);
+  const double observed = amdahl_time(t_c1, p, alpha) / (1.0 - lambda);
+  EXPECT_NEAR(sequential_compute_time(observed, lambda, p, alpha) / t_c1, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationProperty, ::testing::Range(0, 30));
+
+TEST(Calibration, WorkflowCalibrationRewritesFlops) {
+  wf::Workflow w = wf::make_swarp({});
+  std::map<std::string, TaskObservation> obs;
+  obs["resample"] = {35.0, 32, kPaperLambdaResample, 0.0};
+  obs["combine"] = {50.0, 32, kPaperLambdaCombine, 0.0};
+  const std::size_t n = calibrate_workflow(w, obs, 36.80e9);
+  EXPECT_EQ(n, 2u);  // one resample + one combine (single pipeline)
+  EXPECT_DOUBLE_EQ(w.task("resample_000").flops,
+                   32.0 * (1.0 - kPaperLambdaResample) * 35.0 * 36.80e9);
+  EXPECT_DOUBLE_EQ(w.task("combine_000").flops,
+                   32.0 * (1.0 - kPaperLambdaCombine) * 50.0 * 36.80e9);
+  // Stage-in untouched.
+  EXPECT_DOUBLE_EQ(w.task("stage_in").flops, 0.0);
+}
+
+TEST(Calibration, PaperConstantsExposed) {
+  EXPECT_DOUBLE_EQ(kPaperLambdaResample, 0.203);
+  EXPECT_DOUBLE_EQ(kPaperLambdaCombine, 0.260);
+}
+
+}  // namespace
+}  // namespace bbsim::model
+
+// ------------------------------------------------------------- fitting
+
+#include "model/fitting.hpp"
+#include "workflow/random_dag.hpp"
+
+namespace bbsim::model {
+namespace {
+
+TEST(FitAmdahl, RecoversExactParameters) {
+  const double t1 = 120.0;
+  const double alpha = 0.15;
+  std::vector<ScalingSample> samples;
+  for (const int p : {1, 2, 4, 8, 16, 32}) {
+    samples.push_back({p, amdahl_time(t1, p, alpha)});
+  }
+  const AmdahlFit fit = fit_amdahl(samples);
+  EXPECT_NEAR(fit.t1, t1, 1e-6);
+  EXPECT_NEAR(fit.alpha, alpha, 1e-9);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(FitAmdahl, PerfectSpeedupGivesAlphaZero) {
+  std::vector<ScalingSample> samples;
+  for (const int p : {1, 2, 4, 8}) samples.push_back({p, 100.0 / p});
+  const AmdahlFit fit = fit_amdahl(samples);
+  EXPECT_NEAR(fit.alpha, 0.0, 1e-9);
+  EXPECT_NEAR(fit.t1, 100.0, 1e-6);
+}
+
+TEST(FitAmdahl, FullySerialGivesAlphaOne) {
+  std::vector<ScalingSample> samples;
+  for (const int p : {1, 4, 16}) samples.push_back({p, 50.0});
+  const AmdahlFit fit = fit_amdahl(samples);
+  EXPECT_NEAR(fit.alpha, 1.0, 1e-6);
+}
+
+TEST(FitAmdahl, RobustToNoise) {
+  util::Rng rng(3);
+  const double t1 = 200.0;
+  const double alpha = 0.3;
+  std::vector<ScalingSample> samples;
+  for (const int p : {1, 2, 4, 8, 16, 32}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      samples.push_back({p, amdahl_time(t1, p, alpha) *
+                                rng.truncated_normal(1.0, 0.02, 0.9, 1.1)});
+    }
+  }
+  const AmdahlFit fit = fit_amdahl(samples);
+  EXPECT_NEAR(fit.alpha, alpha, 0.05);
+  EXPECT_NEAR(fit.t1 / t1, 1.0, 0.05);
+  EXPECT_GT(fit.rmse, 0.0);
+}
+
+TEST(FitAmdahl, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_amdahl({}), util::InvariantError);
+  EXPECT_THROW(fit_amdahl({{4, 10.0}}), util::InvariantError);
+  EXPECT_THROW(fit_amdahl({{4, 10.0}, {4, 11.0}}), util::InvariantError);  // same p
+  EXPECT_THROW(fit_amdahl({{0, 10.0}, {2, 5.0}}), util::InvariantError);
+  EXPECT_THROW(fit_amdahl({{1, -1.0}, {2, 5.0}}), util::InvariantError);
+}
+
+TEST(FitBandwidth, RecoversLatencyAndBandwidth) {
+  const double L = 0.05;
+  const double B = 800e6;
+  std::vector<TransferSample> samples;
+  for (const double s : {1e6, 8e6, 64e6, 256e6}) samples.push_back({s, L + s / B});
+  const BandwidthFit fit = fit_bandwidth(samples);
+  EXPECT_NEAR(fit.latency, L, 1e-9);
+  EXPECT_NEAR(fit.bandwidth / B, 1.0, 1e-9);
+}
+
+TEST(FitBandwidth, ZeroLatencyClamped) {
+  std::vector<TransferSample> samples{{1e6, 0.01}, {2e6, 0.02}, {4e6, 0.04}};
+  const BandwidthFit fit = fit_bandwidth(samples);
+  EXPECT_NEAR(fit.latency, 0.0, 1e-9);
+  EXPECT_NEAR(fit.bandwidth, 1e8, 10.0);
+}
+
+TEST(FitBandwidth, RejectsLatencyDominatedData) {
+  // Times that shrink with size have no physical bandwidth.
+  EXPECT_THROW(fit_bandwidth({{1e6, 2.0}, {2e6, 1.0}}), util::InvariantError);
+  EXPECT_THROW(fit_bandwidth({{1e6, 1.0}}), util::InvariantError);
+  EXPECT_THROW(fit_bandwidth({{-1.0, 1.0}, {2e6, 1.0}}), util::InvariantError);
+}
+
+TEST(FitPipeline, TestbedScalingDataFitsCloseToGroundTruth) {
+  // End-to-end: generate noiseless strong-scaling observations with the
+  // engine and recover the SWarp resample profile.
+  std::vector<ScalingSample> samples;
+  for (const int p : {1, 2, 4, 8, 16, 32}) {
+    wf::SwarpConfig scfg;
+    scfg.cores_per_task = p;
+    const wf::Workflow w = wf::make_swarp(scfg);
+    // Compute-only observation: use amdahl directly on the profile.
+    const wf::Task& t = w.task("resample_000");
+    samples.push_back({p, amdahl_time(t.flops / 36.80e9, p, t.alpha)});
+  }
+  const AmdahlFit fit = fit_amdahl(samples);
+  EXPECT_NEAR(fit.alpha, 0.08, 1e-6);
+  EXPECT_NEAR(fit.t1, 48.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bbsim::model

@@ -1,0 +1,180 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace bbsim::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending_count(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, TiesBreakFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ClockMatchesEventTimeInsideHandler) {
+  Engine e;
+  double seen = -1;
+  e.schedule_in(2.5, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(Engine, HandlersMayScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    ++fired;
+    e.schedule_in(1.0, [&] {
+      ++fired;
+      e.schedule_in(1.0, [&] { ++fired; });
+    });
+  });
+  e.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, ZeroDelayEventRunsAtCurrentTime) {
+  Engine e;
+  double when = -1;
+  e.schedule_at(4.0, [&] { e.schedule_in(0.0, [&] { when = e.now(); }); });
+  e.run();
+  EXPECT_DOUBLE_EQ(when, 4.0);
+}
+
+TEST(Engine, PastSchedulingThrows) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), util::InvariantError);
+}
+
+TEST(Engine, NonFiniteTimeThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               util::InvariantError);
+  EXPECT_THROW(e.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               util::InvariantError);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelTwiceIsNoop) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelFromWithinHandler) {
+  Engine e;
+  bool fired = false;
+  const EventId victim = e.schedule_at(2.0, [&] { fired = true; });
+  e.schedule_at(1.0, [&] { e.cancel(victim); });
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  e.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  e.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  EXPECT_TRUE(e.run_until(2.0));  // events at t <= 2 fire
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_FALSE(e.run_until(10.0));
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, ExecutedCountExcludesCancelled) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(e.executed_count(), 1u);
+}
+
+TEST(Engine, PendingCountTracksQueue) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending_count(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending_count(), 1u);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  Engine e;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    e.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  e.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(e.executed_count(), 10000u);
+}
+
+}  // namespace
+}  // namespace bbsim::sim

@@ -1,0 +1,210 @@
+// Tests for the workflow clustering transformation and the post-run
+// result validator.
+#include <gtest/gtest.h>
+
+#include "exec/engine.hpp"
+#include "exec/validate.hpp"
+#include "model/calibration.hpp"
+#include "platform/presets.hpp"
+#include "testbed/testbed.hpp"
+#include "util/rng.hpp"
+#include "workflow/clustering.hpp"
+#include "workflow/montage.hpp"
+#include "workflow/random_dag.hpp"
+#include "workflow/swarp.hpp"
+
+namespace bbsim {
+namespace {
+
+// ------------------------------------------------------------- clustering
+
+TEST(Clustering, MergesSwarpPipelines) {
+  // Each resample -> combine pair is a maximal chain (the intermediates
+  // have a single consumer); stage_in fans out so it stays separate.
+  const wf::Workflow w = wf::make_swarp({.pipelines = 3});
+  const wf::ClusteringResult r = wf::cluster_chains(w);
+  EXPECT_EQ(r.chains_merged, 3u);
+  // 3 merged pipelines + stage_in.
+  EXPECT_EQ(r.workflow.task_count(), 4u);
+  // The 32 intermediates per pipeline disappeared.
+  EXPECT_EQ(r.files_internalised, 3u * 32u);
+  EXPECT_EQ(r.mapping.at("resample_001"), r.mapping.at("combine_001"));
+  EXPECT_NE(r.mapping.at("resample_001"), r.mapping.at("combine_002"));
+  // Work is conserved.
+  EXPECT_DOUBLE_EQ(r.workflow.total_flops(), w.total_flops());
+  // Merged profile: cores are the max along the chain; alpha is the
+  // equivalent fraction that preserves the chain's time at 1 and at 32
+  // cores (back-to-back execution of the members).
+  const wf::Task& merged = r.workflow.task(r.mapping.at("resample_000"));
+  EXPECT_EQ(merged.requested_cores, 32);
+  const double speed = 36.80e9;
+  const double member_time =
+      model::amdahl_time(48.0, 32, 0.08) + model::amdahl_time(36.0, 32, 0.85);
+  EXPECT_NEAR(model::amdahl_time(merged.flops / speed, 32, merged.alpha),
+              member_time, 1e-6);
+  // Final coadd outputs survive; raw inputs survive.
+  EXPECT_TRUE(r.workflow.has_file("p000_coadd.fits"));
+  EXPECT_TRUE(r.workflow.has_file("p000_img_00.fits"));
+  EXPECT_FALSE(r.workflow.has_file("p000_img_00.resamp.fits"));
+}
+
+TEST(Clustering, RespectsInternalFileSizeLimit) {
+  const wf::Workflow w = wf::make_swarp({});
+  wf::ClusteringOptions opt;
+  opt.max_internal_file_bytes = 1.0;  // nothing may be internalised
+  const wf::ClusteringResult r = wf::cluster_chains(w, opt);
+  EXPECT_EQ(r.chains_merged, 0u);
+  EXPECT_EQ(r.workflow.task_count(), w.task_count());
+}
+
+TEST(Clustering, RespectsMergedWorkLimit) {
+  // resample 48 s + combine 36 s sequential at reference speed: a 60 s
+  // budget forbids the merge.
+  const wf::Workflow w = wf::make_swarp({});
+  wf::ClusteringOptions opt;
+  opt.max_merged_seconds = 60.0;
+  EXPECT_EQ(wf::cluster_chains(w, opt).chains_merged, 0u);
+  opt.max_merged_seconds = 120.0;
+  EXPECT_EQ(wf::cluster_chains(w, opt).chains_merged, 1u);
+}
+
+TEST(Clustering, FanInFanOutUntouched) {
+  // Montage's concat/add fan-ins cannot be merged; only project->difffit
+  // style chains could, but projections feed two difffits each.
+  const wf::Workflow w = wf::make_montage({.tiles = 6});
+  const wf::ClusteringResult r = wf::cluster_chains(w);
+  // Seismogram-style chains do not exist here: nothing merges.
+  EXPECT_EQ(r.chains_merged, 0u);
+  EXPECT_EQ(r.workflow.task_count(), w.task_count());
+}
+
+TEST(Clustering, ClusteredWorkflowRunsAndIsNotSlower) {
+  const wf::Workflow w = wf::make_swarp({.pipelines = 4});
+  const wf::ClusteringResult c = wf::cluster_chains(w);
+  auto run = [](const wf::Workflow& workflow) {
+    exec::ExecutionConfig cfg;
+    cfg.placement = exec::all_bb_policy();
+    exec::Simulation sim(testbed::paper_platform(testbed::System::CoriPrivate),
+                         workflow, cfg);
+    return sim.run().makespan;
+  };
+  const double plain = run(w);
+  const double clustered = run(c.workflow);
+  // Internalised intermediates skip the storage layer entirely, so the
+  // clustered run can only be as fast or faster here.
+  EXPECT_LE(clustered, plain + 1e-6);
+}
+
+TEST(Clustering, RandomDagsStayValid) {
+  for (int seed = 0; seed < 10; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    const wf::Workflow w = wf::make_random_layered({}, rng);
+    const wf::ClusteringResult r = wf::cluster_chains(w);
+    r.workflow.validate();  // throws on violation
+    EXPECT_NEAR(r.workflow.total_flops(), w.total_flops(), 1e-3);
+    EXPECT_EQ(r.mapping.size(), w.task_count());
+  }
+}
+
+// -------------------------------------------------------------- validator
+
+TEST(Validate, CleanRunPasses) {
+  const wf::Workflow w = wf::make_swarp({.pipelines = 2});
+  const platform::PlatformSpec plat =
+      testbed::paper_platform(testbed::System::CoriPrivate);
+  exec::ExecutionConfig cfg;
+  cfg.placement = exec::all_bb_policy();
+  exec::Simulation sim(plat, w, cfg);
+  const exec::Result r = sim.run();
+  EXPECT_TRUE(exec::validate_result(r, w, plat).empty());
+  EXPECT_NO_THROW(exec::expect_valid(r, w, plat));
+}
+
+TEST(Validate, DetectsMissingTask) {
+  const wf::Workflow w = wf::make_swarp({});
+  const platform::PlatformSpec plat =
+      testbed::paper_platform(testbed::System::CoriPrivate);
+  exec::ExecutionConfig cfg;
+  cfg.placement = exec::all_bb_policy();
+  exec::Simulation sim(plat, w, cfg);
+  exec::Result r = sim.run();
+  r.tasks.erase("combine_000");
+  const auto issues = exec::validate_result(r, w, plat);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().what.find("no record"), std::string::npos);
+  EXPECT_THROW(exec::expect_valid(r, w, plat), util::InvariantError);
+}
+
+TEST(Validate, DetectsPrecedenceViolation) {
+  const wf::Workflow w = wf::make_swarp({});
+  const platform::PlatformSpec plat =
+      testbed::paper_platform(testbed::System::CoriPrivate);
+  exec::ExecutionConfig cfg;
+  cfg.placement = exec::all_bb_policy();
+  exec::Simulation sim(plat, w, cfg);
+  exec::Result r = sim.run();
+  // Start (and be "ready") before the parent resample ends.
+  r.tasks.at("combine_000").t_ready = 0.0;
+  r.tasks.at("combine_000").t_start = 0.0;
+  bool found = false;
+  for (const auto& issue : exec::validate_result(r, w, plat)) {
+    if (issue.what.find("precedence") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsOversubscription) {
+  const wf::Workflow w = wf::make_swarp({.pipelines = 2});
+  const platform::PlatformSpec plat =
+      testbed::paper_platform(testbed::System::CoriPrivate);
+  exec::ExecutionConfig cfg;
+  cfg.placement = exec::all_bb_policy();
+  exec::Simulation sim(plat, w, cfg);
+  exec::Result r = sim.run();
+  // Force both 32-core resamples to overlap on the single 32-core host.
+  auto& a = r.tasks.at("resample_000");
+  auto& b = r.tasks.at("resample_001");
+  b.t_start = a.t_start;
+  b.t_reads_done = std::max(b.t_start, b.t_reads_done);
+  bool found = false;
+  for (const auto& issue : exec::validate_result(r, w, plat)) {
+    if (issue.what.find("oversubscribed") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, DetectsPhaseDisorder) {
+  const wf::Workflow w = wf::make_swarp({});
+  const platform::PlatformSpec plat =
+      testbed::paper_platform(testbed::System::CoriPrivate);
+  exec::ExecutionConfig cfg;
+  cfg.placement = exec::all_bb_policy();
+  exec::Simulation sim(plat, w, cfg);
+  exec::Result r = sim.run();
+  r.tasks.at("resample_000").t_compute_done =
+      r.tasks.at("resample_000").t_reads_done - 1.0;
+  bool found = false;
+  for (const auto& issue : exec::validate_result(r, w, plat)) {
+    if (issue.what.find("out of order") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, EveryEngineRunOnRandomDagsValidates) {
+  for (int seed = 0; seed < 8; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) + 333);
+    const wf::Workflow w = wf::make_random_layered({}, rng);
+    const platform::PlatformSpec plat =
+        testbed::paper_platform(testbed::System::Summit, 2);
+    exec::ExecutionConfig cfg;
+    cfg.placement = exec::all_bb_policy();
+    cfg.stage_in_mode = exec::StageInMode::Instant;
+    cfg.scheduler = seed % 2 == 0 ? exec::SchedulerPolicy::Fcfs
+                                  : exec::SchedulerPolicy::CriticalPathFirst;
+    exec::Simulation sim(plat, w, cfg);
+    EXPECT_NO_THROW(exec::expect_valid(sim.run(), w, plat)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace bbsim

@@ -1,0 +1,4 @@
+// bbsim_run -- command-line driver for the bbsim simulator. See --help.
+#include "cli/runner.hpp"
+
+int main(int argc, char** argv) { return bbsim::cli::main_impl(argc, argv); }

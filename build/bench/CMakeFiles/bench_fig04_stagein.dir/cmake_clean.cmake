@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_stagein.dir/fig04_stagein.cpp.o"
+  "CMakeFiles/bench_fig04_stagein.dir/fig04_stagein.cpp.o.d"
+  "bench_fig04_stagein"
+  "bench_fig04_stagein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_stagein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_pipelines.dir/fig07_pipelines.cpp.o"
+  "CMakeFiles/bench_fig07_pipelines.dir/fig07_pipelines.cpp.o.d"
+  "bench_fig07_pipelines"
+  "bench_fig07_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_bandwidth.dir/fig09_bandwidth.cpp.o"
+  "CMakeFiles/bench_fig09_bandwidth.dir/fig09_bandwidth.cpp.o.d"
+  "bench_fig09_bandwidth"
+  "bench_fig09_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_accuracy_staging.dir/fig10_accuracy_staging.cpp.o"
+  "CMakeFiles/bench_fig10_accuracy_staging.dir/fig10_accuracy_staging.cpp.o.d"
+  "bench_fig10_accuracy_staging"
+  "bench_fig10_accuracy_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_accuracy_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_accuracy_pipelines.dir/fig11_accuracy_pipelines.cpp.o"
+  "CMakeFiles/bench_fig11_accuracy_pipelines.dir/fig11_accuracy_pipelines.cpp.o.d"
+  "bench_fig11_accuracy_pipelines"
+  "bench_fig11_accuracy_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_accuracy_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomes_study.dir/genomes_study.cpp.o"
+  "CMakeFiles/genomes_study.dir/genomes_study.cpp.o.d"
+  "genomes_study"
+  "genomes_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomes_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

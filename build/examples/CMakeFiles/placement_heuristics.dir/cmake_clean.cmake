@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_heuristics.dir/placement_heuristics.cpp.o"
+  "CMakeFiles/placement_heuristics.dir/placement_heuristics.cpp.o.d"
+  "placement_heuristics"
+  "placement_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarp_study.dir/swarp_study.cpp.o"
+  "CMakeFiles/swarp_study.dir/swarp_study.cpp.o.d"
+  "swarp_study"
+  "swarp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

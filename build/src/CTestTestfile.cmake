@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("sim")
+subdirs("flow")
+subdirs("platform")
+subdirs("storage")
+subdirs("workflow")
+subdirs("model")
+subdirs("exec")
+subdirs("testbed")
+subdirs("analysis")
+subdirs("cli")

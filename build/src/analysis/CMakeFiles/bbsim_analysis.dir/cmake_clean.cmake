@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_analysis.dir/plot.cpp.o"
+  "CMakeFiles/bbsim_analysis.dir/plot.cpp.o.d"
+  "CMakeFiles/bbsim_analysis.dir/report.cpp.o"
+  "CMakeFiles/bbsim_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/bbsim_analysis.dir/stats.cpp.o"
+  "CMakeFiles/bbsim_analysis.dir/stats.cpp.o.d"
+  "libbbsim_analysis.a"
+  "libbbsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

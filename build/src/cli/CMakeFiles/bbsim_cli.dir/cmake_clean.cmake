@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_cli.dir/options.cpp.o"
+  "CMakeFiles/bbsim_cli.dir/options.cpp.o.d"
+  "CMakeFiles/bbsim_cli.dir/runner.cpp.o"
+  "CMakeFiles/bbsim_cli.dir/runner.cpp.o.d"
+  "libbbsim_cli.a"
+  "libbbsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

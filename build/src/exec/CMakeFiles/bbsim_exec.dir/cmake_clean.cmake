@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_exec.dir/engine.cpp.o"
+  "CMakeFiles/bbsim_exec.dir/engine.cpp.o.d"
+  "CMakeFiles/bbsim_exec.dir/gantt.cpp.o"
+  "CMakeFiles/bbsim_exec.dir/gantt.cpp.o.d"
+  "CMakeFiles/bbsim_exec.dir/pinning.cpp.o"
+  "CMakeFiles/bbsim_exec.dir/pinning.cpp.o.d"
+  "CMakeFiles/bbsim_exec.dir/placement.cpp.o"
+  "CMakeFiles/bbsim_exec.dir/placement.cpp.o.d"
+  "CMakeFiles/bbsim_exec.dir/trace.cpp.o"
+  "CMakeFiles/bbsim_exec.dir/trace.cpp.o.d"
+  "CMakeFiles/bbsim_exec.dir/validate.cpp.o"
+  "CMakeFiles/bbsim_exec.dir/validate.cpp.o.d"
+  "libbbsim_exec.a"
+  "libbbsim_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/manager.cpp" "src/flow/CMakeFiles/bbsim_flow.dir/manager.cpp.o" "gcc" "src/flow/CMakeFiles/bbsim_flow.dir/manager.cpp.o.d"
+  "/root/repo/src/flow/network.cpp" "src/flow/CMakeFiles/bbsim_flow.dir/network.cpp.o" "gcc" "src/flow/CMakeFiles/bbsim_flow.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_flow.dir/manager.cpp.o"
+  "CMakeFiles/bbsim_flow.dir/manager.cpp.o.d"
+  "CMakeFiles/bbsim_flow.dir/network.cpp.o"
+  "CMakeFiles/bbsim_flow.dir/network.cpp.o.d"
+  "libbbsim_flow.a"
+  "libbbsim_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

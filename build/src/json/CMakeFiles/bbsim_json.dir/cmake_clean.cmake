@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_json.dir/json.cpp.o"
+  "CMakeFiles/bbsim_json.dir/json.cpp.o.d"
+  "libbbsim_json.a"
+  "libbbsim_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/calibration.cpp" "src/model/CMakeFiles/bbsim_model.dir/calibration.cpp.o" "gcc" "src/model/CMakeFiles/bbsim_model.dir/calibration.cpp.o.d"
+  "/root/repo/src/model/fitting.cpp" "src/model/CMakeFiles/bbsim_model.dir/fitting.cpp.o" "gcc" "src/model/CMakeFiles/bbsim_model.dir/fitting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/bbsim_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/bbsim_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

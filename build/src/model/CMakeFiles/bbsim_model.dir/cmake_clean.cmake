@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_model.dir/calibration.cpp.o"
+  "CMakeFiles/bbsim_model.dir/calibration.cpp.o.d"
+  "CMakeFiles/bbsim_model.dir/fitting.cpp.o"
+  "CMakeFiles/bbsim_model.dir/fitting.cpp.o.d"
+  "libbbsim_model.a"
+  "libbbsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

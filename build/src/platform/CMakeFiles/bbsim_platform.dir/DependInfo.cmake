@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/fabric.cpp" "src/platform/CMakeFiles/bbsim_platform.dir/fabric.cpp.o" "gcc" "src/platform/CMakeFiles/bbsim_platform.dir/fabric.cpp.o.d"
+  "/root/repo/src/platform/platform_json.cpp" "src/platform/CMakeFiles/bbsim_platform.dir/platform_json.cpp.o" "gcc" "src/platform/CMakeFiles/bbsim_platform.dir/platform_json.cpp.o.d"
+  "/root/repo/src/platform/presets.cpp" "src/platform/CMakeFiles/bbsim_platform.dir/presets.cpp.o" "gcc" "src/platform/CMakeFiles/bbsim_platform.dir/presets.cpp.o.d"
+  "/root/repo/src/platform/spec.cpp" "src/platform/CMakeFiles/bbsim_platform.dir/spec.cpp.o" "gcc" "src/platform/CMakeFiles/bbsim_platform.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/bbsim_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/bbsim_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

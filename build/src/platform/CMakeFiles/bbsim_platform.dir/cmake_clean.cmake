@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_platform.dir/fabric.cpp.o"
+  "CMakeFiles/bbsim_platform.dir/fabric.cpp.o.d"
+  "CMakeFiles/bbsim_platform.dir/platform_json.cpp.o"
+  "CMakeFiles/bbsim_platform.dir/platform_json.cpp.o.d"
+  "CMakeFiles/bbsim_platform.dir/presets.cpp.o"
+  "CMakeFiles/bbsim_platform.dir/presets.cpp.o.d"
+  "CMakeFiles/bbsim_platform.dir/spec.cpp.o"
+  "CMakeFiles/bbsim_platform.dir/spec.cpp.o.d"
+  "libbbsim_platform.a"
+  "libbbsim_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/bbsim_sim.dir/engine.cpp.o.d"
+  "libbbsim_sim.a"
+  "libbbsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/node_local_bb.cpp" "src/storage/CMakeFiles/bbsim_storage.dir/node_local_bb.cpp.o" "gcc" "src/storage/CMakeFiles/bbsim_storage.dir/node_local_bb.cpp.o.d"
+  "/root/repo/src/storage/pfs.cpp" "src/storage/CMakeFiles/bbsim_storage.dir/pfs.cpp.o" "gcc" "src/storage/CMakeFiles/bbsim_storage.dir/pfs.cpp.o.d"
+  "/root/repo/src/storage/service.cpp" "src/storage/CMakeFiles/bbsim_storage.dir/service.cpp.o" "gcc" "src/storage/CMakeFiles/bbsim_storage.dir/service.cpp.o.d"
+  "/root/repo/src/storage/shared_bb.cpp" "src/storage/CMakeFiles/bbsim_storage.dir/shared_bb.cpp.o" "gcc" "src/storage/CMakeFiles/bbsim_storage.dir/shared_bb.cpp.o.d"
+  "/root/repo/src/storage/system.cpp" "src/storage/CMakeFiles/bbsim_storage.dir/system.cpp.o" "gcc" "src/storage/CMakeFiles/bbsim_storage.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/bbsim_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/bbsim_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/bbsim_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_storage.dir/node_local_bb.cpp.o"
+  "CMakeFiles/bbsim_storage.dir/node_local_bb.cpp.o.d"
+  "CMakeFiles/bbsim_storage.dir/pfs.cpp.o"
+  "CMakeFiles/bbsim_storage.dir/pfs.cpp.o.d"
+  "CMakeFiles/bbsim_storage.dir/service.cpp.o"
+  "CMakeFiles/bbsim_storage.dir/service.cpp.o.d"
+  "CMakeFiles/bbsim_storage.dir/shared_bb.cpp.o"
+  "CMakeFiles/bbsim_storage.dir/shared_bb.cpp.o.d"
+  "CMakeFiles/bbsim_storage.dir/system.cpp.o"
+  "CMakeFiles/bbsim_storage.dir/system.cpp.o.d"
+  "libbbsim_storage.a"
+  "libbbsim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_testbed.dir/characterize.cpp.o"
+  "CMakeFiles/bbsim_testbed.dir/characterize.cpp.o.d"
+  "CMakeFiles/bbsim_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/bbsim_testbed.dir/testbed.cpp.o.d"
+  "libbbsim_testbed.a"
+  "libbbsim_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_util.dir/rng.cpp.o"
+  "CMakeFiles/bbsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bbsim_util.dir/strings.cpp.o"
+  "CMakeFiles/bbsim_util.dir/strings.cpp.o.d"
+  "CMakeFiles/bbsim_util.dir/units.cpp.o"
+  "CMakeFiles/bbsim_util.dir/units.cpp.o.d"
+  "libbbsim_util.a"
+  "libbbsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/clustering.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/clustering.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/clustering.cpp.o.d"
+  "/root/repo/src/workflow/describe.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/describe.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/describe.cpp.o.d"
+  "/root/repo/src/workflow/dot.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/dot.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/dot.cpp.o.d"
+  "/root/repo/src/workflow/genomes.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/genomes.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/genomes.cpp.o.d"
+  "/root/repo/src/workflow/montage.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/montage.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/montage.cpp.o.d"
+  "/root/repo/src/workflow/random_dag.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/random_dag.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/random_dag.cpp.o.d"
+  "/root/repo/src/workflow/swarp.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/swarp.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/swarp.cpp.o.d"
+  "/root/repo/src/workflow/wfformat.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/wfformat.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/wfformat.cpp.o.d"
+  "/root/repo/src/workflow/workflow.cpp" "src/workflow/CMakeFiles/bbsim_workflow.dir/workflow.cpp.o" "gcc" "src/workflow/CMakeFiles/bbsim_workflow.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/bbsim_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_workflow.dir/clustering.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/clustering.cpp.o.d"
+  "CMakeFiles/bbsim_workflow.dir/describe.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/describe.cpp.o.d"
+  "CMakeFiles/bbsim_workflow.dir/dot.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/dot.cpp.o.d"
+  "CMakeFiles/bbsim_workflow.dir/genomes.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/genomes.cpp.o.d"
+  "CMakeFiles/bbsim_workflow.dir/montage.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/montage.cpp.o.d"
+  "CMakeFiles/bbsim_workflow.dir/random_dag.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/random_dag.cpp.o.d"
+  "CMakeFiles/bbsim_workflow.dir/swarp.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/swarp.cpp.o.d"
+  "CMakeFiles/bbsim_workflow.dir/wfformat.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/wfformat.cpp.o.d"
+  "CMakeFiles/bbsim_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/bbsim_workflow.dir/workflow.cpp.o.d"
+  "libbbsim_workflow.a"
+  "libbbsim_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_run.dir/bbsim_run_main.cpp.o"
+  "CMakeFiles/bbsim_run.dir/bbsim_run_main.cpp.o.d"
+  "bbsim_run"
+  "bbsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

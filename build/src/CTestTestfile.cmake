@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("util")
 subdirs("json")
+subdirs("stats")
 subdirs("sim")
 subdirs("flow")
 subdirs("platform")

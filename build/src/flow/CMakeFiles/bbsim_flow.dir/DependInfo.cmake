@@ -15,7 +15,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/bbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bbsim_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/bbsim_json.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

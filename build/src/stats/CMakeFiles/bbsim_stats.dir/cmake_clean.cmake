@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim_stats.dir/metrics.cpp.o"
+  "CMakeFiles/bbsim_stats.dir/metrics.cpp.o.d"
+  "libbbsim_stats.a"
+  "libbbsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

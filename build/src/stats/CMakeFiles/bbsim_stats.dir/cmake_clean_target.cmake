@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbbsim_stats.a"
+)

@@ -144,8 +144,8 @@ src/storage/CMakeFiles/bbsim_storage.dir/node_local_bb.cpp.o: \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/flow/network.hpp /usr/include/c++/12/limits \
- /root/repo/src/util/error.hpp /usr/include/c++/12/stdexcept \
- /root/repo/src/platform/fabric.hpp /usr/include/c++/12/memory \
+ /root/repo/src/stats/metrics.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/json/json.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -170,7 +170,8 @@ src/storage/CMakeFiles/bbsim_storage.dir/node_local_bb.cpp.o: \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
- /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/streambuf \
+ /usr/include/c++/12/bits/streambuf.tcc \
  /usr/include/c++/12/bits/basic_ios.h \
  /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
  /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
@@ -213,10 +214,12 @@ src/storage/CMakeFiles/bbsim_storage.dir/node_local_bb.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/flow/manager.hpp /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/error.hpp \
+ /root/repo/src/platform/fabric.hpp /root/repo/src/flow/manager.hpp \
+ /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/platform/spec.hpp

@@ -214,11 +214,14 @@ src/storage/CMakeFiles/bbsim_storage.dir/system.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/flow/network.hpp /usr/include/c++/12/limits \
- /root/repo/src/util/error.hpp /root/repo/src/platform/fabric.hpp \
- /root/repo/src/flow/manager.hpp /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/stats/metrics.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/json/json.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/error.hpp \
+ /root/repo/src/platform/fabric.hpp /root/repo/src/flow/manager.hpp \
+ /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/platform/spec.hpp /root/repo/src/storage/pfs.hpp \
  /root/repo/src/storage/shared_bb.hpp /usr/include/c++/12/algorithm \

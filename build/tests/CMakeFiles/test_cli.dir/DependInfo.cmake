@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/json/CMakeFiles/bbsim_json.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
   "/root/repo/build/src/cli/CMakeFiles/bbsim_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bbsim_stats.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -301,8 +301,9 @@ tests/CMakeFiles/test_cli.dir/cli_test.cpp.o: \
  /root/repo/src/exec/trace.hpp /root/repo/src/json/json.hpp \
  /root/repo/src/model/calibration.hpp /root/repo/src/platform/fabric.hpp \
  /root/repo/src/flow/manager.hpp /root/repo/src/flow/network.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/stats/metrics.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/system.hpp \
  /root/repo/src/storage/node_local_bb.hpp \

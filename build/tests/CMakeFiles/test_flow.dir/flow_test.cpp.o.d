@@ -315,7 +315,8 @@ tests/CMakeFiles/test_flow.dir/flow_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/flow/manager.hpp \
- /root/repo/src/flow/network.hpp /root/repo/src/util/error.hpp \
+ /root/repo/src/flow/network.hpp /root/repo/src/stats/metrics.hpp \
+ /root/repo/src/json/json.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \

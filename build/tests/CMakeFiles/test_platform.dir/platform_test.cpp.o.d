@@ -294,12 +294,13 @@ tests/CMakeFiles/test_platform.dir/platform_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/platform/fabric.hpp /root/repo/src/flow/manager.hpp \
- /root/repo/src/flow/network.hpp /root/repo/src/util/error.hpp \
+ /root/repo/src/flow/network.hpp /root/repo/src/stats/metrics.hpp \
+ /root/repo/src/json/json.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/platform/spec.hpp \
- /root/repo/src/platform/platform_json.hpp /root/repo/src/json/json.hpp \
+ /root/repo/src/platform/platform_json.hpp \
  /root/repo/src/platform/presets.hpp

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/test_stats.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/bbsim_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/bbsim_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bbsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bbsim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bbsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/bbsim_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/bbsim_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/bbsim_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/bbsim_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/bbsim_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bbsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -297,6 +297,7 @@ tests/CMakeFiles/test_storage.dir/storage_test.cpp.o: \
  /root/repo/src/util/error.hpp /root/repo/src/storage/system.hpp \
  /root/repo/src/storage/node_local_bb.hpp \
  /root/repo/src/storage/service.hpp /root/repo/src/flow/network.hpp \
+ /root/repo/src/stats/metrics.hpp /root/repo/src/json/json.hpp \
  /root/repo/src/platform/fabric.hpp /root/repo/src/flow/manager.hpp \
  /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \

@@ -8,6 +8,7 @@ include("/root/repo/build/tests/test_util[1]_include.cmake")
 include("/root/repo/build/tests/test_json[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
 include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
 include("/root/repo/build/tests/test_platform[1]_include.cmake")
 include("/root/repo/build/tests/test_storage[1]_include.cmake")
 include("/root/repo/build/tests/test_workflow[1]_include.cmake")

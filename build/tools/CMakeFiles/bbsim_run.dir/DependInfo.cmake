@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/platform/CMakeFiles/bbsim_platform.dir/DependInfo.cmake"
   "/root/repo/build/src/flow/CMakeFiles/bbsim_flow.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/bbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bbsim_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/json/CMakeFiles/bbsim_json.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/bbsim_util.dir/DependInfo.cmake"
   )

@@ -222,6 +222,7 @@ tools/CMakeFiles/bbsim_run.dir/bbsim_run_main.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/model/calibration.hpp /root/repo/src/platform/fabric.hpp \
  /root/repo/src/flow/manager.hpp /root/repo/src/flow/network.hpp \
+ /root/repo/src/stats/metrics.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \

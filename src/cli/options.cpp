@@ -43,6 +43,8 @@ Output:
   --trace FILE.json                    write the full result (records + trace)
   --csv FILE.csv                       write per-task records as CSV
   --dot FILE.dot                       write the workflow DAG as Graphviz
+  --metrics-out FILE.json              write runtime metrics (engine/solver
+                                       counters, utilization, BB occupancy)
   --gantt                              print an ASCII Gantt chart
   --describe                           print the workflow structure summary
   --report                             print the per-type I/O characterization
@@ -151,6 +153,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.csv_path = next_value(a);
     } else if (a == "--dot") {
       opt.dot_path = next_value(a);
+    } else if (a == "--metrics-out") {
+      opt.metrics_path = next_value(a);
     } else if (a == "--gantt") {
       opt.gantt = true;
     } else if (a == "--describe") {

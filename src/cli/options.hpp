@@ -39,9 +39,10 @@ struct CliOptions {
   unsigned long long seed = 42;
 
   // Outputs.
-  std::string trace_path;  ///< result JSON
-  std::string csv_path;    ///< per-task CSV
-  std::string dot_path;    ///< workflow DOT
+  std::string trace_path;    ///< result JSON
+  std::string csv_path;      ///< per-task CSV
+  std::string dot_path;      ///< workflow DOT
+  std::string metrics_path;  ///< metrics registry JSON (enables collection)
   bool gantt = false;
   bool describe = false;  ///< print the workflow structure summary
   bool report = false;    ///< print the per-type characterization report

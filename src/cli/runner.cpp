@@ -67,6 +67,7 @@ exec::ExecutionConfig execution_config(const CliOptions& options) {
   cfg.stage_out = options.stage_out;
   cfg.bb_eviction = options.evict;
   cfg.stage_in_width = options.stage_width;
+  cfg.collect_metrics = !options.metrics_path.empty();
   if (options.cores > 0) cfg.force_cores = options.cores;
   return cfg;
 }
@@ -178,6 +179,12 @@ int run_cli(const CliOptions& options) {
   if (!options.csv_path.empty()) {
     write_task_csv(options.csv_path, result);
     if (!options.quiet) std::printf("[csv] wrote %s\n", options.csv_path.c_str());
+  }
+  if (!options.metrics_path.empty()) {
+    json::write_file(options.metrics_path, result.metrics);
+    if (!options.quiet) {
+      std::printf("[metrics] wrote %s\n", options.metrics_path.c_str());
+    }
   }
   return 0;
 }

@@ -34,6 +34,16 @@ Simulation::Simulation(platform::PlatformSpec platform, const wf::Workflow& work
       storage_(fabric_) {
   if (!config_.placement) config_.placement = all_bb_policy();
   workflow_.validate();
+  if (config_.collect_metrics) {
+    metrics_ = std::make_unique<stats::MetricsRegistry>();
+    fabric_.engine().set_metrics(metrics_.get());
+    fabric_.flows().set_metrics(metrics_.get());
+    storage_.set_metrics(metrics_.get());
+  }
+}
+
+void Simulation::bump(const char* counter_name, double delta) {
+  if (metrics_) metrics_->counter(counter_name).add(delta);
 }
 
 int Simulation::cores_for(const wf::Task& task) const {
@@ -113,6 +123,7 @@ void Simulation::prepare() {
       const double size = workflow_.file(f).size;
       if (!bb_has_room(size) && !(config_.bb_eviction && try_evict(size))) {
         ++skipped_stage_files_;
+        bump("storage.skipped_stage_ins");
         continue;
       }
       bb_svc->register_file(storage::FileRef{f, size}, staged_file_host_[f]);
@@ -314,6 +325,7 @@ void Simulation::pump_stage_chain(const std::shared_ptr<StageChain>& chain) {
     if (!bb_has_room(file.size) && !(config_.bb_eviction && try_evict(file.size))) {
       // The allocation is full: the file stays on the PFS (and is counted).
       ++skipped_stage_files_;
+      bump("storage.skipped_stage_ins");
       trace("stage_skipped",
             chain->ts != nullptr ? chain->ts->task->name : "implicit_stage_in", fname);
       continue;
@@ -437,7 +449,10 @@ void Simulation::issue_writes(TaskState& ts) {
         tier = Tier::PFS;
       }
     }
-    if (requested == Tier::BurstBuffer && tier == Tier::PFS) ++demoted_writes_;
+    if (requested == Tier::BurstBuffer && tier == Tier::PFS) {
+      ++demoted_writes_;
+      bump("exec.demoted_writes");
+    }
     storage::StorageService& dst =
         tier == Tier::BurstBuffer ? *storage_.burst_buffer() : storage_.pfs();
     const storage::FileRef file{fname, workflow_.file(fname).size};
@@ -463,6 +478,11 @@ void Simulation::finish_task(TaskState& ts) {
   free_cores_[ts.host] += ts.cores;
   --tasks_remaining_;
   trace("task_end", ts.task->name);
+  bump("exec.tasks_completed");
+  bump("exec.task_wait_time", ts.record.t_start - ts.record.t_ready);
+  bump("exec.task_read_time", ts.record.read_time());
+  bump("exec.task_compute_time", ts.record.compute_time());
+  bump("exec.task_write_time", ts.record.write_time());
 
   for (const std::string& child : workflow_.children(ts.task->name)) {
     TaskState& cs = states_.at(child);
@@ -533,6 +553,7 @@ bool Simulation::try_evict(double bytes) {
     if (bb_has_room(bytes)) return true;
     bb_svc->erase_file(c.file);
     ++evicted_files_;
+    bump("storage.evictions");
     trace("evict", "", c.file);
   }
   return bb_has_room(bytes);
@@ -568,6 +589,7 @@ Result Simulation::collect_result() {
     }
     r.storage.push_back(std::move(c));
   }
+  if (metrics_) r.metrics = metrics_->to_json();
   return r;
 }
 

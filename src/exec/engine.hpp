@@ -34,6 +34,7 @@
 #include "exec/trace.hpp"
 #include "model/calibration.hpp"
 #include "platform/fabric.hpp"
+#include "stats/metrics.hpp"
 #include "storage/system.hpp"
 #include "workflow/workflow.hpp"
 
@@ -78,6 +79,11 @@ struct ExecutionConfig {
   PinningConfig pinning;
   /// Record the full event trace (disable for large sweeps).
   bool collect_trace = true;
+  /// Collect runtime metrics (engine/solver counters, per-resource
+  /// utilization, BB occupancy, task breakdown aggregates) into a
+  /// MetricsRegistry, exported as Result::metrics. Off by default: sweeps
+  /// that run thousands of simulations should not pay for sampling.
+  bool collect_metrics = false;
   /// Multiplier applied to every compute duration (testbed noise hook).
   std::function<double(const wf::Task&, std::size_t host)> compute_noise;
 };
@@ -95,6 +101,8 @@ class Simulation {
   storage::StorageSystem& storage() { return storage_; }
   const wf::Workflow& workflow() const { return workflow_; }
   const ExecutionConfig& config() const { return config_; }
+  /// The live metrics registry; nullptr unless config.collect_metrics.
+  stats::MetricsRegistry* metrics() { return metrics_.get(); }
 
   /// Runs to completion and returns the records. Callable once.
   Result run();
@@ -124,6 +132,7 @@ class Simulation {
   ExecutionConfig config_;
   platform::Fabric fabric_;
   storage::StorageSystem storage_;
+  std::unique_ptr<stats::MetricsRegistry> metrics_;  ///< set iff collect_metrics
 
   std::map<std::string, TaskState> states_;
   std::vector<std::string> topo_order_;
@@ -183,6 +192,8 @@ class Simulation {
   bool bb_has_room(double bytes);
   storage::StorageService* bb() { return storage_.burst_buffer(); }
   void trace(const char* kind, const std::string& task, std::string detail = "");
+  /// Increment a named metrics counter (no-op when metrics are off).
+  void bump(const char* counter_name, double delta = 1.0);
   double compute_duration(const TaskState& ts) const;
   Result collect_result();
 };

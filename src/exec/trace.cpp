@@ -76,6 +76,7 @@ json::Value Result::to_json() const {
     trace_arr.push_back(json::Value(std::move(o)));
   }
   root.set("trace", json::Value(std::move(trace_arr)));
+  if (!metrics.is_null()) root.set("metrics", metrics);
   return json::Value(std::move(root));
 }
 

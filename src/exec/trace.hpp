@@ -79,6 +79,9 @@ struct Result {
   double stage_out_duration = 0.0;
   /// Staged input files evicted from the BB to make room (bb_eviction).
   std::size_t evicted_files = 0;
+  /// Snapshot of the metrics registry (ExecutionConfig::collect_metrics);
+  /// null when metrics were not collected.
+  json::Value metrics;
 
   /// Mean observed duration of tasks of `type` (0 when none).
   double mean_duration(const std::string& type) const;

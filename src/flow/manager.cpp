@@ -40,6 +40,12 @@ void FlowManager::set_capacity(ResourceId id, double capacity) {
   reschedule();
 }
 
+void FlowManager::set_metrics(stats::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  util_series_.clear();
+  net_.set_metrics(metrics);
+}
+
 void FlowManager::settle() {
   const sim::Time now = engine_.now();
   const double dt = now - last_settle_;
@@ -67,6 +73,20 @@ void FlowManager::settle() {
   for (ResourceId r = 0; r < net_.resource_count(); ++r) {
     net_.resource(r).bytes_served += res_bytes[r];
     if (res_busy[r]) net_.resource(r).busy_time += dt;
+  }
+
+  if (metrics_ != nullptr) {
+    if (util_series_.size() != net_.resource_count()) {
+      util_series_.resize(net_.resource_count(), nullptr);
+      for (ResourceId r = 0; r < net_.resource_count(); ++r) {
+        util_series_[r] = &metrics_->series("flow.util." + net_.resource(r).name);
+      }
+    }
+    for (ResourceId r = 0; r < net_.resource_count(); ++r) {
+      const double cap = net_.resource(r).capacity;
+      if (cap <= 0.0 || cap == kUnlimited) continue;
+      util_series_[r]->sample(now, res_bytes[r] / (cap * dt), dt);
+    }
   }
 }
 

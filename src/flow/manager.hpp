@@ -52,6 +52,12 @@ class FlowManager {
   /// Re-runs the solver invariant checks (test hook).
   void check_invariants() const { net_.check_invariants(); }
 
+  /// Publish flow metrics: forwards to the network (solver counters) and
+  /// samples per-resource utilization (`flow.util.<resource>`) at every
+  /// settle point, weighted by the interval length so the series' mean is
+  /// the time-weighted utilization. nullptr disables publishing.
+  void set_metrics(stats::MetricsRegistry* metrics);
+
  private:
   sim::Engine& engine_;
   Network net_;
@@ -59,6 +65,10 @@ class FlowManager {
   sim::EventId wake_event_ = 0;
   bool wake_scheduled_ = false;
   sim::Time last_settle_ = 0.0;
+  stats::MetricsRegistry* metrics_ = nullptr;
+  /// Cached per-resource utilization series (index = ResourceId); refreshed
+  /// lazily when resources were added since the last settle.
+  std::vector<stats::TimeSeries*> util_series_;
 
   /// Apply elapsed progress since the last settle point.
   void settle();

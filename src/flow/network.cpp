@@ -8,9 +8,19 @@ namespace bbsim::flow {
 using util::InvariantError;
 using util::NotFoundError;
 
+namespace {
+/// Distinguish "NaN capacity" from "negative capacity" in error messages:
+/// both are rejected, but naming the actual violation makes upstream bugs
+/// (uninitialised spec fields, bad arithmetic) much easier to trace.
+std::string capacity_violation(double capacity) {
+  return std::isnan(capacity) ? "capacity is NaN"
+                              : "negative capacity " + std::to_string(capacity);
+}
+}  // namespace
+
 ResourceId Network::add_resource(std::string name, double capacity) {
   if (capacity < 0 || std::isnan(capacity)) {
-    throw InvariantError("resource '" + name + "': negative capacity");
+    throw InvariantError("resource '" + name + "': " + capacity_violation(capacity));
   }
   resources_.push_back(Resource{std::move(name), capacity, 0.0, 0.0});
   return static_cast<ResourceId>(resources_.size() - 1);
@@ -28,9 +38,21 @@ Resource& Network::resource(ResourceId id) {
 
 void Network::set_capacity(ResourceId id, double capacity) {
   if (capacity < 0 || std::isnan(capacity)) {
-    throw InvariantError("set_capacity: negative capacity");
+    throw InvariantError("set_capacity: " + capacity_violation(capacity));
   }
   resource(id).capacity = capacity;
+}
+
+void Network::set_metrics(stats::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    solve_calls_ = nullptr;
+    solve_rounds_ = nullptr;
+    active_flows_ = nullptr;
+    return;
+  }
+  solve_calls_ = &metrics->counter("flow.solve_calls");
+  solve_rounds_ = &metrics->counter("flow.solve_rounds");
+  active_flows_ = &metrics->gauge("flow.active_flows");
 }
 
 FlowId Network::add_flow(FlowSpec spec) {
@@ -40,21 +62,34 @@ FlowId Network::add_flow(FlowSpec spec) {
   if (spec.weight <= 0 || std::isnan(spec.weight)) {
     throw InvariantError("flow weight must be > 0");
   }
-  if (spec.rate_cap <= 0) {
-    throw InvariantError("flow rate cap must be > 0");
+  if (spec.rate_cap <= 0 || std::isnan(spec.rate_cap)) {
+    throw InvariantError(std::isnan(spec.rate_cap)
+                             ? "flow rate cap is NaN (must be > 0)"
+                             : "flow rate cap must be > 0");
   }
   for (const ResourceId r : spec.path) {
     if (r >= resources_.size()) {
       throw NotFoundError("flow path resource id " + std::to_string(r));
     }
   }
-  const FlowId id = next_flow_id_++;
-  id_to_index_.push_back(flows_.size());
+  // Recycle a retired id when one is available so id_to_index_ stays bounded
+  // by the concurrent-flow high-water mark (a long churny run would otherwise
+  // grow it by one slot per flow ever created).
+  FlowId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = next_flow_id_++;
+    id_to_index_.push_back(kNoFlow);
+  }
+  id_to_index_[id] = flows_.size();
   ids_.push_back(id);
   FlowState st;
   st.remaining = spec.volume;
   st.spec = std::move(spec);
   flows_.push_back(std::move(st));
+  if (active_flows_ != nullptr) active_flows_->set(static_cast<double>(flows_.size()));
   return id;
 }
 
@@ -75,6 +110,8 @@ void Network::remove_flow(FlowId id) {
   flows_.pop_back();
   ids_.pop_back();
   id_to_index_[id] = kNoFlow;
+  free_ids_.push_back(id);
+  if (active_flows_ != nullptr) active_flows_->set(static_cast<double>(flows_.size()));
 }
 
 const FlowState& Network::flow(FlowId id) const { return flows_[checked_index(id)]; }
@@ -94,6 +131,8 @@ int Network::solve() {
   const std::size_t n = flows_.size();
   const std::size_t m = resources_.size();
 
+  if (solve_calls_ != nullptr) solve_calls_->add(1.0);
+
   // Water-filling state. `level[f]` is the water level at which flow f froze;
   // its rate is weight * level. Unfrozen flows all sit at the current level.
   std::vector<bool> frozen(n, false);
@@ -103,7 +142,6 @@ int Network::solve() {
   for (std::size_t f = 0; f < n; ++f) {
     flows_[f].rate = 0.0;
     flows_[f].bottlenecked_by_cap = false;
-    for (const ResourceId r : flows_[f].spec.path) unfrozen_weight[r] += flows_[f].spec.weight;
   }
 
   std::size_t remaining = n;
@@ -112,6 +150,20 @@ int Network::solve() {
 
   while (remaining > 0) {
     ++rounds;
+    // Recompute per-resource unfrozen weight exactly each round. The
+    // incremental decrement-and-clamp it replaces loses weight to
+    // floating-point cancellation/absorption: a resource could end up with
+    // unfrozen_weight == 0 while unfrozen flows still cross it, and the
+    // saturation scan's 0/0 then poisons the level comparison with NaN
+    // (freezing flows far above the resource's true spare capacity).
+    std::fill(unfrozen_weight.begin(), unfrozen_weight.end(), 0.0);
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      for (const ResourceId r : flows_[f].spec.path) {
+        unfrozen_weight[r] += flows_[f].spec.weight;
+      }
+    }
+
     // Next saturation level among resources.
     double next_level = kUnlimited;
     for (std::size_t r = 0; r < m; ++r) {
@@ -162,7 +214,18 @@ int Network::solve() {
       bool saturated = false;
       for (const ResourceId r : flows_[f].spec.path) {
         if (resources_[r].capacity == kUnlimited) continue;
-        const double lvl = (resources_[r].capacity - frozen_load[r]) / unfrozen_weight[r];
+        const double uw = unfrozen_weight[r];
+        if (uw <= 0.0) {
+          // No unfrozen weight registered (possible only when this flow's
+          // weight was absorbed in floating-point summation): never divide
+          // by zero. An exhausted resource still saturates the flow.
+          if (resources_[r].capacity <= frozen_load[r]) {
+            saturated = true;
+            break;
+          }
+          continue;
+        }
+        const double lvl = (resources_[r].capacity - frozen_load[r]) / uw;
         if (lvl <= level + 1e-12 * std::max(1.0, level)) {
           saturated = true;
           break;
@@ -181,8 +244,12 @@ int Network::solve() {
         double lvl = flows_[f].spec.rate_cap / flows_[f].spec.weight;
         for (const ResourceId r : flows_[f].spec.path) {
           if (resources_[r].capacity == kUnlimited) continue;
-          lvl = std::min(lvl,
-                         (resources_[r].capacity - frozen_load[r]) / unfrozen_weight[r]);
+          const double uw = unfrozen_weight[r];
+          if (uw <= 0.0) {  // same degenerate case as the saturation scan
+            if (resources_[r].capacity <= frozen_load[r]) lvl = 0.0;
+            continue;
+          }
+          lvl = std::min(lvl, (resources_[r].capacity - frozen_load[r]) / uw);
         }
         if (lvl < best_lvl) {
           best_lvl = lvl;
@@ -197,14 +264,11 @@ int Network::solve() {
       frozen[f] = true;
       const double rate = std::min(level * flows_[f].spec.weight, flows_[f].spec.rate_cap);
       flows_[f].rate = std::max(rate, 0.0);
-      for (const ResourceId r : flows_[f].spec.path) {
-        frozen_load[r] += flows_[f].rate;
-        unfrozen_weight[r] -= flows_[f].spec.weight;
-        if (unfrozen_weight[r] < 1e-12) unfrozen_weight[r] = 0.0;
-      }
+      for (const ResourceId r : flows_[f].spec.path) frozen_load[r] += flows_[f].rate;
       --remaining;
     }
   }
+  if (solve_rounds_ != nullptr) solve_rounds_->add(static_cast<double>(rounds));
   return rounds;
 }
 

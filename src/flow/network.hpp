@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/metrics.hpp"
 #include "util/error.hpp"
 
 namespace bbsim::flow {
@@ -95,6 +96,15 @@ class Network {
   /// All flow ids currently active, in creation order (deterministic).
   std::vector<FlowId> flow_ids() const;
 
+  /// Size of the id -> index table. Bounded by the high-water mark of
+  /// concurrently active flows (ids are recycled through a free-list), not
+  /// by the total number of flows ever created.
+  std::size_t id_table_size() const { return id_to_index_.size(); }
+
+  /// Publish solver metrics (solve calls/rounds, active-flow high-water
+  /// mark) into `metrics`; nullptr disables publishing (the default).
+  void set_metrics(stats::MetricsRegistry* metrics);
+
   // ------------------------------------------------------- invariant checks
   /// Verifies that no resource is over capacity and every unfrozen flow is
   /// bottlenecked somewhere (max-min optimality witness). Throws
@@ -108,7 +118,13 @@ class Network {
   std::vector<FlowId> ids_;          // parallel arrays for cache-friendly solve
   std::vector<FlowState> flows_;
   std::vector<std::size_t> id_to_index_;  // FlowId -> index, kNoFlow when gone
+  std::vector<FlowId> free_ids_;     // recycled ids (keeps id_to_index_ bounded)
   FlowId next_flow_id_ = 0;
+
+  // Optional metrics sinks (cached so solve() skips the name lookups).
+  stats::Counter* solve_calls_ = nullptr;
+  stats::Counter* solve_rounds_ = nullptr;
+  stats::Gauge* active_flows_ = nullptr;
 
   std::size_t index_of(FlowId id) const {
     return id < id_to_index_.size() ? id_to_index_[id] : kNoFlow;

@@ -2,7 +2,23 @@
 
 #include <cmath>
 
+#include "stats/metrics.hpp"
+
 namespace bbsim::sim {
+
+void Engine::set_metrics(stats::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    events_scheduled_ = nullptr;
+    events_executed_ = nullptr;
+    events_cancelled_ = nullptr;
+    queue_depth_ = nullptr;
+    return;
+  }
+  events_scheduled_ = &metrics->counter("sim.events_scheduled");
+  events_executed_ = &metrics->counter("sim.events_executed");
+  events_cancelled_ = &metrics->counter("sim.events_cancelled");
+  queue_depth_ = &metrics->gauge("sim.queue_depth");
+}
 
 EventId Engine::schedule_at(Time t, EventHandler fn) {
   if (!(t >= now_)) {  // also rejects NaN
@@ -15,6 +31,10 @@ EventId Engine::schedule_at(Time t, EventHandler fn) {
   const EventId id = next_id_++;
   queue_.push(Record{t, next_seq_++, id});
   handlers_.emplace(id, std::move(fn));
+  if (events_scheduled_ != nullptr) {
+    events_scheduled_->add(1.0);
+    queue_depth_->set(static_cast<double>(pending_count()));
+  }
   return id;
 }
 
@@ -22,6 +42,7 @@ bool Engine::cancel(EventId id) {
   if (handlers_.count(id) == 0) return false;
   cancelled_.insert(id);
   handlers_.erase(id);
+  if (events_cancelled_ != nullptr) events_cancelled_->add(1.0);
   return true;
 }
 
@@ -50,6 +71,7 @@ bool Engine::step() {
   EventHandler fn = std::move(it->second);
   handlers_.erase(it);
   ++executed_;
+  if (events_executed_ != nullptr) events_executed_->add(1.0);
   fn();
   return true;
 }

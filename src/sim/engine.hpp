@@ -19,6 +19,12 @@
 
 #include "util/error.hpp"
 
+namespace bbsim::stats {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace bbsim::stats
+
 namespace bbsim::sim {
 
 /// Simulated time in seconds.
@@ -72,6 +78,11 @@ class Engine {
   /// Number of events currently pending (cancelled ones are excluded).
   std::size_t pending_count() const { return queue_.size() - cancelled_.size(); }
 
+  /// Publish engine metrics (events scheduled / executed / cancelled and the
+  /// pending-queue high-water mark) into `metrics`; nullptr disables
+  /// publishing (the default -- the hot path then pays only a null check).
+  void set_metrics(stats::MetricsRegistry* metrics);
+
  private:
   struct Record {
     Time time;
@@ -91,6 +102,13 @@ class Engine {
   std::priority_queue<Record, std::vector<Record>, std::greater<Record>> queue_;
   std::unordered_map<EventId, EventHandler> handlers_;
   std::unordered_set<EventId> cancelled_;
+
+  // Optional metrics sinks (cached Counter/Gauge pointers: no map lookup on
+  // the hot path).
+  stats::Counter* events_scheduled_ = nullptr;
+  stats::Counter* events_executed_ = nullptr;
+  stats::Counter* events_cancelled_ = nullptr;
+  stats::Gauge* queue_depth_ = nullptr;
 
   /// Pops the next live record or returns false.
   bool pop_next(Record& out);

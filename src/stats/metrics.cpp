@@ -1,0 +1,107 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+
+namespace bbsim::stats {
+
+TimeSeries::TimeSeries(std::size_t max_samples)
+    : max_samples_(std::max<std::size_t>(2, max_samples)) {
+  samples_.reserve(max_samples_);
+}
+
+void TimeSeries::sample(double time, double value, double weight) {
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > peak_) peak_ = value;
+  last_ = value;
+  ++count_;
+  if (weight > 0.0) {
+    weighted_sum_ += value * weight;
+    weight_total_ += weight;
+  }
+
+  // Keep every stride_-th sample; on overflow decimate 2:1 and double the
+  // stride, so the buffer always spans the whole run at bounded size.
+  if (++since_kept_ < stride_) return;
+  since_kept_ = 0;
+  if (samples_.size() >= max_samples_) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2) samples_[kept++] = samples_[i];
+    samples_.resize(kept);
+    stride_ *= 2;
+  }
+  samples_.push_back(Sample{time, value});
+}
+
+SeriesSummary TimeSeries::summary() const {
+  SeriesSummary s;
+  s.count = count_;
+  s.mean = weight_total_ > 0.0 ? weighted_sum_ / weight_total_ : 0.0;
+  s.min = min_;
+  s.peak = peak_;
+  s.last = last_;
+  return s;
+}
+
+TimeSeries& MetricsRegistry::series(const std::string& name, std::size_t max_samples) {
+  return series_.try_emplace(name, max_samples).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const TimeSeries* MetricsRegistry::find_series(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+json::Value MetricsRegistry::to_json(bool include_samples) const {
+  json::Object root;
+  root.set("schema", "bbsim.metrics.v1");
+
+  json::Object counters;
+  for (const auto& [name, c] : counters_) counters.set(name, c.value());
+  root.set("counters", json::Value(std::move(counters)));
+
+  json::Object gauges;
+  for (const auto& [name, g] : gauges_) {
+    json::Object o;
+    o.set("value", g.value());
+    o.set("peak", g.peak());
+    gauges.set(name, json::Value(std::move(o)));
+  }
+  root.set("gauges", json::Value(std::move(gauges)));
+
+  json::Object series;
+  for (const auto& [name, ts] : series_) {
+    const SeriesSummary s = ts.summary();
+    json::Object o;
+    o.set("count", s.count);
+    o.set("mean", s.mean);
+    o.set("min", s.min);
+    o.set("peak", s.peak);
+    o.set("last", s.last);
+    o.set("stride", ts.stride());
+    if (include_samples) {
+      json::Array arr;
+      for (const Sample& smp : ts.samples()) {
+        json::Array point;
+        point.push_back(json::Value(smp.time));
+        point.push_back(json::Value(smp.value));
+        arr.push_back(json::Value(std::move(point)));
+      }
+      o.set("samples", json::Value(std::move(arr)));
+    }
+    series.set(name, json::Value(std::move(o)));
+  }
+  root.set("series", json::Value(std::move(series)));
+  return json::Value(std::move(root));
+}
+
+}  // namespace bbsim::stats

@@ -73,6 +73,24 @@ double StorageService::total_capacity() const {
   return spec_.disk.capacity * spec_.num_nodes;
 }
 
+void StorageService::set_metrics(stats::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    occupancy_gauge_ = nullptr;
+    occupancy_series_ = nullptr;
+    return;
+  }
+  const std::string base = "storage." + name() + ".occupancy_bytes";
+  occupancy_gauge_ = &metrics->gauge(base);
+  occupancy_series_ = &metrics->series(base);
+  sample_occupancy();  // establish the timeline's starting point
+}
+
+void StorageService::sample_occupancy() {
+  if (occupancy_gauge_ == nullptr) return;
+  occupancy_gauge_->set(used_bytes_);
+  occupancy_series_->sample(fabric_.engine().now(), used_bytes_);
+}
+
 void StorageService::reserve_capacity(const FileRef& file) {
   if (file.size < 0) throw InvariantError("negative file size: " + file.name);
   double delta = file.size;
@@ -85,6 +103,7 @@ void StorageService::reserve_capacity(const FileRef& file) {
                       std::to_string(cap) + " bytes)");
   }
   used_bytes_ += delta;
+  sample_occupancy();
 }
 
 void StorageService::register_file(const FileRef& file, std::size_t host_idx) {
@@ -101,6 +120,7 @@ void StorageService::erase_file(const std::string& file_name) {
   if (it == replicas_.end()) return;
   used_bytes_ -= it->second.size;
   replicas_.erase(it);
+  sample_occupancy();
 }
 
 bool StorageService::readable_from(const std::string& file_name, std::size_t) const {

@@ -21,6 +21,7 @@
 
 #include "flow/network.hpp"
 #include "platform/fabric.hpp"
+#include "stats/metrics.hpp"
 
 namespace bbsim::storage {
 
@@ -118,6 +119,11 @@ class StorageService {
   /// Install the testbed's interference hook (nullptr to clear).
   void set_perturbation(PerturbFn fn) { perturb_ = std::move(fn); }
 
+  /// Publish storage metrics: an occupancy timeline + high-water gauge
+  /// (`storage.<name>.occupancy_bytes`) sampled at every capacity change.
+  /// nullptr disables publishing (the default).
+  void set_metrics(stats::MetricsRegistry* metrics);
+
   /// Bookkeeping for a write planned via plan_write() but executed
   /// externally (fused transfers): begin_external_write reserves capacity
   /// when the data starts moving; complete_external_write registers the
@@ -149,10 +155,14 @@ class StorageService {
   std::map<std::string, Replica> replicas_;
   double used_bytes_ = 0.0;
   PerturbFn perturb_;
+  stats::Gauge* occupancy_gauge_ = nullptr;
+  stats::TimeSeries* occupancy_series_ = nullptr;
 
   void apply_perturbation(IoPlan& plan, const FileRef& file, bool is_write,
                           std::size_t host_idx) const;
   void reserve_capacity(const FileRef& file);
+  /// Record `used_bytes_` into the occupancy metrics (no-op when disabled).
+  void sample_occupancy();
 };
 
 }  // namespace bbsim::storage

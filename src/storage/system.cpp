@@ -136,4 +136,8 @@ void StorageSystem::set_perturbation(const PerturbFn& fn) {
   for (auto& s : services_) s->set_perturbation(fn);
 }
 
+void StorageSystem::set_metrics(stats::MetricsRegistry* metrics) {
+  for (auto& s : services_) s->set_metrics(metrics);
+}
+
 }  // namespace bbsim::storage

@@ -51,6 +51,9 @@ class StorageSystem {
   /// Install the same perturbation hook on every service (testbed).
   void set_perturbation(const PerturbFn& fn);
 
+  /// Install the same metrics registry on every service (nullptr disables).
+  void set_metrics(stats::MetricsRegistry* metrics);
+
  private:
   platform::Fabric& fabric_;
   std::vector<std::unique_ptr<StorageService>> services_;

@@ -368,5 +368,125 @@ TEST(NetworkEdge, AbortOfUnknownFlowIsFalse) {
   EXPECT_FALSE(fm.abort(12345));
 }
 
+// --------------------------------------------- NaN / degenerate hardening
+
+TEST(NetworkHardening, NanRateCapIsRejected) {
+  // NaN sails through `rate_cap <= 0` (every comparison with NaN is false),
+  // so before the fix a NaN cap entered the solver and poisoned the level
+  // scan. It must be rejected at the door instead.
+  Network net;
+  const ResourceId r = net.add_resource("r", 100.0);
+  FlowSpec nan_cap{1.0, {r}};
+  nan_cap.rate_cap = std::nan("");
+  EXPECT_THROW(net.add_flow(nan_cap), util::InvariantError);
+  try {
+    net.add_flow(nan_cap);
+    FAIL() << "expected InvariantError";
+  } catch (const util::InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos);
+  }
+}
+
+TEST(NetworkHardening, NanCapacityErrorNamesNaN) {
+  // "negative capacity nan" misdiagnoses the violation; the message must
+  // name NaN so the real input bug is findable.
+  Network net;
+  try {
+    net.add_resource("r", std::nan(""));
+    FAIL() << "expected InvariantError";
+  } catch (const util::InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos);
+  }
+  const ResourceId r = net.add_resource("r", 1.0);
+  try {
+    net.set_capacity(r, std::nan(""));
+    FAIL() << "expected InvariantError";
+  } catch (const util::InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos);
+  }
+}
+
+TEST(NetworkHardening, TinyWeightSurvivesCancellation) {
+  // Regression for the zero-unfrozen-weight bug. Two normal flows freeze at
+  // their caps in earlier rounds; the remaining flow's weight (1e-13) fell
+  // below the old incremental bookkeeping's absorption clamp, leaving
+  // unfrozen_weight[r] == 0 while an unfrozen flow still crossed r. The
+  // saturation scan then computed 0/0 = NaN (or skipped the resource
+  // entirely), and the tiny flow froze at its cap of 100 -- ten times the
+  // resource's total capacity -- so check_invariants() threw.
+  Network net;
+  const ResourceId r = net.add_resource("r", 10.0);
+  FlowSpec a{1.0, {r}};
+  a.rate_cap = 2.0;
+  FlowSpec b{1.0, {r}};
+  b.weight = 1e-13;
+  b.rate_cap = 100.0;
+  FlowSpec c{1.0, {r}};
+  c.rate_cap = 3.0;
+  const FlowId fa = net.add_flow(a);
+  const FlowId fb = net.add_flow(b);
+  const FlowId fc = net.add_flow(c);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(fa).rate, 2.0);
+  EXPECT_DOUBLE_EQ(net.flow(fc).rate, 3.0);
+  // The tiny flow soaks up exactly the spare capacity, no more.
+  EXPECT_TRUE(std::isfinite(net.flow(fb).rate));
+  EXPECT_NEAR(net.flow(fb).rate, 5.0, 1e-6);
+  EXPECT_NO_THROW(net.check_invariants());
+}
+
+TEST(NetworkHardening, ExhaustedResourceDoesNotPoisonLaterRounds) {
+  // fa's cap exactly equals r's capacity, so after round 1 the resource is
+  // fully consumed with zero unfrozen weight. The unguarded level scan then
+  // computed (capacity - frozen_load) / unfrozen_weight = 0/0 = NaN in
+  // round 2; the fix skips resources with no unfrozen weight.
+  Network net;
+  const ResourceId r = net.add_resource("r", 10.0);
+  const ResourceId s = net.add_resource("s", 100.0);
+  FlowSpec capped{1.0, {r}};
+  capped.rate_cap = 10.0;
+  const FlowId fa = net.add_flow(capped);
+  const FlowId fb = net.add_flow({1.0, {s}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(fa).rate, 10.0);
+  EXPECT_TRUE(net.flow(fa).bottlenecked_by_cap);
+  EXPECT_DOUBLE_EQ(net.flow(fb).rate, 100.0);
+  EXPECT_NO_THROW(net.check_invariants());
+}
+
+TEST(NetworkHardening, FlowIdTableStaysBoundedUnderChurn) {
+  // Ids are recycled through a free-list: the id -> index table must stay
+  // bounded by the concurrent high-water mark, not grow with every flow
+  // ever created (it previously leaked one slot per add_flow forever).
+  Network net;
+  const ResourceId r = net.add_resource("r", 100.0);
+  for (int round = 0; round < 1000; ++round) {
+    const FlowId a = net.add_flow({1.0, {r}});
+    const FlowId b = net.add_flow({1.0, {r}});
+    net.solve();
+    net.remove_flow(a);
+    net.remove_flow(b);
+  }
+  EXPECT_EQ(net.flow_count(), 0u);
+  EXPECT_LE(net.id_table_size(), 2u);
+}
+
+TEST(NetworkHardening, RecycledIdsStayDistinct) {
+  // Recycling must never hand out an id that is still live.
+  Network net;
+  const ResourceId r = net.add_resource("r", 100.0);
+  const FlowId a = net.add_flow({1.0, {r}});
+  const FlowId b = net.add_flow({1.0, {r}});
+  net.remove_flow(a);
+  const FlowId c = net.add_flow({2.0, {r}});
+  EXPECT_NE(c, b);
+  EXPECT_TRUE(net.has_flow(b));
+  EXPECT_TRUE(net.has_flow(c));
+  EXPECT_FALSE(net.has_flow(a) && a != c);  // a's slot may be reused by c
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(b).rate, 50.0);
+  EXPECT_DOUBLE_EQ(net.flow(c).rate, 50.0);
+}
+
 }  // namespace
 }  // namespace bbsim::flow

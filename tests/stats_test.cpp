@@ -1,0 +1,264 @@
+// Unit + end-to-end tests for the metrics subsystem (src/stats) and its
+// wiring through the simulation layers and the CLI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/options.hpp"
+#include "cli/runner.hpp"
+#include "exec/engine.hpp"
+#include "json/json.hpp"
+#include "stats/metrics.hpp"
+#include "testbed/testbed.hpp"
+#include "workflow/swarp.hpp"
+
+namespace bbsim::stats {
+namespace {
+
+// ----------------------------------------------------------------- Counter
+
+TEST(Counter, AccumulatesDeltas) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+// ------------------------------------------------------------------- Gauge
+
+TEST(Gauge, TracksValueAndPeak) {
+  Gauge g;
+  g.set(5.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.peak(), 5.0);
+  g.add(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+  EXPECT_DOUBLE_EQ(g.peak(), 12.0);
+}
+
+// -------------------------------------------------------------- TimeSeries
+
+TEST(TimeSeries, SummaryIsExact) {
+  TimeSeries ts;
+  ts.sample(0.0, 4.0);
+  ts.sample(1.0, 2.0);
+  ts.sample(2.0, 6.0);
+  const SeriesSummary s = ts.summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.peak, 6.0);
+  EXPECT_DOUBLE_EQ(s.last, 6.0);
+}
+
+TEST(TimeSeries, WeightedMeanUsesWeights) {
+  TimeSeries ts;
+  ts.sample(0.0, 1.0, /*weight=*/3.0);
+  ts.sample(1.0, 5.0, /*weight=*/1.0);
+  EXPECT_DOUBLE_EQ(ts.summary().mean, 2.0);  // (3*1 + 1*5) / 4
+}
+
+TEST(TimeSeries, DecimationBoundsBufferButNotSummary) {
+  const std::size_t max = 16;
+  TimeSeries ts(max);
+  const std::size_t total = 10000;
+  for (std::size_t i = 0; i < total; ++i) {
+    ts.sample(static_cast<double>(i), static_cast<double>(i));
+  }
+  EXPECT_LE(ts.samples().size(), max);
+  EXPECT_GE(ts.stride(), total / max);
+  const SeriesSummary s = ts.summary();
+  EXPECT_EQ(s.count, total);  // exact even after decimation
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.peak, static_cast<double>(total - 1));
+  EXPECT_DOUBLE_EQ(s.last, static_cast<double>(total - 1));
+  // Retained samples stay in time order.
+  for (std::size_t i = 1; i < ts.samples().size(); ++i) {
+    EXPECT_LT(ts.samples()[i - 1].time, ts.samples()[i].time);
+  }
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(MetricsRegistry, ReferencesAreStableAcrossInserts) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  a.add(1.0);
+  // Force rebalancing pressure: many later insertions must not move "a".
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  a.add(1.0);
+  EXPECT_DOUBLE_EQ(reg.counter("a").value(), 2.0);
+  EXPECT_EQ(reg.counter_count(), 101u);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.find_series("missing"), nullptr);
+  EXPECT_EQ(reg.counter_count(), 0u);
+  reg.counter("hit").add(7.0);
+  ASSERT_NE(reg.find_counter("hit"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_counter("hit")->value(), 7.0);
+}
+
+TEST(MetricsRegistry, JsonExportIsDeterministicAndTyped) {
+  MetricsRegistry reg;
+  reg.counter("z.count").add(3.0);
+  reg.counter("a.count").add(1.0);
+  reg.gauge("depth").set(4.0);
+  reg.series("util").sample(0.0, 0.5);
+  const json::Value v = reg.to_json();
+  EXPECT_EQ(v.at("schema").as_string(), "bbsim.metrics.v1");
+  EXPECT_DOUBLE_EQ(v.at("counters").at("a.count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("counters").at("z.count").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("depth").at("peak").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(v.at("series").at("util").at("mean").as_number(), 0.5);
+  // Round-trips through the writer/parser and is byte-stable.
+  const std::string once = v.dump(2);
+  EXPECT_EQ(json::parse(once).dump(2), once);
+  EXPECT_EQ(reg.to_json().dump(2), once);
+  // Summaries-only export drops the sample arrays.
+  const json::Value lean = reg.to_json(/*include_samples=*/false);
+  EXPECT_FALSE(lean.at("series").at("util").contains("samples"));
+}
+
+}  // namespace
+}  // namespace bbsim::stats
+
+// ------------------------------------------------- end-to-end (simulation)
+
+namespace bbsim {
+namespace {
+
+exec::Result run_swarp_with_metrics(stats::MetricsRegistry** out = nullptr) {
+  wf::SwarpConfig scfg;
+  scfg.pipelines = 2;
+  scfg.cores_per_task = 1;
+  exec::ExecutionConfig cfg;
+  cfg.collect_metrics = true;
+  static std::unique_ptr<exec::Simulation> sim;  // keep registry alive
+  sim = std::make_unique<exec::Simulation>(
+      testbed::paper_platform(testbed::System::CoriPrivate), wf::make_swarp(scfg),
+      cfg);
+  exec::Result r = sim->run();
+  if (out != nullptr) *out = sim->metrics();
+  return r;
+}
+
+TEST(SimulationMetrics, RegistryIsNullWhenDisabled) {
+  wf::SwarpConfig scfg;
+  scfg.cores_per_task = 1;
+  exec::Simulation sim(testbed::paper_platform(testbed::System::CoriPrivate),
+                       wf::make_swarp(scfg), {});
+  EXPECT_EQ(sim.metrics(), nullptr);
+  const exec::Result r = sim.run();
+  EXPECT_TRUE(r.metrics.is_null());
+}
+
+TEST(SimulationMetrics, CollectsEngineSolverAndStorageMetrics) {
+  stats::MetricsRegistry* reg = nullptr;
+  const exec::Result result = run_swarp_with_metrics(&reg);
+  ASSERT_NE(reg, nullptr);
+  // Engine event counts.
+  ASSERT_NE(reg->find_counter("sim.events_scheduled"), nullptr);
+  ASSERT_NE(reg->find_counter("sim.events_executed"), nullptr);
+  EXPECT_GT(reg->find_counter("sim.events_executed")->value(), 0.0);
+  EXPECT_GE(reg->find_counter("sim.events_scheduled")->value(),
+            reg->find_counter("sim.events_executed")->value());
+  // Solver totals.
+  ASSERT_NE(reg->find_counter("flow.solve_calls"), nullptr);
+  ASSERT_NE(reg->find_counter("flow.solve_rounds"), nullptr);
+  EXPECT_GE(reg->find_counter("flow.solve_rounds")->value(),
+            reg->find_counter("flow.solve_calls")->value());
+  EXPECT_GT(reg->find_gauge("flow.active_flows")->peak(), 0.0);
+  // BB occupancy timeline: SWarp stages files into the BB, so the peak
+  // occupancy must be positive.
+  const stats::Gauge* bb = reg->find_gauge("storage.bb.occupancy_bytes");
+  ASSERT_NE(bb, nullptr);
+  EXPECT_GT(bb->peak(), 0.0);
+  const stats::TimeSeries* bb_ts = reg->find_series("storage.bb.occupancy_bytes");
+  ASSERT_NE(bb_ts, nullptr);
+  EXPECT_DOUBLE_EQ(bb_ts->summary().peak, bb->peak());
+  // Task breakdown aggregates.
+  EXPECT_DOUBLE_EQ(reg->find_counter("exec.tasks_completed")->value(),
+                   static_cast<double>(result.tasks.size()));
+  EXPECT_GT(reg->find_counter("exec.task_compute_time")->value(), 0.0);
+  // Per-resource utilization series exist and stay within [0, 1]-ish.
+  bool saw_util = false;
+  const json::Value v = result.metrics;
+  ASSERT_TRUE(v.is_object());
+  for (const auto& [name, entry] : v.at("series").as_object()) {
+    if (name.rfind("flow.util.", 0) != 0) continue;
+    saw_util = true;
+    EXPECT_GE(entry.at("min").as_number(), 0.0);
+    EXPECT_LE(entry.at("peak").as_number(), 1.0 + 1e-6) << name;
+  }
+  EXPECT_TRUE(saw_util);
+}
+
+TEST(SimulationMetrics, ResultJsonEmbedsMetrics) {
+  const exec::Result result = run_swarp_with_metrics();
+  const json::Value v = result.to_json();
+  ASSERT_TRUE(v.contains("metrics"));
+  EXPECT_EQ(v.at("metrics").at("schema").as_string(), "bbsim.metrics.v1");
+}
+
+}  // namespace
+}  // namespace bbsim
+
+// ------------------------------------------------------ CLI --metrics-out
+
+namespace bbsim::cli {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CliMetrics, MetricsOutWritesStableWellFormedJson) {
+  const std::string path = "cli_metrics_test.json";
+  const std::vector<std::string> args = {"--workflow", "swarp",
+                                         "--pipelines", "2",
+                                         "--quiet",
+                                         "--metrics-out", path};
+  ASSERT_EQ(run_cli(parse_cli(args)), 0);
+  const std::string first = slurp(path);
+  ASSERT_FALSE(first.empty());
+  // Well-formed, with the contract's minimum content.
+  const json::Value v = json::parse(first);
+  EXPECT_EQ(v.at("schema").as_string(), "bbsim.metrics.v1");
+  EXPECT_GT(v.at("counters").at("sim.events_executed").as_number(), 0.0);
+  EXPECT_GT(v.at("counters").at("flow.solve_rounds").as_number(), 0.0);
+  EXPECT_GT(v.at("gauges").at("storage.bb.occupancy_bytes").at("peak").as_number(),
+            0.0);
+  bool saw_util = false;
+  for (const auto& [name, entry] : v.at("series").as_object()) {
+    if (name.rfind("flow.util.", 0) == 0) {
+      saw_util = true;
+      EXPECT_TRUE(entry.contains("mean"));
+      EXPECT_TRUE(entry.contains("peak"));
+    }
+  }
+  EXPECT_TRUE(saw_util);
+  // Golden stability: the same run serialises byte-identically.
+  ASSERT_EQ(run_cli(parse_cli(args)), 0);
+  EXPECT_EQ(slurp(path), first);
+  std::remove(path.c_str());
+}
+
+TEST(CliMetrics, ParseRoundTrip) {
+  const CliOptions opt = parse_cli({"--metrics-out", "m.json"});
+  EXPECT_EQ(opt.metrics_path, "m.json");
+  EXPECT_TRUE(parse_cli({}).metrics_path.empty());
+}
+
+}  // namespace
+}  // namespace bbsim::cli

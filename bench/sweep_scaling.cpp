@@ -1,0 +1,115 @@
+// Sweep scaling -- serial vs. parallel execution of the SWarp validation
+// sweep (the Figure 10 campaign: systems x staged fractions x repetitions).
+//
+// Every simulation in the campaign is independent, so sweep::SweepRunner
+// should scale with worker count while producing a byte-identical report.
+// This bench measures the wall time of the same sweep at 1/2/4/8 workers,
+// verifies report identity, and writes BENCH_sweep.json.
+//
+// Speedups are bounded by the physical core count: on an N-core machine
+// expect ~min(jobs, N)x; the JSON records hardware_threads so results can
+// be interpreted.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "json/json.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+
+using namespace bbsim;
+
+namespace {
+
+/// The Figure 10 measurement campaign as independent sweep runs.
+std::vector<sweep::RunSpec> validation_sweep(const wf::Workflow& workflow,
+                                             const std::vector<testbed::Testbed>& tbs,
+                                             int reps) {
+  const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 1.0};
+  std::vector<sweep::RunSpec> specs;
+  for (const testbed::Testbed& tb : tbs) {
+    for (const double fraction : fractions) {
+      for (int rep = 0; rep < reps; ++rep) {
+        specs.push_back(sweep::RunSpec{
+            util::format("%s/frac%.2f/rep%d", to_string(tb.system()), fraction, rep),
+            [&tb, &workflow, fraction, rep] {
+              exec::ExecutionConfig cfg;
+              cfg.placement = std::make_shared<exec::FractionPolicy>(
+                  fraction, exec::Tier::BurstBuffer);
+              cfg.collect_trace = false;
+              return tb.run_once(workflow, cfg,
+                                 static_cast<unsigned long long>(rep), fraction);
+            }});
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Sweep scaling", "engine extension, no paper counterpart",
+                "Wall time of the SWarp validation sweep (Fig. 10 campaign) at "
+                "1/2/4/8 workers; parallel reports must be byte-identical to "
+                "serial.");
+
+  const wf::Workflow workflow = wf::make_swarp({});
+  constexpr int kReps = 5;
+  std::vector<testbed::Testbed> testbeds;
+  for (const auto system : bench::kAllSystems) {
+    testbed::TestbedOptions opt;
+    opt.repetitions = kReps;
+    testbeds.emplace_back(system, opt);
+  }
+  const std::vector<sweep::RunSpec> specs = validation_sweep(workflow, testbeds, kReps);
+  std::printf("campaign: %zu independent simulations, %d hardware threads\n\n",
+              specs.size(), sweep::effective_jobs(0));
+
+  analysis::Table t({"jobs", "wall (s)", "speedup", "report"});
+  json::Array measurements;
+  double serial_wall = 0.0;
+  std::string serial_report;
+  bool all_identical = true;
+  for (const int jobs : {1, 2, 4, 8}) {
+    sweep::SweepOptions sopt;
+    sopt.jobs = jobs;
+    const sweep::SweepRunner runner(sopt);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<sweep::RunOutcome> outcomes = runner.run(specs);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    // Timings excluded: the deterministic report must not depend on `jobs`.
+    const std::string report =
+        sweep::sweep_report("swarp-validation", outcomes, false).dump();
+    if (jobs == 1) {
+      serial_wall = wall;
+      serial_report = report;
+    }
+    const bool identical = report == serial_report;
+    all_identical = all_identical && identical;
+    const double speedup = wall > 0 ? serial_wall / wall : 0.0;
+    t.add_row({std::to_string(jobs), util::format("%.3f", wall),
+               util::format("%.2fx", speedup), identical ? "identical" : "DIVERGED"});
+    json::Object m;
+    m.set("jobs", jobs);
+    m.set("wall_seconds", wall);
+    m.set("speedup_vs_serial", speedup);
+    m.set("report_identical", identical);
+    measurements.push_back(json::Value(std::move(m)));
+  }
+  t.print();
+  bench::save_csv(t, "sweep_scaling.csv");
+
+  json::Object doc;
+  doc.set("schema", "bbsim.bench.sweep.v1");
+  doc.set("campaign", "swarp-validation (Fig. 10: 3 systems x 5 fractions x 5 reps)");
+  doc.set("runs", specs.size());
+  doc.set("hardware_threads", sweep::effective_jobs(0));
+  doc.set("reports_identical", all_identical);
+  doc.set("measurements", json::Value(std::move(measurements)));
+  json::write_file("BENCH_sweep.json", json::Value(std::move(doc)));
+  std::printf("[json] wrote BENCH_sweep.json\n");
+  std::printf("\nExpected: near-linear speedup up to the physical core count; "
+              "identical reports at every worker count.\n");
+  return !all_identical;
+}

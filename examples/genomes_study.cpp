@@ -1,9 +1,16 @@
 // 1000Genomes study: the paper's Section IV-C case study -- simulate the
 // 903-task workflow on the Cori and Summit models, sweep the staged input
 // fraction, and report makespans and speedups.
+//
+// The 6 fractions x 2 platforms grid runs through sweep::SweepRunner: the
+// simulations are independent, so workers execute them concurrently and
+// the outcomes come back in grid order for the table below. Usage:
+// genomes_study [chromosomes] [jobs]   (jobs 0 = all hardware threads,
+// the default).
 #include <cstdio>
 
 #include "analysis/report.hpp"
+#include "sweep/runner.hpp"
 #include "util/strings.hpp"
 #include "exec/engine.hpp"
 #include "testbed/testbed.hpp"
@@ -15,6 +22,8 @@ using namespace bbsim;
 int main(int argc, char** argv) {
   wf::GenomesConfig gcfg;
   if (argc > 1) gcfg.chromosomes = std::max(1, std::atoi(argv[1]));
+  int jobs = 0;  // default: one worker per hardware thread
+  if (argc > 2) jobs = std::max(0, std::atoi(argv[2]));
   const wf::Workflow workflow = wf::make_1000genomes(gcfg);
   std::printf("1000Genomes: %zu tasks over %d chromosomes, %.1f GB footprint "
               "(%.1f GB input)\n\n",
@@ -28,20 +37,46 @@ int main(int argc, char** argv) {
   // exercise contention (one node per ~3 chromosomes, as 8 nodes serve the
   // full 22-chromosome instance in bench_fig13).
   const int kComputeNodes = std::max(2, gcfg.chromosomes * 8 / 22);
+  const std::vector<testbed::System> systems = {testbed::System::CoriPrivate,
+                                                testbed::System::Summit};
+
+  std::vector<sweep::RunSpec> specs;
+  for (int pct = 0; pct <= 100; pct += 20) {
+    for (const auto system : systems) {
+      specs.push_back(sweep::RunSpec{
+          util::format("%s/%d%%", to_string(system), pct),
+          [&workflow, system, pct, kComputeNodes] {
+            exec::ExecutionConfig cfg;
+            cfg.placement = std::make_shared<exec::FractionPolicy>(
+                pct / 100.0, exec::Tier::BurstBuffer);
+            cfg.stage_in_mode = exec::StageInMode::Instant;
+            cfg.collect_trace = false;
+            exec::Simulation sim(testbed::paper_platform(system, kComputeNodes),
+                                 workflow, cfg);
+            return sim.run();
+          }});
+    }
+  }
+  sweep::SweepOptions sopt;
+  sopt.jobs = jobs;
+  const std::vector<sweep::RunOutcome> outcomes = sweep::SweepRunner(sopt).run(specs);
+
   analysis::Table t({"% input in BB", "cori (s)", "cori speedup", "summit (s)",
                      "summit speedup"});
   double cori_base = 0, summit_base = 0;
+  std::size_t next = 0;  // outcomes in grid order: pct, then system
   for (int pct = 0; pct <= 100; pct += 20) {
     std::vector<std::string> row{util::format("%d", pct)};
-    for (const auto system : {testbed::System::CoriPrivate, testbed::System::Summit}) {
-      exec::ExecutionConfig cfg;
-      cfg.placement =
-          std::make_shared<exec::FractionPolicy>(pct / 100.0, exec::Tier::BurstBuffer);
-      cfg.stage_in_mode = exec::StageInMode::Instant;
-      cfg.collect_trace = false;
-      exec::Simulation sim(testbed::paper_platform(system, kComputeNodes), workflow,
-                           cfg);
-      const double makespan = sim.run().makespan;
+    for (const auto system : systems) {
+      const sweep::RunOutcome& outcome = outcomes[next++];
+      if (!outcome.ok) {
+        std::fprintf(stderr, "FAILED %s: %s\n", outcome.name.c_str(),
+                     outcome.error.c_str());
+        row.push_back("-");
+        row.push_back("-");
+        continue;
+      }
+      const double makespan = outcome.result.makespan;
       double& base = system == testbed::System::Summit ? summit_base : cori_base;
       if (pct == 0) base = makespan;
       row.push_back(util::format("%.0f", makespan));

@@ -38,6 +38,9 @@ Emulation (stochastic "real machine" instead of the plain Table-I model):
   --testbed <cori-private|cori-striped|summit>
   --reps R                             repetitions (default: 1)
   --seed S                             RNG seed (default: 42)
+  --jobs N                             worker threads for repetitions
+                                       (default: 1; 0 = all hardware threads;
+                                       results are identical for any N)
 
 Output:
   --trace FILE.json                    write the full result (records + trace)
@@ -147,6 +150,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.repetitions = std::stoi(next_value(a));
     } else if (a == "--seed") {
       opt.seed = std::stoull(next_value(a));
+    } else if (a == "--jobs") {
+      opt.jobs = std::stoi(next_value(a));
     } else if (a == "--trace") {
       opt.trace_path = next_value(a);
     } else if (a == "--csv") {
@@ -171,6 +176,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   if (opt.stage_width < 1) throw ConfigError("--stage-width must be >= 1");
   if (opt.pipelines < 1) throw ConfigError("--pipelines must be >= 1");
   if (opt.repetitions < 1) throw ConfigError("--reps must be >= 1");
+  if (opt.jobs < 0) throw ConfigError("--jobs must be >= 0 (0 = all hardware threads)");
   (void)make_policy(opt.policy);  // validate early
   return opt;
 }

@@ -1,6 +1,10 @@
-// bbsim -- command-line options for the bbsim_run driver.
-//
-// Parsing lives in the library (not the binary) so it is unit-testable.
+/// \file
+/// bbsim::cli -- command-line options for the bbsim_run driver: every
+/// platform x workflow x policy x testbed combination from the paper's
+/// experiments (Sections III-IV) expressed as flags, including metrics
+/// export (--metrics-out) and parallel testbed repetitions (--reps/--jobs).
+///
+/// Parsing lives in the library (not the binary) so it is unit-testable.
 #pragma once
 
 #include <optional>
@@ -37,6 +41,10 @@ struct CliOptions {
   std::optional<testbed::System> testbed_system;
   int repetitions = 1;
   unsigned long long seed = 42;
+
+  // Parallelism: worker threads for independent repetitions / sweep runs
+  // (1 = serial, 0 = one per hardware thread). Never changes results.
+  int jobs = 1;
 
   // Outputs.
   std::string trace_path;    ///< result JSON

@@ -57,8 +57,6 @@ wf::Workflow resolve_workflow(const CliOptions& options) {
   return wf::load_workflow(options.workflow);
 }
 
-namespace {
-
 exec::ExecutionConfig execution_config(const CliOptions& options) {
   exec::ExecutionConfig cfg;
   cfg.placement = make_policy(options.policy);
@@ -71,6 +69,8 @@ exec::ExecutionConfig execution_config(const CliOptions& options) {
   if (options.cores > 0) cfg.force_cores = options.cores;
   return cfg;
 }
+
+namespace {
 
 void write_task_csv(const std::string& path, const exec::Result& result) {
   analysis::Table t({"task", "type", "host", "cores", "t_ready", "t_start",
@@ -151,7 +151,8 @@ int run_cli(const CliOptions& options) {
     topt.seed = options.seed;
     topt.repetitions = options.repetitions;
     const testbed::Testbed tb(*options.testbed_system, topt);
-    all_results = tb.run_repetitions(workflow, cfg);
+    all_results = tb.run_repetitions(workflow, cfg, /*staged_fraction_hint=*/-1.0,
+                                     options.jobs);
     if (!options.quiet && options.repetitions > 1) {
       std::vector<double> makespans;
       for (const auto& r : all_results) makespans.push_back(r.makespan);

@@ -1,4 +1,9 @@
-// bbsim -- the bbsim_run driver logic (library side, testable).
+/// \file
+/// bbsim::cli -- the bbsim_run driver logic (library side, testable):
+/// resolves parsed options into a platform + workflow + execution config,
+/// runs one simulation or testbed campaign (the single-run building block
+/// of the paper's Section III/IV experiments) and writes the requested
+/// outputs (trace/CSV/DOT/Gantt/metrics/report).
 #pragma once
 
 #include <string>
@@ -15,6 +20,10 @@ platform::PlatformSpec resolve_platform(const CliOptions& options);
 
 /// Resolve the workflow selection (generator name or JSON path).
 wf::Workflow resolve_workflow(const CliOptions& options);
+
+/// Build the execution config the options describe (placement policy,
+/// scheduler, staging, metrics collection).
+exec::ExecutionConfig execution_config(const CliOptions& options);
 
 /// Run the whole thing; returns the process exit code. Output goes to
 /// stdout (and to the files requested in options).

@@ -1,0 +1,205 @@
+#include "cli/sweep_cli.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "cli/runner.hpp"
+#include "exec/placement.hpp"
+#include "sweep/report.hpp"
+#include "testbed/testbed.hpp"
+#include "util/error.hpp"
+#include "workflow/clustering.hpp"
+
+namespace bbsim::cli {
+
+using util::ConfigError;
+
+std::string sweep_usage() {
+  return R"(bbsim_sweep -- run a multi-configuration study in parallel from a JSON spec
+
+usage: bbsim_sweep SPEC.json [options]
+
+The spec names a base configuration and axes of bbsim_run flag values; the
+cross product (x repetitions) is executed concurrently and aggregated into
+one deterministic JSON report (schema bbsim.sweep.v1). See docs/sweeps.md.
+
+Options:
+  --jobs N           worker threads (default: 1 = serial; 0 = all hardware
+                     threads). Results are identical for any N.
+  --out FILE.json    write the report to FILE (default: stdout)
+  --timings          embed per-run host wall times in the report (makes the
+                     report nondeterministic; off by default)
+  --cancel-on-error  skip runs that have not started once one run fails
+                     (default: keep going and report every failure)
+  --quiet            no per-run progress lines on stderr
+  --help
+)";
+}
+
+SweepCliOptions parse_sweep_cli(const std::vector<std::string>& args) {
+  SweepCliOptions opt;
+  std::size_t i = 0;
+  auto next_value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) throw ConfigError("missing value for " + flag);
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      opt.help = true;
+    } else if (a == "--jobs") {
+      opt.jobs = std::stoi(next_value(a));
+    } else if (a == "--out") {
+      opt.out_path = next_value(a);
+    } else if (a == "--timings") {
+      opt.timings = true;
+    } else if (a == "--cancel-on-error") {
+      opt.cancel_on_error = true;
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      throw ConfigError("unknown argument '" + a + "' (try --help)");
+    } else if (opt.spec_path.empty()) {
+      opt.spec_path = a;
+    } else {
+      throw ConfigError("more than one spec file given ('" + opt.spec_path +
+                        "' and '" + a + "')");
+    }
+  }
+  if (opt.jobs < 0) throw ConfigError("--jobs must be >= 0 (0 = all hardware threads)");
+  if (!opt.help && opt.spec_path.empty()) {
+    throw ConfigError("no sweep spec given (usage: bbsim_sweep SPEC.json)");
+  }
+  return opt;
+}
+
+namespace {
+
+/// Flags whose effects make no sense per sweep run (file outputs would
+/// collide across runs; reps/jobs belong to the sweep itself).
+const std::set<std::string>& forbidden_keys() {
+  static const std::set<std::string> keys = {
+      "trace", "csv",   "dot",    "metrics-out", "gantt", "describe",
+      "report", "quiet", "help",  "jobs",        "reps"};
+  return keys;
+}
+
+/// Translate one expanded run's settings into a bbsim_run argv and parse
+/// it with parse_cli -- the sweep-spec schema *is* the bbsim_run flag set.
+CliOptions options_from_settings(const json::Object& settings) {
+  std::vector<std::string> argv;
+  for (const auto& [key, value] : settings) {
+    if (key == "metrics") continue;  // sweep-level switch, handled below
+    if (forbidden_keys().count(key) > 0) {
+      throw ConfigError("sweep spec: '" + key + "' is not allowed inside a sweep" +
+                        (key == "reps" ? " (use top-level \"repetitions\")" : ""));
+    }
+    if (value.is_bool()) {
+      if (value.as_bool()) argv.push_back("--" + key);
+    } else {
+      argv.push_back("--" + key);
+      argv.push_back(sweep::settings_value_to_string(value));
+    }
+  }
+  return parse_cli(argv);
+}
+
+/// Execute one expanded run on a fully isolated simulation stack.
+exec::Result execute_run(const sweep::ExpandedRun& run, bool collect_metrics) {
+  const CliOptions opt = options_from_settings(run.settings);
+  wf::Workflow workflow = resolve_workflow(opt);
+  if (opt.cluster) workflow = wf::cluster_chains(workflow).workflow;
+
+  exec::ExecutionConfig cfg = execution_config(opt);
+  cfg.collect_metrics = collect_metrics;
+  cfg.collect_trace = false;  // sweeps aggregate records, not event traces
+
+  if (opt.testbed_system) {
+    // The repetition index salts the emulator's noise streams, exactly as
+    // Testbed::run_repetitions does for its serial loop.
+    double hint = -1.0;
+    if (const auto* fraction =
+            dynamic_cast<const exec::FractionPolicy*>(cfg.placement.get())) {
+      hint = fraction->input_fraction();
+    }
+    testbed::TestbedOptions topt;
+    topt.compute_nodes = opt.nodes;
+    topt.seed = opt.seed;
+    topt.repetitions = 1;
+    const testbed::Testbed tb(*opt.testbed_system, topt);
+    return tb.run_once(workflow, cfg,
+                       static_cast<unsigned long long>(run.repetition), hint);
+  }
+  exec::Simulation sim(resolve_platform(opt), workflow, cfg);
+  return sim.run();
+}
+
+}  // namespace
+
+std::vector<sweep::RunOutcome> execute_sweep_spec(const sweep::SweepSpec& spec,
+                                                  const SweepCliOptions& options) {
+  const bool collect_metrics = [&spec] {
+    const json::Value* flag = spec.base.find("metrics");
+    return flag != nullptr && flag->is_bool() && flag->as_bool();
+  }();
+
+  const std::vector<sweep::ExpandedRun> runs = sweep::expand(spec);
+  std::vector<sweep::RunSpec> specs;
+  specs.reserve(runs.size());
+  for (const sweep::ExpandedRun& run : runs) {
+    specs.push_back(sweep::RunSpec{
+        run.name, [&run, collect_metrics] { return execute_run(run, collect_metrics); }});
+  }
+
+  sweep::SweepOptions sopt;
+  sopt.jobs = options.jobs;
+  sopt.cancel_on_error = options.cancel_on_error;
+  if (!options.quiet) {
+    sopt.on_progress = [](const sweep::Progress& p) {
+      std::fprintf(stderr, "[%zu/%zu] %s %s\n", p.finished, p.total, p.name.c_str(),
+                   p.ok ? "ok" : "FAILED");
+    };
+  }
+  return sweep::SweepRunner(sopt).run(specs);
+}
+
+json::Value run_sweep_to_json(const sweep::SweepSpec& spec,
+                              const SweepCliOptions& options) {
+  return sweep::sweep_report(spec.name, execute_sweep_spec(spec, options),
+                             options.timings);
+}
+
+int run_sweep_cli(const SweepCliOptions& options) {
+  if (options.help) {
+    std::fputs(sweep_usage().c_str(), stdout);
+    return 0;
+  }
+  sweep::SweepSpec spec = sweep::load_sweep_spec(options.spec_path);
+  if (spec.name.empty()) spec.name = options.spec_path;  // untitled: use the file
+  const std::vector<sweep::RunOutcome> outcomes = execute_sweep_spec(spec, options);
+  const json::Value report = sweep::sweep_report(spec.name, outcomes, options.timings);
+  if (options.out_path.empty()) {
+    std::fputs((report.dump(2) + "\n").c_str(), stdout);
+  } else {
+    json::write_file(options.out_path, report);
+    if (!options.quiet) {
+      std::fprintf(stderr, "[json] wrote %s\n", options.out_path.c_str());
+    }
+  }
+  for (const sweep::RunOutcome& o : outcomes) {
+    if (!o.ok && !o.skipped) return 1;
+  }
+  return 0;
+}
+
+int sweep_main_impl(int argc, const char* const* argv) {
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return run_sweep_cli(parse_sweep_cli(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bbsim_sweep: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace bbsim::cli

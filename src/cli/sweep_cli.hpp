@@ -1,0 +1,56 @@
+/// \file
+/// bbsim::cli -- the bbsim_sweep driver: JSON-spec-driven parallel
+/// multi-configuration studies (the campaign shape behind the paper's
+/// Section IV-B validation and Section IV-C case-study figures).
+///
+/// A sweep spec (docs/sweeps.md) names a base configuration and axes whose
+/// cross product is executed by sweep::SweepRunner with `--jobs` worker
+/// threads, then aggregated into one "bbsim.sweep.v1" JSON report. The
+/// report is deterministic: for a given spec, serial and parallel
+/// executions serialise byte-identically (host wall times are only
+/// embedded with --timings).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace bbsim::cli {
+
+struct SweepCliOptions {
+  std::string spec_path;        ///< positional: the sweep spec JSON file
+  int jobs = 1;                 ///< worker threads (0 = hardware threads)
+  std::string out_path;         ///< report destination ("" = stdout)
+  bool timings = false;         ///< embed per-run host wall times
+  bool cancel_on_error = false; ///< skip unstarted runs after a failure
+  bool quiet = false;           ///< suppress per-run progress on stderr
+  bool help = false;
+};
+
+/// Parses argv (argv[0] skipped). Throws util::ConfigError on bad input.
+SweepCliOptions parse_sweep_cli(const std::vector<std::string>& args);
+
+/// The --help text of bbsim_sweep.
+std::string sweep_usage();
+
+/// Expand `spec` into runs, translate each run's settings into bbsim_run
+/// flags, execute them on a SweepRunner and return the outcomes in spec
+/// order. The testable core of bbsim_sweep.
+std::vector<sweep::RunOutcome> execute_sweep_spec(const sweep::SweepSpec& spec,
+                                                  const SweepCliOptions& options);
+
+/// execute_sweep_spec + sweep::sweep_report in one call.
+json::Value run_sweep_to_json(const sweep::SweepSpec& spec,
+                              const SweepCliOptions& options);
+
+/// Run the whole thing; returns the process exit code (non-zero when any
+/// run failed). The report goes to --out or stdout.
+int run_sweep_cli(const SweepCliOptions& options);
+
+/// Entry point used by tools/bbsim_sweep_main.cpp.
+int sweep_main_impl(int argc, const char* const* argv);
+
+}  // namespace bbsim::cli

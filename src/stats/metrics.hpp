@@ -1,26 +1,30 @@
-// bbsim -- runtime metrics: counters, gauges and time-series samplers.
-//
-// Every layer of the simulator (event engine, flow solver, storage services,
-// execution engine) publishes into one MetricsRegistry so a run can report
-// what actually happened at runtime -- solver rounds, queue depths, resource
-// utilization, burst-buffer occupancy -- without bespoke plumbing per
-// experiment. The registry is strictly opt-in: layers hold a nullable
-// pointer and publishing is a no-op until a registry is installed, so the
-// hot paths pay nothing when metrics are off.
-//
-// Metric kinds:
-//   Counter     monotonically increasing total (events executed, rounds).
-//   Gauge       instantaneous value with a high-water mark (queue depth,
-//               active flows, BB occupancy).
-//   TimeSeries  (time, value) samples with an exact running summary
-//               (weighted mean / min / peak) and a bounded sample buffer:
-//               when the buffer fills it is decimated 2:1 and the keep
-//               stride doubles, so memory stays O(max_samples) while the
-//               summary stays exact.
-//
-// JSON export (MetricsRegistry::to_json) is deterministic: metrics are
-// keyed by name in a sorted map, so two identical runs serialise
-// byte-identically (golden-file friendly).
+/// \file
+/// bbsim::stats -- runtime metrics: counters, gauges and time-series
+/// samplers. The observability substrate behind the kind of measurements
+/// the paper's Section III characterization makes (achieved bandwidth,
+/// occupancy, contention) -- here applied to the simulator itself.
+///
+/// Every layer of the simulator (event engine, flow solver, storage
+/// services, execution engine) publishes into one MetricsRegistry so a run
+/// can report what actually happened at runtime -- solver rounds, queue
+/// depths, resource utilization, burst-buffer occupancy -- without bespoke
+/// plumbing per experiment. The registry is strictly opt-in: layers hold a
+/// nullable pointer and publishing is a no-op until a registry is
+/// installed, so the hot paths pay nothing when metrics are off.
+///
+/// Metric kinds:
+///   Counter     monotonically increasing total (events executed, rounds).
+///   Gauge       instantaneous value with a high-water mark (queue depth,
+///               active flows, BB occupancy).
+///   TimeSeries  (time, value) samples with an exact running summary
+///               (weighted mean / min / peak) and a bounded sample buffer:
+///               when the buffer fills it is decimated 2:1 and the keep
+///               stride doubles, so memory stays O(max_samples) while the
+///               summary stays exact.
+///
+/// JSON export (MetricsRegistry::to_json) is deterministic: metrics are
+/// keyed by name in a sorted map, so two identical runs serialise
+/// byte-identically (golden-file friendly).
 #pragma once
 
 #include <cstddef>

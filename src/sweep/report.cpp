@@ -1,0 +1,86 @@
+#include "sweep/report.hpp"
+
+#include <limits>
+
+namespace bbsim::sweep {
+
+namespace {
+
+json::Value run_to_json(const RunOutcome& outcome, bool include_timings) {
+  json::Object run;
+  run.set("name", outcome.name);
+  run.set("ok", outcome.ok);
+  if (outcome.skipped) run.set("skipped", true);
+  if (!outcome.error.empty()) run.set("error", outcome.error);
+  if (outcome.ok) {
+    const exec::Result& r = outcome.result;
+    run.set("makespan", r.makespan);
+    run.set("stage_in", r.stage_in_duration);
+    run.set("workflow_span", r.workflow_span);
+    run.set("stage_out", r.stage_out_duration);
+    run.set("tasks", r.tasks.size());
+    run.set("demoted_writes", r.demoted_writes);
+    run.set("evicted_files", r.evicted_files);
+    run.set("skipped_stage_files", r.skipped_stage_files);
+    json::Array storage;
+    for (const exec::StorageCounters& s : r.storage) {
+      json::Object service;
+      service.set("service", s.service);
+      service.set("bytes_served", s.bytes_served);
+      service.set("busy_time", s.busy_time);
+      storage.push_back(json::Value(std::move(service)));
+    }
+    run.set("storage", json::Value(std::move(storage)));
+    if (!r.metrics.is_null()) run.set("metrics", r.metrics);
+  }
+  if (include_timings) run.set("wall_seconds", outcome.wall_seconds);
+  return json::Value(std::move(run));
+}
+
+}  // namespace
+
+json::Value sweep_report(const std::string& sweep_name,
+                         const std::vector<RunOutcome>& outcomes,
+                         bool include_timings) {
+  json::Object doc;
+  doc.set("schema", "bbsim.sweep.v1");
+  doc.set("name", sweep_name);
+
+  json::Array runs;
+  std::size_t ok = 0, failed = 0, skipped = 0;
+  double min_ms = std::numeric_limits<double>::infinity();
+  double max_ms = -std::numeric_limits<double>::infinity();
+  double sum_ms = 0.0;
+  for (const RunOutcome& outcome : outcomes) {
+    runs.push_back(run_to_json(outcome, include_timings));
+    if (outcome.ok) {
+      ++ok;
+      const double m = outcome.result.makespan;
+      if (m < min_ms) min_ms = m;
+      if (m > max_ms) max_ms = m;
+      sum_ms += m;
+    } else if (outcome.skipped) {
+      ++skipped;
+    } else {
+      ++failed;
+    }
+  }
+  doc.set("runs", json::Value(std::move(runs)));
+
+  json::Object summary;
+  summary.set("total", outcomes.size());
+  summary.set("ok", ok);
+  summary.set("failed", failed);
+  summary.set("skipped", skipped);
+  if (ok > 0) {
+    json::Object makespan;
+    makespan.set("min", min_ms);
+    makespan.set("mean", sum_ms / static_cast<double>(ok));
+    makespan.set("max", max_ms);
+    summary.set("makespan", json::Value(std::move(makespan)));
+  }
+  doc.set("summary", json::Value(std::move(summary)));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace bbsim::sweep

@@ -1,0 +1,40 @@
+/// \file
+/// bbsim::sweep -- aggregation of sweep outcomes into one JSON report.
+///
+/// A sweep produces one exec::Result (or one failure) per configuration;
+/// the report flattens them into a single deterministic JSON document
+/// (schema "bbsim.sweep.v1") suitable for offline analysis of a whole
+/// campaign -- the artefact a paper figure (e.g. Figure 10's measured
+/// series) is plotted from.
+///
+/// Determinism: runs appear in spec order and every field is derived from
+/// simulated quantities, so serial and parallel executions of the same
+/// spec serialise byte-identically. Host wall times are nondeterministic
+/// by nature and are therefore only included when `include_timings` is
+/// explicitly requested.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "sweep/runner.hpp"
+
+namespace bbsim::sweep {
+
+/// Build the sweep report:
+///   { "schema": "bbsim.sweep.v1",
+///     "name": ...,
+///     "runs": [ {"name", "ok", ("error"|"skipped")?, "makespan",
+///                "stage_in", "workflow_span", "stage_out", "tasks",
+///                "demoted_writes", "evicted_files", "skipped_stage_files",
+///                "storage": [{"service","bytes_served","busy_time"}],
+///                "metrics"?, "wall_seconds"?} ],
+///     "summary": {"total","ok","failed","skipped",
+///                 "makespan": {"min","mean","max"}?} }
+/// `metrics` is embedded per run when the run collected metrics.
+json::Value sweep_report(const std::string& sweep_name,
+                         const std::vector<RunOutcome>& outcomes,
+                         bool include_timings = false);
+
+}  // namespace bbsim::sweep

@@ -1,0 +1,107 @@
+#include "sweep/spec.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::sweep {
+
+using util::ConfigError;
+using util::ParseError;
+
+std::string settings_value_to_string(const json::Value& value) {
+  switch (value.type()) {
+    case json::Type::String: return value.as_string();
+    case json::Type::Bool: return value.as_bool() ? "1" : "0";
+    case json::Type::Number: {
+      const double n = value.as_number();
+      if (std::nearbyint(n) == n && std::abs(n) < 1e15) {
+        return util::format("%lld", static_cast<long long>(n));
+      }
+      return util::format("%g", n);
+    }
+    default:
+      throw ConfigError("sweep settings must be strings, numbers or booleans, got " +
+                        value.dump());
+  }
+}
+
+SweepSpec parse_sweep_spec(const json::Value& doc) {
+  if (!doc.is_object()) throw ParseError("sweep spec: top level must be an object");
+  SweepSpec spec;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "name") {
+      spec.name = value.as_string();
+    } else if (key == "base") {
+      if (!value.is_object()) throw ParseError("sweep spec: 'base' must be an object");
+      spec.base = value.as_object();
+    } else if (key == "axes") {
+      if (!value.is_object()) throw ParseError("sweep spec: 'axes' must be an object");
+      for (const auto& [axis_key, axis_values] : value.as_object()) {
+        if (!axis_values.is_array() || axis_values.as_array().empty()) {
+          throw ParseError("sweep spec: axis '" + axis_key +
+                           "' must be a non-empty array");
+        }
+        spec.axes.push_back(Axis{axis_key, axis_values.as_array()});
+      }
+    } else if (key == "repetitions") {
+      spec.repetitions = static_cast<int>(value.as_int());
+      if (spec.repetitions < 1) {
+        throw ConfigError("sweep spec: repetitions must be >= 1");
+      }
+    } else {
+      throw ParseError("sweep spec: unknown key '" + key +
+                       "' (expected name/base/axes/repetitions)");
+    }
+  }
+  // An empty name is allowed; bbsim_sweep falls back to the spec filename.
+  for (const Axis& axis : spec.axes) {
+    if (spec.base.contains(axis.key)) {
+      throw ConfigError("sweep spec: '" + axis.key + "' is both a base setting and an axis");
+    }
+  }
+  return spec;
+}
+
+SweepSpec load_sweep_spec(const std::string& path) {
+  return parse_sweep_spec(json::parse_file(path));
+}
+
+std::vector<ExpandedRun> expand(const SweepSpec& spec) {
+  std::size_t points = 1;
+  for (const Axis& axis : spec.axes) points *= axis.values.size();
+
+  std::vector<ExpandedRun> runs;
+  runs.reserve(points * static_cast<std::size_t>(spec.repetitions));
+  for (std::size_t p = 0; p < points; ++p) {
+    // Decode the point index into one value index per axis, last axis
+    // varying fastest (row-major over the declaration order).
+    std::vector<std::size_t> choice(spec.axes.size(), 0);
+    std::size_t rest = p;
+    for (std::size_t a = spec.axes.size(); a-- > 0;) {
+      choice[a] = rest % spec.axes[a].values.size();
+      rest /= spec.axes[a].values.size();
+    }
+    ExpandedRun point;
+    point.settings = spec.base;
+    std::string label;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      const Axis& axis = spec.axes[a];
+      const json::Value& value = axis.values[choice[a]];
+      point.settings.set(axis.key, value);
+      if (!label.empty()) label += ",";
+      label += axis.key + "=" + settings_value_to_string(value);
+    }
+    if (label.empty()) label = "base";
+    for (int rep = 0; rep < spec.repetitions; ++rep) {
+      ExpandedRun run = point;
+      run.repetition = rep;
+      run.name = spec.repetitions > 1 ? label + "#rep" + std::to_string(rep) : label;
+      runs.push_back(std::move(run));
+    }
+  }
+  return runs;
+}
+
+}  // namespace bbsim::sweep

@@ -1,0 +1,70 @@
+/// \file
+/// bbsim::sweep -- JSON sweep specifications and their expansion.
+///
+/// A sweep spec describes a multi-configuration study (the shape of the
+/// paper's Figures 10-11 validation and 13-14 case-study campaigns) as a
+/// base configuration plus named axes. Expansion takes the cross product
+/// of the axes and yields one flat settings object per run, in a
+/// deterministic order (axes vary in declaration order, the last axis
+/// fastest; repetitions fastest of all). The keys are interpreted by the
+/// consumer -- bbsim_sweep maps them onto bbsim_run command-line flags
+/// (see docs/sweeps.md for the schema).
+///
+/// Example:
+///   {
+///     "name": "swarp-validation",
+///     "base": { "workflow": "swarp", "cores": 32 },
+///     "axes": { "testbed": ["cori-private", "summit"],
+///               "policy": ["fraction:0", "fraction:0.5", "fraction:1"] },
+///     "repetitions": 3
+///   }
+/// expands to 2 x 3 x 3 = 18 runs named e.g.
+///   "testbed=cori-private,policy=fraction:0.5#rep1".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace bbsim::sweep {
+
+/// One axis of the sweep: a setting key and the values it takes.
+struct Axis {
+  std::string key;
+  json::Array values;
+};
+
+/// A parsed (but not yet expanded) sweep specification.
+struct SweepSpec {
+  std::string name;        ///< study label (report header)
+  json::Object base;       ///< settings shared by every run
+  std::vector<Axis> axes;  ///< cross-product dimensions, declaration order
+  int repetitions = 1;     ///< each point duplicated with "#repK" suffixes
+};
+
+/// One expanded run: its deterministic name, its flat settings (base
+/// overridden by this point's axis values), and its repetition index.
+struct ExpandedRun {
+  std::string name;
+  json::Object settings;
+  int repetition = 0;
+};
+
+/// Parse a sweep spec document. Accepted keys: "name" (string), "base"
+/// (object), "axes" (object of arrays), "repetitions" (int >= 1). Throws
+/// util::ParseError / util::ConfigError on malformed input.
+SweepSpec parse_sweep_spec(const json::Value& doc);
+
+/// Parse a sweep spec from a file.
+SweepSpec load_sweep_spec(const std::string& path);
+
+/// Expand the cross product. Deterministic: same spec -> same runs in the
+/// same order, independent of how they will be scheduled.
+std::vector<ExpandedRun> expand(const SweepSpec& spec);
+
+/// Render a settings value the way run names and CLI flags need it
+/// (numbers without a trailing ".0", strings verbatim, bools as 1/0).
+std::string settings_value_to_string(const json::Value& value);
+
+}  // namespace bbsim::sweep

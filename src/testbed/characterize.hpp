@@ -1,6 +1,13 @@
-// bbsim -- I/O characterization reports, in the spirit of the paper's
-// Section III study: per-task-type timing/λ/bandwidth aggregates over a set
-// of repetitions, plus per-service counters.
+/// \file
+/// bbsim::testbed -- I/O characterization reports (paper Section III).
+///
+/// The Section III study derives per-task-type timing/lambda/bandwidth
+/// aggregates from a set of repeated executions, plus per-storage-service
+/// counters (the toolkit behind Figures 5, 6 and 9). The inputs are plain
+/// exec::Result vectors -- produced serially or by a parallel
+/// sweep::SweepRunner campaign; the overloads taking sweep::RunOutcome
+/// consume a sweep directly, skipping failed runs and appending a failure
+/// roster to the report.
 #pragma once
 
 #include <string>
@@ -8,6 +15,7 @@
 
 #include "analysis/report.hpp"
 #include "exec/trace.hpp"
+#include "sweep/runner.hpp"
 
 namespace bbsim::testbed {
 
@@ -21,5 +29,14 @@ analysis::Table storage_table(const std::vector<exec::Result>& results);
 
 /// Renders both tables as a printable report.
 std::string characterization_report(const std::vector<exec::Result>& results);
+
+/// The successful results of a sweep, in spec order (failed and skipped
+/// runs are dropped).
+std::vector<exec::Result> ok_results(const std::vector<sweep::RunOutcome>& outcomes);
+
+/// Characterization over a sweep campaign: the report of the successful
+/// runs, followed by one line per failed run. Throws util::InvariantError
+/// when no run succeeded.
+std::string characterization_report(const std::vector<sweep::RunOutcome>& outcomes);
 
 }  // namespace bbsim::testbed

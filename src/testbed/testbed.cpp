@@ -1,7 +1,9 @@
 #include "testbed/testbed.hpp"
 
 #include <memory>
+#include <utility>
 
+#include "sweep/runner.hpp"
 #include "util/error.hpp"
 
 namespace bbsim::testbed {
@@ -247,12 +249,37 @@ exec::Result Testbed::run_once(const wf::Workflow& workflow,
 
 std::vector<exec::Result> Testbed::run_repetitions(const wf::Workflow& workflow,
                                                    const exec::ExecutionConfig& config,
-                                                   double staged_fraction_hint) const {
-  std::vector<exec::Result> out;
-  out.reserve(static_cast<std::size_t>(opt_.repetitions));
+                                                   double staged_fraction_hint,
+                                                   int jobs) const {
+  if (jobs == 1) {
+    std::vector<exec::Result> out;
+    out.reserve(static_cast<std::size_t>(opt_.repetitions));
+    for (int rep = 0; rep < opt_.repetitions; ++rep) {
+      out.push_back(run_once(workflow, config, static_cast<unsigned long long>(rep),
+                             staged_fraction_hint));
+    }
+    return out;
+  }
+  // Each repetition is an isolated simulation stack seeded by its index, so
+  // the result vector is identical to the serial path for any job count.
+  std::vector<sweep::RunSpec> specs;
+  specs.reserve(static_cast<std::size_t>(opt_.repetitions));
   for (int rep = 0; rep < opt_.repetitions; ++rep) {
-    out.push_back(run_once(workflow, config, static_cast<unsigned long long>(rep),
-                           staged_fraction_hint));
+    specs.push_back(sweep::RunSpec{
+        "rep" + std::to_string(rep),
+        [this, &workflow, &config, rep, staged_fraction_hint] {
+          return run_once(workflow, config, static_cast<unsigned long long>(rep),
+                          staged_fraction_hint);
+        }});
+  }
+  sweep::SweepOptions sopt;
+  sopt.jobs = jobs;
+  std::vector<sweep::RunOutcome> outcomes = sweep::SweepRunner(sopt).run(specs);
+  std::vector<exec::Result> out;
+  out.reserve(outcomes.size());
+  for (sweep::RunOutcome& o : outcomes) {
+    if (!o.ok) throw util::InvariantError("testbed repetition failed: " + o.error);
+    out.push_back(std::move(o.result));
   }
   return out;
 }

@@ -93,9 +93,13 @@ class Testbed {
   /// Run `opt.repetitions` perturbed executions. `staged_fraction_hint`
   /// tells the emulator the fraction of input files being staged so the
   /// striped-mode anomaly can trigger (pass the sweep value; -1 = unknown).
+  /// `jobs` runs repetitions concurrently through sweep::SweepRunner
+  /// (1 = serial, 0 = one worker per hardware thread); every repetition is
+  /// seeded by its index, so the results are identical for any job count.
   std::vector<exec::Result> run_repetitions(const wf::Workflow& workflow,
                                             const exec::ExecutionConfig& config,
-                                            double staged_fraction_hint = -1.0) const;
+                                            double staged_fraction_hint = -1.0,
+                                            int jobs = 1) const;
 
   /// Run one repetition with an explicit seed salt.
   exec::Result run_once(const wf::Workflow& workflow, const exec::ExecutionConfig& config,

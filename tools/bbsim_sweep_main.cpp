@@ -1,0 +1,6 @@
+// bbsim_sweep -- run a JSON-specified multi-configuration study in
+// parallel and write one aggregated report. All logic lives in
+// src/cli/sweep_cli.cpp so it is unit-testable.
+#include "cli/sweep_cli.hpp"
+
+int main(int argc, char** argv) { return bbsim::cli::sweep_main_impl(argc, argv); }

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's Markdown files.
+
+Scans every tracked *.md file for inline links and images
+(``[text](target)`` / ``![alt](target)``) and verifies that each relative
+target exists on disk. External schemes (http/https/mailto) and pure
+in-page anchors (``#section``) are skipped; a ``path#anchor`` target is
+checked for the path only. Exit code 1 lists every dead link.
+
+Run from anywhere inside the repo: ``python3 tools/check_md_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Inline links, excluding images' leading "!" only for the report label.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def repo_root() -> Path:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return Path(out.stdout.strip())
+
+
+def markdown_files(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        check=True,
+        capture_output=True,
+        text=True,
+        cwd=root,
+    )
+    return sorted({root / line for line in out.stdout.splitlines() if line})
+
+
+def strip_code_blocks(text: str) -> str:
+    """Blank out fenced code blocks so example links are not checked."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return "\n".join(lines)
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors = []
+    text = strip_code_blocks(md.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (root / path_part) if path_part.startswith("/") else (md.parent / path_part)
+        if not resolved.exists():
+            line_no = text[: match.start()].count("\n") + 1
+            errors.append(f"{md.relative_to(root)}:{line_no}: dead link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = repo_root()
+    files = markdown_files(root)
+    errors: list[str] = []
+    for md in files:
+        errors.extend(check_file(md, root))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} dead relative link(s) across {len(files)} Markdown files.")
+        return 1
+    print(f"OK: {len(files)} Markdown files, all relative links resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

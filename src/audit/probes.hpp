@@ -1,0 +1,97 @@
+/// \file
+/// bbsim::audit -- layer probes: the observers that hook the auditor into
+/// the engine, the flow solver and the storage services.
+///
+/// Each probe implements one layer's observer interface and translates what
+/// it sees into Auditor violations:
+///
+///   EngineProbe   event-clock monotonicity and event lifecycle legality
+///                 (an executed event must have been scheduled, must not
+///                 fire twice, and must not run before its predecessor);
+///   StorageProbe  byte conservation per file (every replica's size must
+///                 match the workflow's declared file size), capacity
+///                 discipline (occupancy never above capacity) and
+///                 allocation/release balance (a shadow ledger re-derives
+///                 occupancy from the event stream and must agree with the
+///                 service's own accounting, exactly at end of run);
+///   audit_flow_network  the max-min certificate for one converged solve
+///                 (wired as Network's post-solve hook).
+///
+/// Probes are passive: they never mutate the observed layer and never
+/// throw; violations are recorded so an audited run completes and reports
+/// everything at once. exec::Simulation owns the wiring (ExecutionConfig::
+/// audit) because the probes must outlive the run they observe.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "audit/auditor.hpp"
+#include "flow/network.hpp"
+#include "sim/engine.hpp"
+#include "storage/service.hpp"
+
+namespace bbsim::audit {
+
+/// Verifies event-clock monotonicity and activity lifecycle legality.
+class EngineProbe final : public sim::EngineObserver {
+ public:
+  explicit EngineProbe(Auditor& auditor) : auditor_(auditor) {}
+
+  void on_scheduled(sim::EventId id, sim::Time now, sim::Time when) override;
+  void on_executed(sim::EventId id, sim::Time when) override;
+  void on_cancelled(sim::EventId id) override;
+
+  std::size_t live_events() const { return live_.size(); }
+
+ private:
+  Auditor& auditor_;
+  double last_executed_ = 0.0;
+  bool any_executed_ = false;
+  std::unordered_set<sim::EventId> live_;  ///< scheduled, not yet fired/cancelled
+};
+
+/// Verifies storage byte conservation, capacity and allocation balance.
+class StorageProbe final : public storage::StorageObserver {
+ public:
+  /// `now` supplies the simulated clock for violation timestamps.
+  StorageProbe(Auditor& auditor, std::function<double()> now)
+      : auditor_(auditor), now_(std::move(now)) {}
+
+  /// Declare a file's true size (from the workflow); replicas of the file
+  /// must match it wherever they land. Files never declared are skipped by
+  /// the conservation check.
+  void set_expected_size(const std::string& file, double size);
+
+  void on_occupancy_change(const storage::StorageService& svc, const std::string& file,
+                           double delta, double used_after) override;
+  void on_replica_created(const storage::StorageService& svc,
+                          const storage::FileRef& file) override;
+  void on_replica_erased(const storage::StorageService& svc, const std::string& file,
+                         double size) override;
+
+  /// End-of-run balance: for every observed service, the shadow ledger,
+  /// the service's own used_bytes() and the sum of replica sizes must all
+  /// agree -- every byte reserved was either released or became a replica.
+  void finalize();
+
+ private:
+  Auditor& auditor_;
+  std::function<double()> now_;
+  std::unordered_map<std::string, double> expected_size_;
+  /// Shadow occupancy per service, re-derived from the deltas alone.
+  std::map<const storage::StorageService*, double> ledger_;
+  double time() const { return now_ ? now_() : kPostRun; }
+};
+
+/// Certifies one converged max-min allocation: records kFlowOverCapacity /
+/// kFlowNotMaxMin for every violated condition of Network::solve_issues().
+/// Wire as `net.set_post_solve_hook(...)` with the engine clock for
+/// timestamps.
+void audit_flow_network(Auditor& auditor, const flow::Network& net, double now,
+                        double tolerance = 1e-6);
+
+}  // namespace bbsim::audit

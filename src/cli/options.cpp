@@ -48,6 +48,11 @@ Output:
   --dot FILE.dot                       write the workflow DAG as Graphviz
   --metrics-out FILE.json              write runtime metrics (engine/solver
                                        counters, utilization, BB occupancy)
+  --audit                              verify simulation invariants during the
+                                       run (clock, byte conservation, BB
+                                       capacity, max-min fairness, schedule
+                                       legality); exit 1 on any violation
+  --audit-out FILE.json                write the audit report (implies --audit)
   --gantt                              print an ASCII Gantt chart
   --describe                           print the workflow structure summary
   --report                             print the per-type I/O characterization
@@ -160,6 +165,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.dot_path = next_value(a);
     } else if (a == "--metrics-out") {
       opt.metrics_path = next_value(a);
+    } else if (a == "--audit") {
+      opt.audit = true;
+    } else if (a == "--audit-out") {
+      opt.audit_path = next_value(a);
+      opt.audit = true;
     } else if (a == "--gantt") {
       opt.gantt = true;
     } else if (a == "--describe") {

@@ -51,6 +51,8 @@ struct CliOptions {
   std::string csv_path;      ///< per-task CSV
   std::string dot_path;      ///< workflow DOT
   std::string metrics_path;  ///< metrics registry JSON (enables collection)
+  bool audit = false;        ///< run the invariant auditor alongside the run
+  std::string audit_path;    ///< audit report JSON (implies audit)
   bool gantt = false;
   bool describe = false;  ///< print the workflow structure summary
   bool report = false;    ///< print the per-type characterization report

@@ -66,6 +66,7 @@ exec::ExecutionConfig execution_config(const CliOptions& options) {
   cfg.bb_eviction = options.evict;
   cfg.stage_in_width = options.stage_width;
   cfg.collect_metrics = !options.metrics_path.empty();
+  cfg.audit = options.audit;
   if (options.cores > 0) cfg.force_cores = options.cores;
   return cfg;
 }
@@ -185,6 +186,43 @@ int run_cli(const CliOptions& options) {
     json::write_file(options.metrics_path, result.metrics);
     if (!options.quiet) {
       std::printf("[metrics] wrote %s\n", options.metrics_path.c_str());
+    }
+  }
+  if (options.audit) {
+    if (result.audit.is_null()) {
+      // The build compiled the hooks out (BBSIM_AUDIT=OFF).
+      std::fprintf(stderr,
+                   "bbsim_run: --audit requested but this build has no audit "
+                   "hooks (reconfigure with -DBBSIM_AUDIT=ON)\n");
+      return 1;
+    }
+    std::size_t violations = 0;
+    for (const exec::Result& r : all_results) violations += r.audit_violations;
+    if (!options.audit_path.empty()) {
+      json::write_file(options.audit_path, result.audit);
+      if (!options.quiet) {
+        std::printf("[audit] wrote %s\n", options.audit_path.c_str());
+      }
+    }
+    if (violations > 0) {
+      std::fprintf(stderr, "bbsim_run: audit FAILED: %zu invariant violation(s)",
+                   violations);
+      std::size_t shown = 0;
+      for (const exec::Result& r : all_results) {
+        if (shown >= 5 || r.audit_violations == 0) continue;
+        const json::Array& arr = r.audit.at("violations").as_array();
+        for (std::size_t v = 0; v < arr.size() && shown < 5; ++v, ++shown) {
+          std::fprintf(stderr, "\n  - [%s] %s",
+                       arr[v].at("code").as_string().c_str(),
+                       arr[v].at("message").as_string().c_str());
+        }
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    if (!options.quiet) {
+      std::printf("[audit] clean: all invariants held (%zu run%s)\n",
+                  all_results.size(), all_results.size() == 1 ? "" : "s");
     }
   }
   return 0;

@@ -29,6 +29,10 @@ Options:
   --out FILE.json    write the report to FILE (default: stdout)
   --timings          embed per-run host wall times in the report (makes the
                      report nondeterministic; off by default)
+  --audit            verify simulation invariants in every run; per-run
+                     violation counts land in the report and any violation
+                     makes the sweep exit non-zero (a spec can also opt
+                     single runs in with "audit": true)
   --cancel-on-error  skip runs that have not started once one run fails
                      (default: keep going and report every failure)
   --quiet            no per-run progress lines on stderr
@@ -53,6 +57,8 @@ SweepCliOptions parse_sweep_cli(const std::vector<std::string>& args) {
       opt.out_path = next_value(a);
     } else if (a == "--timings") {
       opt.timings = true;
+    } else if (a == "--audit") {
+      opt.audit = true;
     } else if (a == "--cancel-on-error") {
       opt.cancel_on_error = true;
     } else if (a == "--quiet") {
@@ -79,8 +85,8 @@ namespace {
 /// collide across runs; reps/jobs belong to the sweep itself).
 const std::set<std::string>& forbidden_keys() {
   static const std::set<std::string> keys = {
-      "trace", "csv",   "dot",    "metrics-out", "gantt", "describe",
-      "report", "quiet", "help",  "jobs",        "reps"};
+      "trace", "csv",   "dot",    "metrics-out", "audit-out", "gantt",
+      "describe", "report", "quiet", "help",  "jobs",        "reps"};
   return keys;
 }
 
@@ -105,7 +111,8 @@ CliOptions options_from_settings(const json::Object& settings) {
 }
 
 /// Execute one expanded run on a fully isolated simulation stack.
-exec::Result execute_run(const sweep::ExpandedRun& run, bool collect_metrics) {
+exec::Result execute_run(const sweep::ExpandedRun& run, bool collect_metrics,
+                         bool force_audit) {
   const CliOptions opt = options_from_settings(run.settings);
   wf::Workflow workflow = resolve_workflow(opt);
   if (opt.cluster) workflow = wf::cluster_chains(workflow).workflow;
@@ -113,6 +120,7 @@ exec::Result execute_run(const sweep::ExpandedRun& run, bool collect_metrics) {
   exec::ExecutionConfig cfg = execution_config(opt);
   cfg.collect_metrics = collect_metrics;
   cfg.collect_trace = false;  // sweeps aggregate records, not event traces
+  if (force_audit) cfg.audit = true;  // a spec's "audit": true is kept either way
 
   if (opt.testbed_system) {
     // The repetition index salts the emulator's noise streams, exactly as
@@ -147,8 +155,10 @@ std::vector<sweep::RunOutcome> execute_sweep_spec(const sweep::SweepSpec& spec,
   std::vector<sweep::RunSpec> specs;
   specs.reserve(runs.size());
   for (const sweep::ExpandedRun& run : runs) {
-    specs.push_back(sweep::RunSpec{
-        run.name, [&run, collect_metrics] { return execute_run(run, collect_metrics); }});
+    specs.push_back(sweep::RunSpec{run.name, [&run, collect_metrics, &options] {
+                                     return execute_run(run, collect_metrics,
+                                                        options.audit);
+                                   }});
   }
 
   sweep::SweepOptions sopt;
@@ -188,6 +198,15 @@ int run_sweep_cli(const SweepCliOptions& options) {
   }
   for (const sweep::RunOutcome& o : outcomes) {
     if (!o.ok && !o.skipped) return 1;
+  }
+  std::size_t violations = 0;
+  for (const sweep::RunOutcome& o : outcomes) {
+    if (o.ok) violations += o.result.audit_violations;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "bbsim_sweep: audit FAILED: %zu invariant violation(s)\n",
+                 violations);
+    return 1;
   }
   return 0;
 }

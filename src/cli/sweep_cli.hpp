@@ -25,6 +25,7 @@ struct SweepCliOptions {
   int jobs = 1;                 ///< worker threads (0 = hardware threads)
   std::string out_path;         ///< report destination ("" = stdout)
   bool timings = false;         ///< embed per-run host wall times
+  bool audit = false;           ///< run the invariant auditor in every run
   bool cancel_on_error = false; ///< skip unstarted runs after a failure
   bool quiet = false;           ///< suppress per-run progress on stderr
   bool help = false;

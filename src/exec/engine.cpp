@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "exec/validate.hpp"
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -40,6 +42,24 @@ Simulation::Simulation(platform::PlatformSpec platform, const wf::Workflow& work
     fabric_.flows().set_metrics(metrics_.get());
     storage_.set_metrics(metrics_.get());
   }
+#if defined(BBSIM_AUDIT_ENABLED)
+  if (config_.audit) {
+    auditor_ = std::make_unique<audit::Auditor>();
+    engine_probe_ = std::make_unique<audit::EngineProbe>(*auditor_);
+    storage_probe_ = std::make_unique<audit::StorageProbe>(
+        *auditor_, [this] { return fabric_.engine().now(); });
+    for (const std::string& f : workflow_.file_names()) {
+      storage_probe_->set_expected_size(f, workflow_.file(f).size);
+    }
+    fabric_.engine().set_observer(engine_probe_.get());
+    storage_.set_observer(storage_probe_.get());
+    fabric_.flows().network().set_post_solve_hook(
+        [this](const flow::Network& net, int /*rounds*/) {
+          audit::audit_flow_network(*auditor_, net, fabric_.engine().now());
+        });
+    if (metrics_) auditor_->set_metrics(metrics_.get());
+  }
+#endif
 }
 
 void Simulation::bump(const char* counter_name, double delta) {
@@ -590,6 +610,12 @@ Result Simulation::collect_result() {
     r.storage.push_back(std::move(c));
   }
   if (metrics_) r.metrics = metrics_->to_json();
+  if (auditor_) {
+    storage_probe_->finalize();
+    audit_result(r, workflow_, fabric_.spec(), *auditor_);
+    r.audit = auditor_->to_json();
+    r.audit_violations = auditor_->total();
+  }
   return r;
 }
 

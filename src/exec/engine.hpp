@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/probes.hpp"
 #include "exec/placement.hpp"
 #include "exec/pinning.hpp"
 #include "exec/trace.hpp"
@@ -84,6 +85,13 @@ struct ExecutionConfig {
   /// MetricsRegistry, exported as Result::metrics. Off by default: sweeps
   /// that run thousands of simulations should not pay for sampling.
   bool collect_metrics = false;
+  /// Attach the invariant auditor: engine/storage probes run during the
+  /// simulation, the flow network is certified max-min fair after every
+  /// solve, and the finished Result is cross-checked. Violations are
+  /// collected (never thrown) and exported as Result::audit (schema
+  /// bbsim.audit.v1). Requires a build with BBSIM_AUDIT=ON (the default);
+  /// ignored otherwise.
+  bool audit = false;
   /// Multiplier applied to every compute duration (testbed noise hook).
   std::function<double(const wf::Task&, std::size_t host)> compute_noise;
 };
@@ -103,6 +111,9 @@ class Simulation {
   const ExecutionConfig& config() const { return config_; }
   /// The live metrics registry; nullptr unless config.collect_metrics.
   stats::MetricsRegistry* metrics() { return metrics_.get(); }
+  /// The live invariant auditor; nullptr unless config.audit (or when the
+  /// build compiled the hooks out, BBSIM_AUDIT=OFF).
+  audit::Auditor* auditor() { return auditor_.get(); }
 
   /// Runs to completion and returns the records. Callable once.
   Result run();
@@ -133,6 +144,10 @@ class Simulation {
   platform::Fabric fabric_;
   storage::StorageSystem storage_;
   std::unique_ptr<stats::MetricsRegistry> metrics_;  ///< set iff collect_metrics
+  // Invariant auditing (set iff config.audit and the build has the hooks).
+  std::unique_ptr<audit::Auditor> auditor_;
+  std::unique_ptr<audit::EngineProbe> engine_probe_;
+  std::unique_ptr<audit::StorageProbe> storage_probe_;
 
   std::map<std::string, TaskState> states_;
   std::vector<std::string> topo_order_;

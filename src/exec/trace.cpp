@@ -77,6 +77,7 @@ json::Value Result::to_json() const {
   }
   root.set("trace", json::Value(std::move(trace_arr)));
   if (!metrics.is_null()) root.set("metrics", metrics);
+  if (!audit.is_null()) root.set("audit", audit);
   return json::Value(std::move(root));
 }
 

@@ -82,6 +82,12 @@ struct Result {
   /// Snapshot of the metrics registry (ExecutionConfig::collect_metrics);
   /// null when metrics were not collected.
   json::Value metrics;
+  /// Invariant-audit report, schema bbsim.audit.v1 (ExecutionConfig::audit);
+  /// null when the run was not audited.
+  json::Value audit;
+  /// Violations the auditor recorded (0 when auditing was off or the run
+  /// was clean -- check `audit.is_null()` to tell the two apart).
+  std::size_t audit_violations = 0;
 
   /// Mean observed duration of tasks of `type` (0 when none).
   double mean_duration(const std::string& type) const;

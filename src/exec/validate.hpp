@@ -14,21 +14,44 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "exec/trace.hpp"
 #include "platform/spec.hpp"
 #include "workflow/workflow.hpp"
 
 namespace bbsim::exec {
 
+/// Which invariant a ValidationIssue violates (machine-readable; the audit
+/// layer maps these onto audit::Code categories).
+enum class IssueCode {
+  kMissingRecord,    ///< a workflow task has no execution record
+  kUnknownTask,      ///< a record exists for a task not in the workflow
+  kPhaseOrder,       ///< ready/start/reads/compute/end timestamps disordered
+  kHostRange,        ///< record names a host index outside the platform
+  kCoreBudget,       ///< a task's cores exceed its host's core count
+  kPrecedence,       ///< a child started before a parent finished
+  kOversubscribed,   ///< concurrent tasks exceeded a host's cores
+  kMakespan,         ///< the makespan does not cover every task
+};
+
 /// One violated invariant.
 struct ValidationIssue {
   std::string what;
+  IssueCode code = IssueCode::kMissingRecord;
 };
 
 /// Returns all violations found (empty = the run is consistent).
 std::vector<ValidationIssue> validate_result(const Result& result,
                                              const wf::Workflow& workflow,
                                              const platform::PlatformSpec& platform);
+
+/// Records every validation issue into `auditor` (schedule legality:
+/// lifecycle, precedence, core non-overlap), then cross-checks byte
+/// conservation between each task's recorded I/O volumes and the
+/// workflow's declared file sizes. Used by audited runs after the engine
+/// drains; detection times are audit::kPostRun.
+void audit_result(const Result& result, const wf::Workflow& workflow,
+                  const platform::PlatformSpec& platform, audit::Auditor& auditor);
 
 /// Convenience: throws InvariantError listing the first issues when any
 /// violation is found.

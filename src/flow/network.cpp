@@ -19,9 +19,8 @@ std::string capacity_violation(double capacity) {
 }  // namespace
 
 ResourceId Network::add_resource(std::string name, double capacity) {
-  if (capacity < 0 || std::isnan(capacity)) {
-    throw InvariantError("resource '" + name + "': " + capacity_violation(capacity));
-  }
+  BBSIM_ASSERT(capacity >= 0 && !std::isnan(capacity),
+               "resource '" + name + "': " + capacity_violation(capacity));
   resources_.push_back(Resource{std::move(name), capacity, 0.0, 0.0});
   return static_cast<ResourceId>(resources_.size() - 1);
 }
@@ -37,9 +36,8 @@ Resource& Network::resource(ResourceId id) {
 }
 
 void Network::set_capacity(ResourceId id, double capacity) {
-  if (capacity < 0 || std::isnan(capacity)) {
-    throw InvariantError("set_capacity: " + capacity_violation(capacity));
-  }
+  BBSIM_ASSERT(capacity >= 0 && !std::isnan(capacity),
+               "set_capacity: " + capacity_violation(capacity));
   resource(id).capacity = capacity;
 }
 
@@ -56,17 +54,13 @@ void Network::set_metrics(stats::MetricsRegistry* metrics) {
 }
 
 FlowId Network::add_flow(FlowSpec spec) {
-  if (spec.volume < 0 || std::isnan(spec.volume)) {
-    throw InvariantError("flow volume must be >= 0");
-  }
-  if (spec.weight <= 0 || std::isnan(spec.weight)) {
-    throw InvariantError("flow weight must be > 0");
-  }
-  if (spec.rate_cap <= 0 || std::isnan(spec.rate_cap)) {
-    throw InvariantError(std::isnan(spec.rate_cap)
-                             ? "flow rate cap is NaN (must be > 0)"
-                             : "flow rate cap must be > 0");
-  }
+  BBSIM_ASSERT(spec.volume >= 0 && !std::isnan(spec.volume),
+               "flow volume must be >= 0");
+  BBSIM_ASSERT(spec.weight > 0 && !std::isnan(spec.weight),
+               "flow weight must be > 0");
+  BBSIM_ASSERT(spec.rate_cap > 0 && !std::isnan(spec.rate_cap),
+               std::isnan(spec.rate_cap) ? "flow rate cap is NaN (must be > 0)"
+                                         : "flow rate cap must be > 0");
   for (const ResourceId r : spec.path) {
     if (r >= resources_.size()) {
       throw NotFoundError("flow path resource id " + std::to_string(r));
@@ -269,10 +263,12 @@ int Network::solve() {
     }
   }
   if (solve_rounds_ != nullptr) solve_rounds_->add(static_cast<double>(rounds));
+  BBSIM_AUDIT_HOOK(if (post_solve_) post_solve_(*this, rounds));
   return rounds;
 }
 
-void Network::check_invariants(double tolerance) const {
+std::vector<SolveIssue> Network::solve_issues(double tolerance) const {
+  std::vector<SolveIssue> issues;
   const std::size_t m = resources_.size();
   std::vector<double> load(m, 0.0);
   for (const FlowState& f : flows_) {
@@ -282,14 +278,18 @@ void Network::check_invariants(double tolerance) const {
   for (std::size_t r = 0; r < m; ++r) {
     if (resources_[r].capacity == kUnlimited) continue;
     if (load[r] > resources_[r].capacity * (1.0 + tolerance) + tolerance) {
-      throw InvariantError("resource '" + resources_[r].name + "' over capacity: " +
-                           std::to_string(load[r]) + " > " +
-                           std::to_string(resources_[r].capacity));
+      issues.push_back(SolveIssue{
+          SolveIssue::Kind::kOverCapacity, resources_[r].name,
+          "resource '" + resources_[r].name + "' over capacity: " +
+              std::to_string(load[r]) + " > " +
+              std::to_string(resources_[r].capacity)});
     }
   }
-  // Max-min witness: every flow is either at its cap or crosses a resource
-  // that is (nearly) saturated.
-  for (const FlowState& f : flows_) {
+  // Max-min/KKT certificate: every flow is either at its cap or crosses a
+  // resource that is (nearly) saturated -- otherwise its rate could grow
+  // without shrinking any smaller flow, so the allocation is not max-min.
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const FlowState& f = flows_[i];
     if (f.rate == kUnlimited) continue;
     if (f.rate >= f.spec.rate_cap * (1.0 - tolerance)) continue;
     bool bottleneck = f.spec.path.empty();  // pathless flows must be capped
@@ -301,10 +301,19 @@ void Network::check_invariants(double tolerance) const {
       }
     }
     if (!bottleneck) {
-      throw InvariantError("flow has spare capacity everywhere but is not at its cap "
-                           "(rate=" + std::to_string(f.rate) + ")");
+      issues.push_back(SolveIssue{
+          SolveIssue::Kind::kNotMaxMin, "flow " + std::to_string(ids_[i]),
+          "flow has spare capacity everywhere but is not at its cap (rate=" +
+              std::to_string(f.rate) + ")"});
     }
   }
+  return issues;
+}
+
+void Network::check_invariants(double tolerance) const {
+  const std::vector<SolveIssue> issues = solve_issues(tolerance);
+  BBSIM_ASSERT(issues.empty(),
+               issues.empty() ? std::string() : issues.front().what);
 }
 
 }  // namespace bbsim::flow

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -58,6 +59,22 @@ struct FlowState {
   double rate = 0.0;       ///< current allocation (bytes/second)
   bool bottlenecked_by_cap = false;  ///< true if the cap froze it (diagnostics)
 };
+
+/// One violated solver invariant, found by solve_issues(). `kOverCapacity`
+/// means a resource's summed flow rates exceed its capacity (feasibility);
+/// `kNotMaxMin` means a flow below its rate cap crosses no saturated
+/// resource -- the max-min/KKT certificate fails: that flow's rate could be
+/// raised without lowering any smaller flow.
+struct SolveIssue {
+  enum class Kind { kOverCapacity, kNotMaxMin };
+  Kind kind = Kind::kOverCapacity;
+  std::string subject;  ///< resource name (over-capacity) or flow id string
+  std::string what;
+};
+
+/// Invoked after every solve() with the converged network and the round
+/// count -- the audit hook verifying each allocation's fairness certificate.
+using PostSolveHook = std::function<void(const class Network&, int rounds)>;
 
 /// The set of resources and active flows, with the max-min solver.
 class Network {
@@ -106,10 +123,21 @@ class Network {
   void set_metrics(stats::MetricsRegistry* metrics);
 
   // ------------------------------------------------------- invariant checks
-  /// Verifies that no resource is over capacity and every unfrozen flow is
-  /// bottlenecked somewhere (max-min optimality witness). Throws
-  /// InvariantError on violation; used by tests and debug builds.
+  /// Returns every violated solver invariant: resources over capacity
+  /// (feasibility) and flows below their cap with no saturated bottleneck
+  /// (the max-min optimality certificate: no flow's rate can increase
+  /// without decreasing a smaller one). Empty = the allocation is a valid
+  /// weighted max-min optimum within `tolerance`.
+  std::vector<SolveIssue> solve_issues(double tolerance = 1e-6) const;
+
+  /// Throwing form of solve_issues(): raises InvariantError on the first
+  /// violation. Used by tests and debug builds.
   void check_invariants(double tolerance = 1e-6) const;
+
+  /// Install a hook invoked after every solve() (nullptr/default-empty
+  /// disables). The audit layer uses it to certify each converged
+  /// allocation; call sites compile out when BBSIM_AUDIT=OFF.
+  void set_post_solve_hook(PostSolveHook hook) { post_solve_ = std::move(hook); }
 
  private:
   static constexpr std::size_t kNoFlow = static_cast<std::size_t>(-1);
@@ -120,6 +148,8 @@ class Network {
   std::vector<std::size_t> id_to_index_;  // FlowId -> index, kNoFlow when gone
   std::vector<FlowId> free_ids_;     // recycled ids (keeps id_to_index_ bounded)
   FlowId next_flow_id_ = 0;
+
+  PostSolveHook post_solve_;
 
   // Optional metrics sinks (cached so solve() skips the name lookups).
   stats::Counter* solve_calls_ = nullptr;

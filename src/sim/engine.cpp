@@ -31,6 +31,7 @@ EventId Engine::schedule_at(Time t, EventHandler fn) {
   const EventId id = next_id_++;
   queue_.push(Record{t, next_seq_++, id});
   handlers_.emplace(id, std::move(fn));
+  BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_scheduled(id, now_, t));
   if (events_scheduled_ != nullptr) {
     events_scheduled_->add(1.0);
     queue_depth_->set(static_cast<double>(pending_count()));
@@ -42,6 +43,7 @@ bool Engine::cancel(EventId id) {
   if (handlers_.count(id) == 0) return false;
   cancelled_.insert(id);
   handlers_.erase(id);
+  BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_cancelled(id));
   if (events_cancelled_ != nullptr) events_cancelled_->add(1.0);
   return true;
 }
@@ -71,6 +73,7 @@ bool Engine::step() {
   EventHandler fn = std::move(it->second);
   handlers_.erase(it);
   ++executed_;
+  BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_executed(r.id, r.time));
   if (events_executed_ != nullptr) events_executed_->add(1.0);
   fn();
   return true;

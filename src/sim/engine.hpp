@@ -37,6 +37,21 @@ using EventId = std::uint64_t;
 /// the event's timestamp and may schedule further events.
 using EventHandler = std::function<void()>;
 
+/// Observer of the engine's event lifecycle, for invariant auditing
+/// (src/audit installs one when auditing is on). Callbacks fire inline on
+/// the simulation path; implementations must not mutate the engine. The
+/// call sites compile out entirely when BBSIM_AUDIT=OFF.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  /// `when` is the event's absolute timestamp; `now` the clock at scheduling.
+  virtual void on_scheduled(EventId id, Time now, Time when) = 0;
+  /// Fired immediately before the handler runs, with the clock at `when`.
+  virtual void on_executed(EventId id, Time when) = 0;
+  /// Fired when a pending event is successfully cancelled.
+  virtual void on_cancelled(EventId id) = 0;
+};
+
 /// The simulation engine: virtual clock + event queue.
 ///
 /// Usage:
@@ -83,6 +98,10 @@ class Engine {
   /// publishing (the default -- the hot path then pays only a null check).
   void set_metrics(stats::MetricsRegistry* metrics);
 
+  /// Install a lifecycle observer (nullptr disables; the default). The
+  /// observer must outlive the engine or be cleared before destruction.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
  private:
   struct Record {
     Time time;
@@ -102,6 +121,8 @@ class Engine {
   std::priority_queue<Record, std::vector<Record>, std::greater<Record>> queue_;
   std::unordered_map<EventId, EventHandler> handlers_;
   std::unordered_set<EventId> cancelled_;
+
+  EngineObserver* observer_ = nullptr;
 
   // Optional metrics sinks (cached Counter/Gauge pointers: no map lookup on
   // the hot path).

@@ -73,6 +73,12 @@ double StorageService::total_capacity() const {
   return spec_.disk.capacity * spec_.num_nodes;
 }
 
+double StorageService::replica_bytes() const {
+  double sum = 0.0;
+  for (const auto& [_, rep] : replicas_) sum += rep.size;
+  return sum;
+}
+
 void StorageService::set_metrics(stats::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     occupancy_gauge_ = nullptr;
@@ -92,7 +98,7 @@ void StorageService::sample_occupancy() {
 }
 
 void StorageService::reserve_capacity(const FileRef& file) {
-  if (file.size < 0) throw InvariantError("negative file size: " + file.name);
+  BBSIM_ASSERT(file.size >= 0, "negative file size: " + file.name);
   double delta = file.size;
   const auto it = replicas_.find(file.name);
   if (it != replicas_.end()) delta -= it->second.size;  // overwrite frees old bytes
@@ -103,23 +109,36 @@ void StorageService::reserve_capacity(const FileRef& file) {
                       std::to_string(cap) + " bytes)");
   }
   used_bytes_ += delta;
+  BBSIM_AUDIT_HOOK(if (observer_ != nullptr) {
+    observer_->on_occupancy_change(*this, file.name, delta, used_bytes_);
+  });
   sample_occupancy();
 }
 
-void StorageService::register_file(const FileRef& file, std::size_t host_idx) {
-  reserve_capacity(file);
+void StorageService::install_replica(const FileRef& file, std::size_t host_idx) {
   Replica rep;
   rep.size = file.size;
   rep.node = placement_node(file, host_idx);
   rep.creator_host = host_idx;
   replicas_[file.name] = rep;
+  BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_replica_created(*this, file));
+}
+
+void StorageService::register_file(const FileRef& file, std::size_t host_idx) {
+  reserve_capacity(file);
+  install_replica(file, host_idx);
 }
 
 void StorageService::erase_file(const std::string& file_name) {
   const auto it = replicas_.find(file_name);
   if (it == replicas_.end()) return;
-  used_bytes_ -= it->second.size;
+  const double size = it->second.size;
+  used_bytes_ -= size;
   replicas_.erase(it);
+  BBSIM_AUDIT_HOOK(if (observer_ != nullptr) {
+    observer_->on_occupancy_change(*this, file_name, -size, used_bytes_);
+    observer_->on_replica_erased(*this, file_name, size);
+  });
   sample_occupancy();
 }
 
@@ -177,11 +196,7 @@ void StorageService::write(const FileRef& file, std::size_t host_idx, Done done)
   // The replica becomes visible only when the last byte lands.
   execute_plan(fabric_, std::move(plan),
                [this, file, host_idx, done = std::move(done)] {
-                 Replica rep;
-                 rep.size = file.size;
-                 rep.node = placement_node(file, host_idx);
-                 rep.creator_host = host_idx;
-                 replicas_[file.name] = rep;
+                 install_replica(file, host_idx);
                  if (done) done();
                });
 }
@@ -192,13 +207,9 @@ void StorageService::begin_external_write(const FileRef& file) {
 
 void StorageService::complete_external_write(const FileRef& file, std::size_t host_idx) {
   // Capacity was reserved at begin_external_write; only the replica record
-  // is created here. Adjust for an overwrite of a pre-existing replica
-  // (reserve_capacity already credited its bytes back).
-  Replica rep;
-  rep.size = file.size;
-  rep.node = placement_node(file, host_idx);
-  rep.creator_host = host_idx;
-  replicas_[file.name] = rep;
+  // is created here (reserve_capacity already credited back the bytes of an
+  // overwritten pre-existing replica).
+  install_replica(file, host_idx);
 }
 
 }  // namespace bbsim::storage

@@ -64,6 +64,27 @@ struct IoPlan {
 /// Execute a plan on the fabric; `done` fires when every sub-flow finished.
 void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done);
 
+class StorageService;
+
+/// Observer of a storage service's capacity accounting and replica
+/// lifecycle, for invariant auditing (src/audit installs one when auditing
+/// is on). Callbacks fire inline; implementations must not mutate the
+/// service. Call sites compile out when BBSIM_AUDIT=OFF.
+class StorageObserver {
+ public:
+  virtual ~StorageObserver() = default;
+  /// Occupancy changed by `delta` bytes (reservation or release);
+  /// `used_after` is the service's own accounting after the change.
+  virtual void on_occupancy_change(const StorageService& svc, const std::string& file,
+                                   double delta, double used_after) = 0;
+  /// A replica became visible (instant registration, write completion or
+  /// fused-transfer completion).
+  virtual void on_replica_created(const StorageService& svc, const FileRef& file) = 0;
+  /// A replica was dropped, releasing `size` bytes.
+  virtual void on_replica_erased(const StorageService& svc, const std::string& file,
+                                 double size) = 0;
+};
+
 /// Abstract storage service. Construct subclasses via make_service() or
 /// StorageSystem (system.hpp).
 class StorageService {
@@ -95,6 +116,12 @@ class StorageService {
   /// Drop a replica (no simulated cost; deletion is metadata-only here).
   void erase_file(const std::string& file_name);
   double used_bytes() const { return used_bytes_; }
+  /// Sum of all replica sizes. Equals used_bytes() whenever no write is in
+  /// flight (writes reserve capacity before their replica appears); the
+  /// auditor checks the two agree at end of run (allocation/release
+  /// balance).
+  double replica_bytes() const;
+  std::size_t replica_count() const { return replicas_.size(); }
   /// Total capacity across storage nodes (kUnlimited for the PFS).
   double total_capacity() const;
 
@@ -123,6 +150,10 @@ class StorageService {
   /// (`storage.<name>.occupancy_bytes`) sampled at every capacity change.
   /// nullptr disables publishing (the default).
   void set_metrics(stats::MetricsRegistry* metrics);
+
+  /// Install a capacity/replica lifecycle observer (nullptr disables; the
+  /// default). The observer must outlive the service or be cleared first.
+  void set_observer(StorageObserver* observer) { observer_ = observer; }
 
   /// Bookkeeping for a write planned via plan_write() but executed
   /// externally (fused transfers): begin_external_write reserves capacity
@@ -155,8 +186,12 @@ class StorageService {
   std::map<std::string, Replica> replicas_;
   double used_bytes_ = 0.0;
   PerturbFn perturb_;
+  StorageObserver* observer_ = nullptr;
   stats::Gauge* occupancy_gauge_ = nullptr;
   stats::TimeSeries* occupancy_series_ = nullptr;
+
+  /// Create/replace the replica record for `file` and notify the observer.
+  void install_replica(const FileRef& file, std::size_t host_idx);
 
   void apply_perturbation(IoPlan& plan, const FileRef& file, bool is_write,
                           std::size_t host_idx) const;

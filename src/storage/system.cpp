@@ -140,4 +140,8 @@ void StorageSystem::set_metrics(stats::MetricsRegistry* metrics) {
   for (auto& s : services_) s->set_metrics(metrics);
 }
 
+void StorageSystem::set_observer(StorageObserver* observer) {
+  for (auto& s : services_) s->set_observer(observer);
+}
+
 }  // namespace bbsim::storage

@@ -32,6 +32,7 @@ json::Value run_to_json(const RunOutcome& outcome, bool include_timings) {
     }
     run.set("storage", json::Value(std::move(storage)));
     if (!r.metrics.is_null()) run.set("metrics", r.metrics);
+    if (!r.audit.is_null()) run.set("audit_violations", r.audit_violations);
   }
   if (include_timings) run.set("wall_seconds", outcome.wall_seconds);
   return json::Value(std::move(run));
@@ -48,6 +49,7 @@ json::Value sweep_report(const std::string& sweep_name,
 
   json::Array runs;
   std::size_t ok = 0, failed = 0, skipped = 0;
+  std::size_t audited = 0, audit_violations = 0;
   double min_ms = std::numeric_limits<double>::infinity();
   double max_ms = -std::numeric_limits<double>::infinity();
   double sum_ms = 0.0;
@@ -55,6 +57,10 @@ json::Value sweep_report(const std::string& sweep_name,
     runs.push_back(run_to_json(outcome, include_timings));
     if (outcome.ok) {
       ++ok;
+      if (!outcome.result.audit.is_null()) {
+        ++audited;
+        audit_violations += outcome.result.audit_violations;
+      }
       const double m = outcome.result.makespan;
       if (m < min_ms) min_ms = m;
       if (m > max_ms) max_ms = m;
@@ -78,6 +84,12 @@ json::Value sweep_report(const std::string& sweep_name,
     makespan.set("mean", sum_ms / static_cast<double>(ok));
     makespan.set("max", max_ms);
     summary.set("makespan", json::Value(std::move(makespan)));
+  }
+  if (audited > 0) {
+    json::Object audit;
+    audit.set("runs_audited", audited);
+    audit.set("violations", audit_violations);
+    summary.set("audit", json::Value(std::move(audit)));
   }
   doc.set("summary", json::Value(std::move(summary)));
   return json::Value(std::move(doc));

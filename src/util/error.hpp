@@ -1,4 +1,10 @@
-// bbsim -- error types shared by all subsystems.
+/// \file
+/// bbsim -- error types shared by all subsystems, plus the project-wide
+/// assertion macros (`BBSIM_ASSERT` / `BBSIM_AUDIT_CHECK`): every invariant
+/// check in the library either throws through BBSIM_ASSERT (hard failure,
+/// file:line in the message) or records through BBSIM_AUDIT_CHECK into an
+/// audit sink (soft failure, collected by src/audit without aborting the
+/// run).
 #pragma once
 
 #include <stdexcept>
@@ -40,3 +46,48 @@ class ConfigError : public Error {
 };
 
 }  // namespace bbsim::util
+
+#define BBSIM_STRINGIZE_IMPL(x) #x
+#define BBSIM_STRINGIZE(x) BBSIM_STRINGIZE_IMPL(x)
+
+/// Hard invariant: throws util::InvariantError with file:line context when
+/// `cond` is false. `msg` is any expression convertible to std::string via
+/// concatenation (string literals and std::string both work).
+///
+///   BBSIM_ASSERT(spec.weight > 0, "flow weight must be > 0");
+#define BBSIM_ASSERT(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw ::bbsim::util::InvariantError(                                   \
+          std::string(__FILE__ ":" BBSIM_STRINGIZE(__LINE__) ": ") + (msg)); \
+    }                                                                        \
+  } while (false)
+
+/// Soft invariant: when `cond` is false, records a violation into `sink`
+/// (anything with a report(code, time, subject, message) member -- in
+/// practice audit::Auditor) instead of throwing, so an auditing run can
+/// keep going and report every violation at once. The message carries the
+/// same file:line context as BBSIM_ASSERT.
+///
+///   BBSIM_AUDIT_CHECK(auditor, used <= cap, audit::Code::kCapacityExceeded,
+///                     now, svc.name(), "occupancy above capacity");
+#define BBSIM_AUDIT_CHECK(sink, cond, code, time, subject, msg)              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      (sink).report(                                                         \
+          (code), (time), (subject),                                         \
+          std::string(__FILE__ ":" BBSIM_STRINGIZE(__LINE__) ": ") + (msg)); \
+    }                                                                        \
+  } while (false)
+
+/// Wraps an audit-hook call site so builds configured with -DBBSIM_AUDIT=OFF
+/// compile the hook out entirely (not even a null-pointer check remains on
+/// the hot path). With the default BBSIM_AUDIT=ON, hooks cost one pointer
+/// test when no observer is installed.
+#if defined(BBSIM_AUDIT_ENABLED)
+#define BBSIM_AUDIT_HOOK(stmt) stmt
+#else
+#define BBSIM_AUDIT_HOOK(stmt) \
+  do {                         \
+  } while (false)
+#endif

@@ -6,9 +6,9 @@
 namespace bbsim::wf {
 
 Workflow make_random_layered(const RandomDagConfig& config, util::Rng& rng) {
-  if (config.levels < 1 || config.min_width < 1 || config.max_width < config.min_width) {
-    throw util::ConfigError("random_dag: invalid level/width configuration");
-  }
+  BBSIM_ASSERT(config.levels >= 1 && config.min_width >= 1 &&
+                   config.max_width >= config.min_width,
+               "random_dag: invalid level/width configuration");
   Workflow w;
   w.name = "random-layered";
 

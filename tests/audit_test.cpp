@@ -1,0 +1,456 @@
+// Tests for the simulation invariant auditor (src/audit): the collector,
+// the per-layer probes under deliberately corrupted event streams, the
+// max-min fairness certificate, post-run result auditing, and clean
+// end-to-end audits of the paper's two case-study workflows.
+#include <gtest/gtest.h>
+
+#include "audit/auditor.hpp"
+#include "audit/probes.hpp"
+#include "exec/engine.hpp"
+#include "exec/validate.hpp"
+#include "flow/network.hpp"
+#include "platform/presets.hpp"
+#include "stats/metrics.hpp"
+#include "storage/system.hpp"
+#include "workflow/genomes.hpp"
+#include "workflow/swarp.hpp"
+
+namespace bbsim {
+namespace {
+
+using audit::Auditor;
+using audit::Code;
+
+// ------------------------------------------------------------- collector
+
+TEST(Auditor, StartsClean) {
+  Auditor a;
+  EXPECT_TRUE(a.clean());
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_EQ(a.count(Code::kClockRegression), 0u);
+  EXPECT_TRUE(a.violations().empty());
+}
+
+TEST(Auditor, CountsPerCodeExactly) {
+  Auditor a;
+  a.report(Code::kClockRegression, 1.0, "e1", "m1");
+  a.report(Code::kClockRegression, 2.0, "e2", "m2");
+  a.report(Code::kCapacityExceeded, 3.0, "bb", "m3");
+  EXPECT_FALSE(a.clean());
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(Code::kClockRegression), 2u);
+  EXPECT_EQ(a.count(Code::kCapacityExceeded), 1u);
+  EXPECT_EQ(a.count(Code::kPrecedence), 0u);
+  ASSERT_EQ(a.violations().size(), 3u);
+  EXPECT_EQ(a.violations()[0].subject, "e1");
+  EXPECT_EQ(a.violations()[2].code, Code::kCapacityExceeded);
+}
+
+TEST(Auditor, StoredSampleIsBoundedButCountsStayExact) {
+  Auditor a(/*max_stored=*/2);
+  for (int i = 0; i < 5; ++i) a.report(Code::kEventLifecycle, i, "e", "m");
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.count(Code::kEventLifecycle), 5u);
+  EXPECT_EQ(a.violations().size(), 2u);
+  const json::Value j = a.to_json();
+  EXPECT_TRUE(j.at("truncated").as_bool());
+  EXPECT_EQ(j.at("total_violations").as_number(), 5.0);
+}
+
+TEST(Auditor, JsonFollowsSchema) {
+  Auditor a;
+  a.report(Code::kByteConservation, 4.5, "file.fits", "size mismatch");
+  const json::Value j = a.to_json();
+  EXPECT_EQ(j.at("schema").as_string(), "bbsim.audit.v1");
+  EXPECT_FALSE(j.at("clean").as_bool());
+  EXPECT_EQ(j.at("counts").at("byte_conservation").as_number(), 1.0);
+  const json::Array& v = j.at("violations").as_array();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].at("code").as_string(), "byte_conservation");
+  EXPECT_EQ(v[0].at("time").as_number(), 4.5);
+  EXPECT_EQ(v[0].at("subject").as_string(), "file.fits");
+}
+
+TEST(Auditor, PublishesMetricsCounters) {
+  stats::MetricsRegistry metrics;
+  Auditor a;
+  a.report(Code::kPrecedence, 1.0, "t", "early");  // before attach: back-filled
+  a.set_metrics(&metrics);
+  a.report(Code::kPrecedence, 2.0, "t", "again");
+  EXPECT_EQ(metrics.counter("audit.violations").value(), 2.0);
+  EXPECT_EQ(metrics.counter("audit.violations.precedence").value(), 2.0);
+}
+
+TEST(Auditor, CodeNamesAreStable) {
+  EXPECT_STREQ(audit::to_string(Code::kClockRegression), "clock_regression");
+  EXPECT_STREQ(audit::to_string(Code::kFlowNotMaxMin), "flow_not_max_min");
+  EXPECT_STREQ(audit::to_string(Code::kCoreOversubscription),
+               "core_oversubscription");
+}
+
+// ----------------------------------------------------------- EngineProbe
+
+TEST(EngineProbe, AcceptsLegalEventStream) {
+  Auditor a;
+  audit::EngineProbe probe(a);
+  probe.on_scheduled(1, 0.0, 1.0);
+  probe.on_scheduled(2, 0.0, 2.0);
+  probe.on_executed(1, 1.0);
+  probe.on_cancelled(2);
+  EXPECT_TRUE(a.clean());
+  EXPECT_EQ(probe.live_events(), 0u);
+}
+
+TEST(EngineProbe, PastDatedScheduleIsClockRegression) {
+  Auditor a;
+  audit::EngineProbe probe(a);
+  probe.on_scheduled(1, 5.0, 4.0);  // when < now
+  EXPECT_EQ(a.count(Code::kClockRegression), 1u);
+}
+
+TEST(EngineProbe, NonMonotoneExecutionIsClockRegression) {
+  Auditor a;
+  audit::EngineProbe probe(a);
+  probe.on_scheduled(1, 0.0, 2.0);
+  probe.on_scheduled(2, 0.0, 1.0);
+  probe.on_executed(1, 2.0);
+  probe.on_executed(2, 1.0);  // the clock already reached 2.0
+  EXPECT_EQ(a.count(Code::kClockRegression), 1u);
+}
+
+TEST(EngineProbe, UnknownExecutionIsLifecycleViolation) {
+  Auditor a;
+  audit::EngineProbe probe(a);
+  probe.on_executed(7, 1.0);  // never scheduled
+  EXPECT_EQ(a.count(Code::kEventLifecycle), 1u);
+}
+
+TEST(EngineProbe, DoubleFireIsLifecycleViolation) {
+  Auditor a;
+  audit::EngineProbe probe(a);
+  probe.on_scheduled(1, 0.0, 1.0);
+  probe.on_executed(1, 1.0);
+  probe.on_executed(1, 1.0);  // fired twice
+  EXPECT_EQ(a.count(Code::kEventLifecycle), 1u);
+}
+
+TEST(EngineProbe, IdReuseWhilePendingIsLifecycleViolation) {
+  Auditor a;
+  audit::EngineProbe probe(a);
+  probe.on_scheduled(1, 0.0, 1.0);
+  probe.on_scheduled(1, 0.0, 2.0);  // same id scheduled again
+  EXPECT_EQ(a.count(Code::kEventLifecycle), 1u);
+}
+
+TEST(EngineProbe, ObservesARealEngineCleanly) {
+  Auditor a;
+  audit::EngineProbe probe(a);
+  sim::Engine engine;
+  engine.set_observer(&probe);
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  const sim::EventId cancelled = engine.schedule_at(2.0, [&] { ++fired; });
+  engine.schedule_at(1.5, [&] { ++fired; });
+  engine.cancel(cancelled);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(a.clean()) << a.to_json().dump(2);
+  EXPECT_EQ(probe.live_events(), 0u);
+}
+
+// ---------------------------------------------------------- StorageProbe
+
+/// A platform with a 10 kB burst buffer (see tests/storage_test.cpp).
+platform::PlatformSpec probe_platform() {
+  platform::PlatformSpec p;
+  p.name = "probe";
+  p.hosts.push_back({"h0", 4, 1e9, platform::kUnlimited});
+  platform::StorageSpec pfs;
+  pfs.name = "pfs";
+  pfs.kind = platform::StorageKind::PFS;
+  pfs.disk = {100.0, 100.0, platform::kUnlimited};
+  pfs.link = {1000.0, 0.0};
+  p.storage.push_back(pfs);
+  platform::StorageSpec bb;
+  bb.name = "bb";
+  bb.kind = platform::StorageKind::SharedBB;
+  bb.mode = platform::BBMode::Private;
+  bb.disk = {950.0, 950.0, 10000.0};
+  bb.link = {800.0, 0.0};
+  p.storage.push_back(bb);
+  p.validate_and_normalize();
+  return p;
+}
+
+TEST(StorageProbe, CleanLifecycleOnRealServices) {
+  platform::Fabric fabric(probe_platform());
+  storage::StorageSystem sys(fabric);
+  Auditor a;
+  audit::StorageProbe probe(a, [&] { return fabric.engine().now(); });
+  probe.set_expected_size("f", 4000.0);
+  sys.set_observer(&probe);
+
+  sys.pfs().register_file({"f", 4000.0}, 0);
+  bool done = false;
+  sys.transfer({"f", 4000.0}, sys.pfs(), *sys.burst_buffer(), 0, [&] { done = true; });
+  fabric.engine().run();
+  ASSERT_TRUE(done);
+  sys.burst_buffer()->erase_file("f");
+  probe.finalize();
+  EXPECT_TRUE(a.clean()) << a.to_json().dump(2);
+}
+
+TEST(StorageProbe, OversubscribedBufferIsCapacityViolation) {
+  platform::Fabric fabric(probe_platform());
+  storage::StorageSystem sys(fabric);
+  Auditor a;
+  audit::StorageProbe probe(a, [&] { return fabric.engine().now(); });
+
+  // Feed the probe a corrupted event stream directly: the service claims an
+  // occupancy above its 10 kB capacity (the real service would throw before
+  // ever reaching this state).
+  const storage::StorageService& bb = *sys.burst_buffer();
+  probe.on_occupancy_change(bb, "big", 15000.0, 15000.0);
+  EXPECT_EQ(a.count(Code::kCapacityExceeded), 1u);
+}
+
+TEST(StorageProbe, DroppedBytesAreByteConservationViolations) {
+  platform::Fabric fabric(probe_platform());
+  storage::StorageSystem sys(fabric);
+  Auditor a;
+  audit::StorageProbe probe(a, [&] { return fabric.engine().now(); });
+  probe.set_expected_size("f", 4000.0);
+
+  const storage::StorageService& bb = *sys.burst_buffer();
+  probe.on_replica_created(bb, {"f", 3999.0});  // one byte went missing
+  EXPECT_EQ(a.count(Code::kByteConservation), 1u);
+  probe.on_replica_erased(bb, "f", 2000.0);  // released half of the file
+  EXPECT_EQ(a.count(Code::kByteConservation), 2u);
+  probe.on_replica_created(bb, {"undeclared", 1.0});  // unknown files skipped
+  EXPECT_EQ(a.count(Code::kByteConservation), 2u);
+}
+
+TEST(StorageProbe, LedgerDivergenceIsAllocationImbalance) {
+  platform::Fabric fabric(probe_platform());
+  storage::StorageSystem sys(fabric);
+  Auditor a;
+  audit::StorageProbe probe(a, [&] { return fabric.engine().now(); });
+
+  const storage::StorageService& bb = *sys.burst_buffer();
+  probe.on_occupancy_change(bb, "f", 100.0, 100.0);  // consistent
+  probe.on_occupancy_change(bb, "g", 100.0, 300.0);  // service says 300, ledger 200
+  EXPECT_EQ(a.count(Code::kAllocationImbalance), 1u);
+  // The probe resynchronises: a consistent follow-up adds no violation.
+  probe.on_occupancy_change(bb, "h", 50.0, 350.0);
+  EXPECT_EQ(a.count(Code::kAllocationImbalance), 1u);
+}
+
+#if defined(BBSIM_AUDIT_ENABLED)
+// Needs the service-side observer hooks, which -DBBSIM_AUDIT=OFF compiles out.
+TEST(StorageProbe, FinalImbalanceIsReportedPostRun) {
+  platform::Fabric fabric(probe_platform());
+  storage::StorageSystem sys(fabric);
+  Auditor a;
+  audit::StorageProbe probe(a, [&] { return fabric.engine().now(); });
+
+  // Reserve 100 bytes that never become a replica (a leaked reservation).
+  storage::StorageService& bb = *sys.burst_buffer();
+  bb.set_observer(&probe);
+  bb.begin_external_write({"leak", 100.0});
+  probe.finalize();
+  EXPECT_GE(a.count(Code::kAllocationImbalance), 1u);
+}
+#endif
+
+// ----------------------------------------------------- max-min certificate
+
+TEST(FlowAudit, ConvergedSolveIsCertifiedFair) {
+  flow::Network net;
+  const flow::ResourceId r = net.add_resource("disk", 100.0);
+  net.add_flow({1e9, {r}, flow::kUnlimited, 1.0});
+  net.add_flow({1e9, {r}, flow::kUnlimited, 1.0});
+  net.solve();
+  Auditor a;
+  audit::audit_flow_network(a, net, 1.0);
+  EXPECT_TRUE(a.clean()) << a.to_json().dump(2);
+}
+
+TEST(FlowAudit, StaleAllocationOverShrunkCapacityIsOverCapacity) {
+  flow::Network net;
+  const flow::ResourceId r = net.add_resource("disk", 100.0);
+  net.add_flow({1e9, {r}, flow::kUnlimited, 1.0});
+  net.add_flow({1e9, {r}, flow::kUnlimited, 1.0});
+  net.solve();  // 50 + 50
+  net.set_capacity(r, 60.0);  // stale rates now sum over capacity
+  Auditor a;
+  audit::audit_flow_network(a, net, 2.0);
+  EXPECT_EQ(a.count(Code::kFlowOverCapacity), 1u);
+}
+
+TEST(FlowAudit, StaleAllocationUnderGrownCapacityIsNotMaxMin) {
+  flow::Network net;
+  const flow::ResourceId r = net.add_resource("disk", 100.0);
+  net.add_flow({1e9, {r}, flow::kUnlimited, 1.0});
+  net.add_flow({1e9, {r}, flow::kUnlimited, 1.0});
+  net.solve();  // 50 + 50 saturates the disk
+  net.set_capacity(r, 1000.0);  // nobody is saturated or capped any more
+  Auditor a;
+  audit::audit_flow_network(a, net, 3.0);
+  EXPECT_GE(a.count(Code::kFlowNotMaxMin), 1u);
+  EXPECT_EQ(a.count(Code::kFlowOverCapacity), 0u);
+}
+
+TEST(FlowAudit, PostSolveHookFiresOnEverySolve) {
+  flow::Network net;
+  const flow::ResourceId r = net.add_resource("disk", 100.0);
+  int calls = 0;
+  net.set_post_solve_hook([&calls](const flow::Network&, int) { ++calls; });
+  net.add_flow({1000.0, {r}, flow::kUnlimited, 1.0});
+  net.solve();
+  net.solve();
+#if defined(BBSIM_AUDIT_ENABLED)
+  EXPECT_EQ(calls, 2);
+#else
+  EXPECT_EQ(calls, 0);  // the hook is compiled out
+#endif
+}
+
+// ------------------------------------------------------ post-run auditing
+
+TEST(AuditResult, CorruptedRecordsTriggerSpecificCodes) {
+  wf::SwarpConfig cfg;
+  cfg.pipelines = 1;
+  const wf::Workflow w = wf::make_swarp(cfg);
+  platform::PresetOptions popt;
+  popt.compute_nodes = 1;
+  const platform::PlatformSpec plat = platform::cori_platform(popt);
+
+  exec::Simulation sim(plat, w, {});
+  exec::Result r = sim.run();
+  {
+    Auditor a;
+    exec::audit_result(r, w, plat, a);
+    EXPECT_TRUE(a.clean()) << a.to_json().dump(2);
+  }
+  // Break precedence: the first resample starts before the stage-in ends.
+  exec::Result broken = r;
+  for (auto& [name, rec] : broken.tasks) {
+    if (rec.type == "resample") {
+      rec.t_ready = rec.t_start = 0.0;
+      break;
+    }
+  }
+  {
+    Auditor a;
+    exec::audit_result(broken, w, plat, a);
+    EXPECT_GE(a.count(Code::kPrecedence), 1u);
+  }
+  // Drop bytes: a task read less than its declared inputs.
+  broken = r;
+  for (auto& [name, rec] : broken.tasks) {
+    if (rec.type == "resample") {
+      rec.bytes_read -= 1000.0;
+      break;
+    }
+  }
+  {
+    Auditor a;
+    exec::audit_result(broken, w, plat, a);
+    EXPECT_EQ(a.count(Code::kByteConservation), 1u);
+  }
+  // Oversubscribe: all tasks run concurrently on host 0, each wanting most
+  // of its cores (records stay individually well-formed so the sweep-line
+  // check is reached).
+  broken = r;
+  for (auto& [name, rec] : broken.tasks) {
+    rec.t_ready = 0.0;
+    rec.t_start = 1.0;
+    rec.t_reads_done = 1.5;
+    rec.t_compute_done = 1.5;
+    rec.t_end = 2.0;
+    rec.host = 0;
+    rec.cores = plat.hosts[0].cores - 1;
+  }
+  broken.makespan = 2.0;
+  {
+    Auditor a;
+    exec::audit_result(broken, w, plat, a);
+    EXPECT_GE(a.count(Code::kCoreOversubscription), 1u);
+  }
+}
+
+// --------------------------------------------------------- end to end
+
+#if defined(BBSIM_AUDIT_ENABLED)
+
+TEST(AuditEndToEnd, SwarpPipelinesRunClean) {
+  wf::SwarpConfig wcfg;
+  wcfg.pipelines = 2;
+  platform::PresetOptions popt;
+  popt.compute_nodes = 2;
+  exec::ExecutionConfig cfg;
+  cfg.audit = true;
+  exec::Simulation sim(platform::cori_platform(popt), wf::make_swarp(wcfg), cfg);
+  const exec::Result r = sim.run();
+  ASSERT_FALSE(r.audit.is_null());
+  EXPECT_EQ(r.audit_violations, 0u) << r.audit.dump(2);
+  EXPECT_EQ(r.audit.at("schema").as_string(), "bbsim.audit.v1");
+  EXPECT_TRUE(r.audit.at("clean").as_bool());
+}
+
+TEST(AuditEndToEnd, GenomesRunsClean) {
+  wf::GenomesConfig wcfg;
+  wcfg.chromosomes = 4;
+  platform::PresetOptions popt;
+  popt.compute_nodes = 2;
+  exec::ExecutionConfig cfg;
+  cfg.audit = true;
+  cfg.stage_in_mode = exec::StageInMode::Instant;
+  exec::Simulation sim(platform::cori_platform(popt), wf::make_1000genomes(wcfg), cfg);
+  const exec::Result r = sim.run();
+  ASSERT_FALSE(r.audit.is_null());
+  EXPECT_EQ(r.audit_violations, 0u) << r.audit.dump(2);
+}
+
+TEST(AuditEndToEnd, EvictionAndStageOutRunClean) {
+  // Stress the storage ledger: tiny striped BB forces demotions/evictions.
+  wf::SwarpConfig wcfg;
+  wcfg.pipelines = 2;
+  platform::PresetOptions popt;
+  popt.compute_nodes = 1;
+  popt.bb_mode = platform::BBMode::Striped;
+  platform::PlatformSpec plat = platform::cori_platform(popt);
+  for (platform::StorageSpec& s : plat.storage) {
+    if (s.kind != platform::StorageKind::PFS) s.disk.capacity = 2e9;
+  }
+  exec::ExecutionConfig cfg;
+  cfg.audit = true;
+  cfg.bb_eviction = true;
+  cfg.stage_out = true;
+  exec::Simulation sim(plat, wf::make_swarp(wcfg), cfg);
+  const exec::Result r = sim.run();
+  ASSERT_FALSE(r.audit.is_null());
+  EXPECT_EQ(r.audit_violations, 0u) << r.audit.dump(2);
+}
+
+TEST(AuditEndToEnd, AuditOffLeavesResultNull) {
+  exec::Simulation sim(platform::cori_platform({}), wf::make_swarp({}), {});
+  const exec::Result r = sim.run();
+  EXPECT_TRUE(r.audit.is_null());
+  EXPECT_EQ(r.audit_violations, 0u);
+}
+
+TEST(AuditEndToEnd, MetricsExportAuditCounters) {
+  exec::ExecutionConfig cfg;
+  cfg.audit = true;
+  cfg.collect_metrics = true;
+  exec::Simulation sim(platform::cori_platform({}), wf::make_swarp({}), cfg);
+  const exec::Result r = sim.run();
+  ASSERT_FALSE(r.metrics.is_null());
+  EXPECT_EQ(r.metrics.at("counters").at("audit.violations").as_number(), 0.0);
+}
+
+#endif  // BBSIM_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace bbsim

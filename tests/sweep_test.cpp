@@ -293,14 +293,72 @@ TEST(SweepCli, MetricsSwitchEmbedsMetrics) {
   EXPECT_EQ(run.at("metrics").at("schema").as_string(), "bbsim.metrics.v1");
 }
 
+#if defined(BBSIM_AUDIT_ENABLED)
+TEST(SweepCli, AuditSwitchEmbedsViolationCounts) {
+  const auto spec = sweep::parse_sweep_spec(json::parse(R"({
+    "base": {"workflow": "swarp"},
+    "axes": {"pipelines": [1, 2]}
+  })"));
+  cli::SweepCliOptions opt;
+  opt.quiet = true;
+  opt.audit = true;
+  const json::Value report = cli::run_sweep_to_json(spec, opt);
+  const json::Array& runs = report.at("runs").as_array();
+  ASSERT_EQ(runs.size(), 2u);
+  for (const json::Value& run : runs) {
+    ASSERT_TRUE(run.at("ok").as_bool());
+    EXPECT_EQ(run.at("audit_violations").as_number(), 0.0);
+  }
+  EXPECT_EQ(report.at("summary").at("audit").at("runs_audited").as_number(), 2.0);
+  EXPECT_EQ(report.at("summary").at("audit").at("violations").as_number(), 0.0);
+}
+
+TEST(SweepCli, SpecLevelAuditKeyOptsARunIn) {
+  const auto spec = sweep::parse_sweep_spec(json::parse(R"({
+    "base": {"workflow": "swarp", "audit": true}
+  })"));
+  cli::SweepCliOptions opt;
+  opt.quiet = true;  // note: no --audit; the spec asks by itself
+  const json::Value report = cli::run_sweep_to_json(spec, opt);
+  const json::Value& run = report.at("runs").as_array()[0];
+  ASSERT_TRUE(run.at("ok").as_bool());
+  EXPECT_TRUE(run.contains("audit_violations"));
+}
+#endif  // BBSIM_AUDIT_ENABLED
+
+TEST(SweepCli, UnauditedReportHasNoAuditFields) {
+  const auto spec = sweep::parse_sweep_spec(json::parse(R"({
+    "base": {"workflow": "swarp"}
+  })"));
+  cli::SweepCliOptions opt;
+  opt.quiet = true;
+  const json::Value report = cli::run_sweep_to_json(spec, opt);
+  EXPECT_FALSE(report.at("runs").as_array()[0].contains("audit_violations"));
+  EXPECT_FALSE(report.at("summary").contains("audit"));
+}
+
+TEST(SweepCli, ForbidsAuditOutInsideASweep) {
+  const auto spec = sweep::parse_sweep_spec(json::parse(R"({
+    "base": {"workflow": "swarp", "audit-out": "a.json"}
+  })"));
+  cli::SweepCliOptions opt;
+  opt.quiet = true;
+  const auto outcomes = cli::execute_sweep_spec(spec, opt);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_NE(outcomes[0].error.find("not allowed"), std::string::npos);
+}
+
 TEST(SweepCli, ParseRejectsBadArgs) {
   EXPECT_THROW(cli::parse_sweep_cli({"--jobs", "-2", "s.json"}), util::ConfigError);
   EXPECT_THROW(cli::parse_sweep_cli({}), util::ConfigError);
   EXPECT_THROW(cli::parse_sweep_cli({"a.json", "b.json"}), util::ConfigError);
   EXPECT_THROW(cli::parse_sweep_cli({"--bogus"}), util::ConfigError);
-  const auto opt = cli::parse_sweep_cli({"spec.json", "--jobs", "0", "--timings"});
+  const auto opt =
+      cli::parse_sweep_cli({"spec.json", "--jobs", "0", "--timings", "--audit"});
   EXPECT_EQ(opt.jobs, 0);
   EXPECT_TRUE(opt.timings);
+  EXPECT_TRUE(opt.audit);
   EXPECT_EQ(opt.spec_path, "spec.json");
 }
 

@@ -69,6 +69,46 @@ TEST(RunCli, HelpReturnsZero) {
   EXPECT_EQ(cli::run_cli(opt), 0);
 }
 
+TEST(RunCli, AuditFlagsParse) {
+  const cli::CliOptions opt =
+      cli::parse_cli({"--audit-out", "a.json", "--quiet"});
+  EXPECT_TRUE(opt.audit);  // --audit-out implies --audit
+  EXPECT_EQ(opt.audit_path, "a.json");
+  EXPECT_TRUE(cli::parse_cli({"--audit"}).audit);
+  EXPECT_FALSE(cli::parse_cli({}).audit);
+}
+
+#if defined(BBSIM_AUDIT_ENABLED)
+TEST(RunCli, AuditedRunIsCleanAndWritesReport) {
+  const std::string path = ::testing::TempDir() + "/bbsim_cli_audit.json";
+  cli::CliOptions opt;
+  opt.quiet = true;
+  opt.pipelines = 2;
+  opt.audit_path = path;
+  opt.audit = true;
+  EXPECT_EQ(cli::run_cli(opt), 0);
+  const json::Value report = json::parse(slurp(path));
+  EXPECT_EQ(report.at("schema").as_string(), "bbsim.audit.v1");
+  EXPECT_TRUE(report.at("clean").as_bool());
+  EXPECT_EQ(report.at("total_violations").as_number(), 0.0);
+}
+
+TEST(RunCli, AuditedTestbedRepetitionsReturnZero) {
+  cli::CliOptions opt;
+  opt.quiet = true;
+  opt.audit = true;
+  opt.testbed_system = testbed::System::Summit;
+  opt.repetitions = 2;
+  EXPECT_EQ(cli::run_cli(opt), 0);
+}
+
+TEST(MainImpl, AuditSmokeRun) {
+  const char* argv[] = {"bbsim_run", "--quiet", "--workflow", "genomes",
+                        "--chromosomes", "2", "--audit"};
+  EXPECT_EQ(cli::main_impl(7, argv), 0);
+}
+#endif  // BBSIM_AUDIT_ENABLED
+
 TEST(MainImpl, BadFlagReturnsNonZero) {
   const char* argv[] = {"bbsim_run", "--bogus"};
   EXPECT_EQ(cli::main_impl(2, argv), 1);

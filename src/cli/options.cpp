@@ -52,7 +52,7 @@ Output:
                                        run (clock, byte conservation, BB
                                        capacity, max-min fairness, schedule
                                        legality); exit 1 on any violation
-  --audit-out FILE.json                write the audit report (implies --audit)
+  --audit-out FILE.json                write the audit report (requires --audit)
   --gantt                              print an ASCII Gantt chart
   --describe                           print the workflow structure summary
   --report                             print the per-type I/O characterization
@@ -169,7 +169,6 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.audit = true;
     } else if (a == "--audit-out") {
       opt.audit_path = next_value(a);
-      opt.audit = true;
     } else if (a == "--gantt") {
       opt.gantt = true;
     } else if (a == "--describe") {
@@ -187,6 +186,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   if (opt.pipelines < 1) throw ConfigError("--pipelines must be >= 1");
   if (opt.repetitions < 1) throw ConfigError("--reps must be >= 1");
   if (opt.jobs < 0) throw ConfigError("--jobs must be >= 0 (0 = all hardware threads)");
+  if (!opt.audit_path.empty() && !opt.audit) {
+    throw ConfigError("--audit-out requires --audit");
+  }
   (void)make_policy(opt.policy);  // validate early
   return opt;
 }

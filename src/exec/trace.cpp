@@ -28,6 +28,7 @@ double Result::mean_lambda(const std::string& type) const {
 
 json::Value Result::to_json() const {
   json::Object root;
+  root.set("schema", "bbsim.run.v1");
   root.set("makespan", makespan);
   root.set("stage_in_duration", stage_in_duration);
   root.set("stage_out_duration", stage_out_duration);

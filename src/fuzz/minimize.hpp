@@ -1,0 +1,19 @@
+/// \file
+/// bbsim::fuzz -- greedy test-case minimization. Repeatedly tries to drop a
+/// task (with its output files), an input file, a compute host, a storage
+/// node or the whole burst buffer, keeping any removal that still
+/// reproduces the divergence, until a fixed point. The result is the small,
+/// human-debuggable fuzzcase that gets checked into tests/corpus/.
+#pragma once
+
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace bbsim::fuzz {
+
+/// Shrinks `failing` while run_scenario(candidate, options) still diverges.
+/// Returns the smallest reproducer found (at worst, `failing` itself).
+/// Deterministic; cost is O(rounds * tasks) differential runs.
+Scenario minimize_scenario(const Scenario& failing, const RunOptions& options);
+
+}  // namespace bbsim::fuzz

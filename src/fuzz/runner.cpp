@@ -1,0 +1,173 @@
+#include "fuzz/runner.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "flow/network.hpp"
+#include "fuzz/minimize.hpp"
+#include "json/json.hpp"
+#include "oracle/maxmin_ref.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace bbsim::fuzz {
+
+RunOutcome run_scenario(const Scenario& scenario, const RunOptions& options) {
+  RunOutcome out;
+
+  exec::Result engine_result;
+  bool engine_ok = false;
+  try {
+    exec::Simulation sim(scenario.platform, scenario.workflow, scenario.exec_config());
+    if (options.engine_bb_capacity_scale != 1.0) {
+      const std::size_t bb_idx =
+          sim.fabric().spec().find_kind(platform::StorageKind::SharedBB) !=
+                  platform::PlatformSpec::npos
+              ? sim.fabric().spec().find_kind(platform::StorageKind::SharedBB)
+              : sim.fabric().spec().find_kind(platform::StorageKind::NodeLocalBB);
+      if (bb_idx != platform::PlatformSpec::npos) {
+        sim.fabric().scale_storage_capacity(bb_idx, options.engine_bb_capacity_scale);
+      }
+    }
+    engine_result = sim.run();
+    engine_ok = true;
+  } catch (const util::Error& e) {
+    out.engine_error = e.what();
+  }
+
+  oracle::RefResult reference_result;
+  bool reference_ok = false;
+  try {
+    reference_result =
+        oracle::reference_execute(scenario.platform, scenario.workflow,
+                                  scenario.ref_config());
+    reference_ok = true;
+  } catch (const util::Error& e) {
+    out.reference_error = e.what();
+  }
+
+  if (engine_ok != reference_ok) {
+    // One side completed, the other rejected the scenario: a semantic
+    // divergence, not float noise.
+    out.diverged = true;
+    out.divergences.push_back(oracle::Divergence{
+        "exception", engine_ok ? out.reference_error : out.engine_error,
+        engine_ok ? 1.0 : 0.0, reference_ok ? 1.0 : 0.0});
+    return out;
+  }
+  if (!engine_ok) return out;  // both rejected: agreement
+
+  out.divergences = oracle::diff_results(engine_result, reference_result, options.diff);
+  out.diverged = !out.divergences.empty();
+  return out;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+  const util::Rng root(options.seed);
+  for (int i = 0; i < options.iterations; ++i) {
+    ++result.iterations_run;
+    util::Rng iter_rng = root.fork(static_cast<std::uint64_t>(i));
+    Scenario scenario = sample_scenario(iter_rng);
+    scenario.label =
+        util::format("seed=%llu iter=%d", static_cast<unsigned long long>(options.seed), i);
+    RunOutcome outcome = run_scenario(scenario, options.run);
+    if (!outcome.diverged) continue;
+
+    CampaignFailure failure;
+    failure.iteration = static_cast<std::uint64_t>(i);
+    failure.minimized =
+        options.minimize ? minimize_scenario(scenario, options.run) : scenario;
+    failure.divergences = run_scenario(failure.minimized, options.run).divergences;
+    if (failure.divergences.empty()) {
+      // Minimization must preserve the divergence; fall back to the
+      // original case rather than report a non-reproducing file.
+      failure.minimized = scenario;
+      failure.divergences = std::move(outcome.divergences);
+    }
+    if (!options.out_dir.empty()) {
+      failure.written_path = util::format("%s/fuzzcase_seed%llu_iter%d.json",
+                                          options.out_dir.c_str(),
+                                          static_cast<unsigned long long>(options.seed), i);
+      json::write_file(failure.written_path, failure.minimized.to_json());
+    }
+    result.failures.push_back(std::move(failure));
+    if (static_cast<int>(result.failures.size()) >= options.max_failures) break;
+  }
+  return result;
+}
+
+RunOutcome replay_case_file(const std::string& path, const RunOptions& options) {
+  return run_scenario(scenario_from_file(path), options);
+}
+
+SolverCampaignResult run_solver_campaign(std::uint64_t seed, int iterations,
+                                         double engine_capacity_scale, double rel_tol) {
+  SolverCampaignResult result;
+  const util::Rng root(seed);
+  for (int i = 0; i < iterations; ++i) {
+    ++result.iterations_run;
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+
+    // Random allocation problem: a handful of resources, flows with random
+    // paths, occasional rate caps and non-unit weights.
+    const int n_res = static_cast<int>(rng.uniform_int(1, 6));
+    std::vector<double> capacities;
+    for (int r = 0; r < n_res; ++r) {
+      capacities.push_back(rng.chance(0.15) ? flow::kUnlimited
+                                            : rng.uniform(1e8, 1e10));
+    }
+    const int n_flows = static_cast<int>(rng.uniform_int(1, 12));
+    oracle::RefProblem problem;
+    problem.capacities = capacities;
+    flow::Network network;
+    for (int r = 0; r < n_res; ++r) {
+      const double cap =
+          r == 0 && engine_capacity_scale != 1.0 && capacities[0] != flow::kUnlimited
+              ? capacities[0] * engine_capacity_scale
+              : capacities[static_cast<std::size_t>(r)];
+      network.add_resource(util::format("r%d", r), cap);
+    }
+    std::vector<flow::FlowId> ids;
+    for (int f = 0; f < n_flows; ++f) {
+      oracle::RefFlow ref;
+      for (int r = 0; r < n_res; ++r) {
+        if (rng.chance(0.5)) ref.path.push_back(static_cast<std::uint32_t>(r));
+      }
+      ref.rate_cap = rng.chance(0.3) ? rng.uniform(1e7, 5e9) : flow::kUnlimited;
+      ref.weight = rng.chance(0.25) ? rng.uniform(0.5, 4.0) : 1.0;
+      flow::FlowSpec spec;
+      spec.volume = 1.0;
+      spec.path = ref.path;
+      spec.rate_cap = ref.rate_cap;
+      spec.weight = ref.weight;
+      ids.push_back(network.add_flow(spec));
+      problem.flows.push_back(std::move(ref));
+    }
+
+    network.solve();
+    const std::vector<double> reference = oracle::reference_maxmin(problem);
+
+    for (int f = 0; f < n_flows; ++f) {
+      const double engine_rate = network.flow(ids[static_cast<std::size_t>(f)]).rate;
+      const double ref_rate = reference[static_cast<std::size_t>(f)];
+      const bool agree =
+          (std::isinf(engine_rate) && std::isinf(ref_rate)) ||
+          std::fabs(engine_rate - ref_rate) <=
+              rel_tol * std::max({std::fabs(engine_rate), std::fabs(ref_rate), 1.0});
+      if (!agree) {
+        ++result.divergent;
+        if (result.first_divergence.empty()) {
+          std::ostringstream os;
+          os << "iter " << i << " flow " << f << ": engine=" << engine_rate
+             << " reference=" << ref_rate;
+          result.first_divergence = os.str();
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bbsim::fuzz

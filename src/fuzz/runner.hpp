@@ -1,0 +1,93 @@
+/// \file
+/// bbsim::fuzz -- the differential runner: executes one scenario on both
+/// the production engine (exec::Simulation) and the reference replayer
+/// (oracle::reference_execute) and diffs the results; campaign drivers
+/// sample N scenarios from a seed, minimize failures and write replayable
+/// fuzzcase files. A solver-only mode differentially tests
+/// flow::Network::solve against the brute-force reference max-min solver
+/// on random allocation problems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.hpp"
+#include "oracle/diff.hpp"
+
+namespace bbsim::fuzz {
+
+/// Knobs for one differential run.
+struct RunOptions {
+  oracle::DiffOptions diff;
+  /// Scale the burst buffer's link/disk capacities on the ENGINE side only
+  /// (via Fabric::scale_storage_capacity) before running. 1.0 = off. Any
+  /// other value injects a deliberate engine/reference divergence -- the
+  /// self-test that proves the harness can catch timing bugs.
+  double engine_bb_capacity_scale = 1.0;
+};
+
+/// What one differential run produced.
+struct RunOutcome {
+  bool diverged = false;
+  std::vector<oracle::Divergence> divergences;
+  /// Error text when a side threw (both throwing is agreement: the
+  /// scenario is infeasible and both sides said so).
+  std::string engine_error;
+  std::string reference_error;
+};
+
+/// Runs the scenario through both engines and diffs. Never throws on
+/// engine/reference errors (they are recorded); rethrows only internal
+/// harness failures.
+RunOutcome run_scenario(const Scenario& scenario, const RunOptions& options = {});
+
+/// One fuzz-found, minimized failure.
+struct CampaignFailure {
+  std::uint64_t iteration = 0;
+  Scenario minimized;
+  std::vector<oracle::Divergence> divergences;  ///< of the minimized case
+  std::string written_path;                     ///< empty when out_dir unset
+};
+
+struct CampaignOptions {
+  std::uint64_t seed = 42;
+  int iterations = 100;
+  RunOptions run;
+  /// Stop after this many failures (each is minimized, which is slow).
+  int max_failures = 1;
+  /// Directory for minimized fuzzcase JSON files ("" = do not write).
+  std::string out_dir;
+  bool minimize = true;
+};
+
+struct CampaignResult {
+  int iterations_run = 0;
+  std::vector<CampaignFailure> failures;
+  bool clean() const { return failures.empty(); }
+};
+
+/// Samples `iterations` scenarios from the seed and differentially tests
+/// each. Deterministic: same options, same outcome.
+CampaignResult run_campaign(const CampaignOptions& options);
+
+/// Replays one fuzzcase file; returns the outcome (used by the corpus
+/// regression tests and bbsim_fuzz --replay).
+RunOutcome replay_case_file(const std::string& path, const RunOptions& options = {});
+
+/// Solver-only differential: random max-min problems through
+/// flow::Network::solve vs the brute-force reference.
+struct SolverCampaignResult {
+  int iterations_run = 0;
+  int divergent = 0;
+  std::string first_divergence;  ///< human-readable description
+  bool clean() const { return divergent == 0; }
+};
+
+/// `engine_capacity_scale` != 1.0 perturbs the ENGINE problem's first
+/// resource capacity -- the solver-level fault-injection self-test.
+SolverCampaignResult run_solver_campaign(std::uint64_t seed, int iterations,
+                                         double engine_capacity_scale = 1.0,
+                                         double rel_tol = 1e-9);
+
+}  // namespace bbsim::fuzz

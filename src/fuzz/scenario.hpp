@@ -1,0 +1,73 @@
+/// \file
+/// bbsim::fuzz -- one differential-testing scenario: a platform, a workflow
+/// and an execution config, fully value-semantic and JSON round-trippable
+/// (schema `bbsim.fuzzcase.v1`) so every fuzz-found divergence can be
+/// checked into tests/corpus/ and replayed forever.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "exec/engine.hpp"
+#include "json/json.hpp"
+#include "oracle/replay.hpp"
+#include "platform/spec.hpp"
+#include "util/rng.hpp"
+#include "workflow/workflow.hpp"
+
+namespace bbsim::fuzz {
+
+inline constexpr const char* kFuzzcaseSchema = "bbsim.fuzzcase.v1";
+
+/// The execution knobs a scenario pins down. The placement policy is kept
+/// as its CLI-style spec string (all_pfs | all_bb | fraction:<f> |
+/// size:<bytes> | size_inv:<bytes> | locality | greedy:<bytes>) so it
+/// serialises losslessly.
+struct ScenarioConfig {
+  std::string placement_spec = "all_bb";
+  exec::StageInMode stage_in_mode = exec::StageInMode::Task;
+  exec::SchedulerPolicy scheduler = exec::SchedulerPolicy::Fcfs;
+  bool stage_out = false;
+  bool bb_eviction = false;
+  int stage_in_width = 1;
+  int force_cores = 0;
+  bool locality_pinning = true;
+};
+
+/// A complete, self-contained differential test case.
+struct Scenario {
+  std::string label;  ///< provenance, e.g. "seed=42 iter=17"
+  platform::PlatformSpec platform;
+  wf::Workflow workflow;
+  ScenarioConfig config;
+
+  /// Engine-side config (trace/metrics/audit off: the diff ignores them).
+  exec::ExecutionConfig exec_config() const;
+  /// Reference-side config with the same semantics.
+  oracle::RefConfig ref_config() const;
+
+  /// Serialise as a bbsim.fuzzcase.v1 document. Unlimited capacities are
+  /// written as -1 (JSON has no infinity).
+  json::Value to_json() const;
+};
+
+/// Instantiates a placement policy from its spec string (the grammar of
+/// bbsim_run --policy, with plain-number byte values). Throws ConfigError
+/// on an unknown spec.
+std::shared_ptr<exec::PlacementPolicy> make_placement(const std::string& spec);
+
+/// Parses a bbsim.fuzzcase.v1 document; throws ParseError / ConfigError on
+/// malformed input (wrong schema, missing sections, invalid DAG).
+Scenario scenario_from_json(const json::Value& doc);
+
+/// Reads and parses a fuzzcase file.
+Scenario scenario_from_file(const std::string& path);
+
+/// Samples a random feasible scenario: platform dimensions and bandwidths
+/// from the presets' order-of-magnitude ranges, a DAG of a random shape,
+/// and a random placement/staging/scheduling config. Always satisfiable by
+/// construction (task cores fit the largest host; restricted-BB scenarios
+/// keep locality pinning on).
+Scenario sample_scenario(util::Rng& rng);
+
+}  // namespace bbsim::fuzz

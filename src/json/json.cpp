@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace bbsim::json {
 
@@ -321,6 +322,7 @@ class Parser {
       skip_ws();
       if (peek() != '"') fail("expected string key");
       std::string key = parse_string();
+      if (obj.contains(key)) fail("duplicate object key '" + key + "'");
       skip_ws();
       expect(':');
       obj.set(key, parse_value());
@@ -431,7 +433,14 @@ class Parser {
       if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("invalid exponent");
       while (std::isdigit(static_cast<unsigned char>(peek()))) take();
     }
-    return Value(std::stod(text_.substr(start, pos_ - start)));
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::out_of_range&) {
+      fail("number out of range for double");
+    }
+    if (!std::isfinite(parsed)) fail("number out of range for double");
+    return Value(parsed);
   }
 };
 

@@ -1,0 +1,86 @@
+#include "oracle/diff.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace bbsim::oracle {
+
+std::string Divergence::describe() const {
+  std::ostringstream os;
+  os << field;
+  if (!task.empty()) os << "[" << task << "]";
+  os << ": engine=" << engine_value << " reference=" << reference_value;
+  return os.str();
+}
+
+bool values_agree(double a, double b, const DiffOptions& opts) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= opts.abs_tol + opts.rel_tol * scale;
+}
+
+namespace {
+
+void check(std::vector<Divergence>& out, const DiffOptions& opts, const std::string& field,
+           const std::string& task, double engine_value, double reference_value) {
+  if (!values_agree(engine_value, reference_value, opts)) {
+    out.push_back(Divergence{field, task, engine_value, reference_value});
+  }
+}
+
+void check_exact(std::vector<Divergence>& out, const std::string& field,
+                 const std::string& task, double engine_value, double reference_value) {
+  if (engine_value != reference_value) {
+    out.push_back(Divergence{field, task, engine_value, reference_value});
+  }
+}
+
+}  // namespace
+
+std::vector<Divergence> diff_results(const exec::Result& engine, const RefResult& reference,
+                                     const DiffOptions& opts) {
+  std::vector<Divergence> out;
+
+  check(out, opts, "makespan", "", engine.makespan, reference.makespan);
+  check(out, opts, "stage_in_duration", "", engine.stage_in_duration,
+        reference.stage_in_duration);
+  check(out, opts, "stage_out_duration", "", engine.stage_out_duration,
+        reference.stage_out_duration);
+  check(out, opts, "workflow_span", "", engine.workflow_span, reference.workflow_span);
+  check_exact(out, "demoted_writes", "", static_cast<double>(engine.demoted_writes),
+              static_cast<double>(reference.demoted_writes));
+  check_exact(out, "skipped_stage_files", "",
+              static_cast<double>(engine.skipped_stage_files),
+              static_cast<double>(reference.skipped_stage_files));
+  check_exact(out, "evicted_files", "", static_cast<double>(engine.evicted_files),
+              static_cast<double>(reference.evicted_files));
+
+  for (const auto& [name, rec] : engine.tasks) {
+    const auto it = reference.tasks.find(name);
+    if (it == reference.tasks.end()) {
+      out.push_back(Divergence{"task_missing_in_reference", name, 1.0, 0.0});
+      continue;
+    }
+    const RefTask& ref = it->second;
+    check_exact(out, "host", name, static_cast<double>(rec.host),
+                static_cast<double>(ref.host));
+    check_exact(out, "cores", name, static_cast<double>(rec.cores),
+                static_cast<double>(ref.cores));
+    check(out, opts, "t_ready", name, rec.t_ready, ref.t_ready);
+    check(out, opts, "t_start", name, rec.t_start, ref.t_start);
+    check(out, opts, "t_reads_done", name, rec.t_reads_done, ref.t_reads_done);
+    check(out, opts, "t_compute_done", name, rec.t_compute_done, ref.t_compute_done);
+    check(out, opts, "t_end", name, rec.t_end, ref.t_end);
+    check(out, opts, "bytes_read", name, rec.bytes_read, ref.bytes_read);
+    check(out, opts, "bytes_written", name, rec.bytes_written, ref.bytes_written);
+  }
+  for (const auto& [name, _] : reference.tasks) {
+    if (engine.tasks.count(name) == 0) {
+      out.push_back(Divergence{"task_missing_in_engine", name, 0.0, 1.0});
+    }
+  }
+  return out;
+}
+
+}  // namespace bbsim::oracle

@@ -1,0 +1,43 @@
+/// \file
+/// bbsim::oracle -- structural diff between an engine run and a reference
+/// replay. The comparison the differential tester is built on: per-task
+/// timestamps, volumes, placements, and the run-level aggregates, all
+/// within a relative/absolute tolerance that absorbs float noise without
+/// hiding real timing bugs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/trace.hpp"
+#include "oracle/replay.hpp"
+
+namespace bbsim::oracle {
+
+/// Tolerances for the scalar comparisons. Two values agree when
+/// |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+struct DiffOptions {
+  double rel_tol = 1e-6;
+  double abs_tol = 1e-6;
+};
+
+/// One disagreement between the engine and the reference replay.
+struct Divergence {
+  std::string field;  ///< e.g. "makespan", "t_end", "host"
+  std::string task;   ///< empty for run-level fields
+  double engine_value = 0.0;
+  double reference_value = 0.0;
+
+  std::string describe() const;
+};
+
+/// True when the two scalars agree under the tolerance (infinities must
+/// match exactly; NaN never agrees).
+bool values_agree(double a, double b, const DiffOptions& opts);
+
+/// Compares an engine result against a reference replay. Returns every
+/// divergence found (empty = the runs agree).
+std::vector<Divergence> diff_results(const exec::Result& engine, const RefResult& reference,
+                                     const DiffOptions& opts = {});
+
+}  // namespace bbsim::oracle

@@ -1,0 +1,125 @@
+#include "oracle/maxmin_ref.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bbsim::oracle {
+
+namespace {
+
+constexpr long double kInf = std::numeric_limits<long double>::infinity();
+
+/// Water level at which `r` saturates given the already-frozen load, or
+/// infinity when the resource cannot bind this round. Everything is
+/// recomputed from the frozen-rate vector -- no state is carried between
+/// rounds.
+long double saturation_level(const RefProblem& p, std::uint32_t r,
+                             const std::vector<long double>& rate,
+                             const std::vector<bool>& frozen) {
+  const long double cap = p.capacities[r];
+  if (cap == kInf) return kInf;
+  long double frozen_load = 0.0L;
+  long double unfrozen_weight = 0.0L;
+  for (std::size_t f = 0; f < p.flows.size(); ++f) {
+    bool crosses = false;
+    for (const std::uint32_t id : p.flows[f].path) {
+      if (id == r) {
+        crosses = true;
+        break;
+      }
+    }
+    if (!crosses) continue;
+    if (frozen[f]) {
+      frozen_load += rate[f];
+    } else {
+      unfrozen_weight += static_cast<long double>(p.flows[f].weight);
+    }
+  }
+  if (unfrozen_weight <= 0.0L) return kInf;
+  const long double lvl = (cap - frozen_load) / unfrozen_weight;
+  return lvl < 0.0L ? 0.0L : lvl;
+}
+
+/// The level at which flow `f` freezes: the minimum of its cap level and
+/// the saturation level of every resource it crosses.
+long double binding_level(const RefProblem& p, std::size_t f,
+                          const std::vector<long double>& rate,
+                          const std::vector<bool>& frozen) {
+  long double lvl = static_cast<long double>(p.flows[f].rate_cap) /
+                    static_cast<long double>(p.flows[f].weight);
+  for (const std::uint32_t r : p.flows[f].path) {
+    const long double s = saturation_level(p, r, rate, frozen);
+    if (s < lvl) lvl = s;
+  }
+  return lvl;
+}
+
+}  // namespace
+
+std::vector<double> reference_maxmin(const RefProblem& p) {
+  const std::size_t n = p.flows.size();
+  for (const RefFlow& f : p.flows) {
+    BBSIM_ASSERT(f.weight > 0, "reference_maxmin: flow weight must be > 0");
+    BBSIM_ASSERT(f.rate_cap > 0, "reference_maxmin: flow rate cap must be > 0");
+    for (const std::uint32_t r : f.path) {
+      BBSIM_ASSERT(r < p.capacities.size(), "reference_maxmin: bad resource id");
+      BBSIM_ASSERT(p.capacities[r] >= 0, "reference_maxmin: negative capacity");
+    }
+  }
+
+  std::vector<bool> frozen(n, false);
+  std::vector<long double> rate(n, 0.0L);
+
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    // The global water level this round: the tightest binding constraint
+    // over all unfrozen flows, each evaluated from scratch.
+    long double level = kInf;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      const long double lvl = binding_level(p, f, rate, frozen);
+      if (lvl < level) level = lvl;
+    }
+
+    if (level == kInf) {
+      // Nothing binds: the remaining flows are unconstrained.
+      for (std::size_t f = 0; f < n; ++f) {
+        if (!frozen[f]) {
+          rate[f] = kInf;
+          frozen[f] = true;
+        }
+      }
+      break;
+    }
+
+    // Freeze every flow whose own binding constraint sits at the level
+    // (within a relative epsilon for float noise). The freeze set is
+    // decided against the round-start state, then applied as a batch. At
+    // least one flow always qualifies: the argmin above.
+    const long double slack = 1e-12L * (level < 1.0L ? 1.0L : level);
+    std::vector<std::size_t> to_freeze;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f]) continue;
+      if (binding_level(p, f, rate, frozen) <= level + slack) to_freeze.push_back(f);
+    }
+    BBSIM_ASSERT(!to_freeze.empty(), "reference_maxmin: no progress");
+    for (const std::size_t f : to_freeze) {
+      const long double cap = static_cast<long double>(p.flows[f].rate_cap);
+      const long double alloc = level * static_cast<long double>(p.flows[f].weight);
+      rate[f] = alloc < cap ? alloc : cap;
+      if (rate[f] < 0.0L) rate[f] = 0.0L;
+      frozen[f] = true;
+      --remaining;
+    }
+  }
+
+  std::vector<double> out(n, 0.0);
+  for (std::size_t f = 0; f < n; ++f) {
+    out[f] = rate[f] == kInf ? std::numeric_limits<double>::infinity()
+                             : static_cast<double>(rate[f]);
+  }
+  return out;
+}
+
+}  // namespace bbsim::oracle

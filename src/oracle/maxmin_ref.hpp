@@ -1,0 +1,40 @@
+/// \file
+/// bbsim::oracle -- brute-force reference max-min solver.
+///
+/// A deliberately naive implementation of weighted max-min fairness with
+/// per-flow rate caps: iterative bottleneck freezing that recomputes every
+/// per-resource aggregate from scratch each round and accumulates in long
+/// double. No incremental updates, no cached indices, no free-lists --
+/// nothing shared with flow::Network::solve() beyond the mathematical
+/// definition (progressive filling). It exists to be *obviously* correct so
+/// the differential tester (src/fuzz) can treat it as ground truth. Roughly
+/// O(F^2 * P) for F flows of path length P -- fine for test problems,
+/// unusable for production sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bbsim::oracle {
+
+/// One flow of a reference problem. Resource ids index into the capacity
+/// vector handed to reference_maxmin().
+struct RefFlow {
+  std::vector<std::uint32_t> path;
+  double rate_cap;  ///< per-flow ceiling; infinity = uncapped
+  double weight = 1.0;
+};
+
+/// A max-min problem: resource capacities (infinity = unconstrained) and
+/// the flows crossing them.
+struct RefProblem {
+  std::vector<double> capacities;
+  std::vector<RefFlow> flows;
+};
+
+/// Computes the weighted max-min fair allocation by progressive filling.
+/// Returns one rate per flow, in input order; a flow with no finite
+/// constraint anywhere gets rate infinity (it would complete instantly).
+std::vector<double> reference_maxmin(const RefProblem& problem);
+
+}  // namespace bbsim::oracle

@@ -1,5 +1,7 @@
 #include "workflow/random_dag.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -58,6 +60,143 @@ Workflow make_random_layered(const RandomDagConfig& config, util::Rng& rng) {
 
   w.validate();
   return w;
+}
+
+namespace {
+
+/// Samples flops/alpha/cores from the config ranges (shared by all shapes).
+Task sample_task(const std::string& name, const std::string& type,
+                 const RandomDagConfig& config, util::Rng& rng) {
+  Task task;
+  task.name = name;
+  task.type = type;
+  task.flops = rng.uniform(config.min_seq_seconds, config.max_seq_seconds) *
+               config.reference_core_speed;
+  task.alpha = rng.uniform(0.0, 0.3);
+  task.requested_cores =
+      static_cast<int>(rng.uniform_int(1, config.max_requested_cores));
+  return task;
+}
+
+std::string add_sampled_file(Workflow& w, const std::string& name,
+                             const RandomDagConfig& config, util::Rng& rng) {
+  w.add_file(File{name, rng.uniform(config.min_file_size, config.max_file_size)});
+  return name;
+}
+
+Workflow make_chain(const RandomDagConfig& config, util::Rng& rng) {
+  Workflow w;
+  w.name = "random-chain";
+  const int length = static_cast<int>(
+      rng.uniform_int(std::max(2, config.min_width), std::max(2, config.max_width)));
+  std::string carried = add_sampled_file(w, "in_00.dat", config, rng);
+  for (int i = 0; i < length; ++i) {
+    Task task = sample_task(util::format("chain_%02d", i), "chain", config, rng);
+    task.inputs.push_back(carried);
+    carried = add_sampled_file(w, util::format("f_%02d.dat", i), config, rng);
+    task.outputs.push_back(carried);
+    w.add_task(std::move(task));
+  }
+  w.validate();
+  return w;
+}
+
+Workflow make_fan_out(const RandomDagConfig& config, util::Rng& rng) {
+  Workflow w;
+  w.name = "random-fan-out";
+  const int width =
+      static_cast<int>(rng.uniform_int(config.min_width, config.max_width));
+  const std::string in = add_sampled_file(w, "in_00.dat", config, rng);
+  Task root = sample_task("root", "root", config, rng);
+  root.inputs.push_back(in);
+  // One output file per leaf: the root's writes fan out to independent
+  // consumers, so staging/demotion decisions differ per file.
+  std::vector<std::string> mids;
+  for (int i = 0; i < width; ++i) {
+    mids.push_back(add_sampled_file(w, util::format("mid_%02d.dat", i), config, rng));
+    root.outputs.push_back(mids.back());
+  }
+  w.add_task(std::move(root));
+  for (int i = 0; i < width; ++i) {
+    Task leaf = sample_task(util::format("leaf_%02d", i), "leaf", config, rng);
+    leaf.inputs.push_back(mids[static_cast<std::size_t>(i)]);
+    leaf.outputs.push_back(
+        add_sampled_file(w, util::format("out_%02d.dat", i), config, rng));
+    w.add_task(std::move(leaf));
+  }
+  w.validate();
+  return w;
+}
+
+Workflow make_fan_in(const RandomDagConfig& config, util::Rng& rng) {
+  Workflow w;
+  w.name = "random-fan-in";
+  const int width =
+      static_cast<int>(rng.uniform_int(config.min_width, config.max_width));
+  std::vector<std::string> mids;
+  for (int i = 0; i < width; ++i) {
+    Task src = sample_task(util::format("src_%02d", i), "source", config, rng);
+    src.inputs.push_back(
+        add_sampled_file(w, util::format("in_%02d.dat", i), config, rng));
+    mids.push_back(add_sampled_file(w, util::format("mid_%02d.dat", i), config, rng));
+    src.outputs.push_back(mids.back());
+    w.add_task(std::move(src));
+  }
+  Task sink = sample_task("sink", "sink", config, rng);
+  sink.inputs = mids;
+  sink.outputs.push_back(add_sampled_file(w, "out_00.dat", config, rng));
+  w.add_task(std::move(sink));
+  w.validate();
+  return w;
+}
+
+Workflow make_fork_join(const RandomDagConfig& config, util::Rng& rng) {
+  Workflow w;
+  w.name = "random-fork-join";
+  const int width =
+      static_cast<int>(rng.uniform_int(config.min_width, config.max_width));
+  const std::string in = add_sampled_file(w, "in_00.dat", config, rng);
+  Task fork = sample_task("fork", "fork", config, rng);
+  fork.inputs.push_back(in);
+  std::vector<std::string> forked;
+  for (int i = 0; i < width; ++i) {
+    forked.push_back(add_sampled_file(w, util::format("fork_%02d.dat", i), config, rng));
+    fork.outputs.push_back(forked.back());
+  }
+  w.add_task(std::move(fork));
+  std::vector<std::string> mids;
+  for (int i = 0; i < width; ++i) {
+    Task mid = sample_task(util::format("work_%02d", i), "work", config, rng);
+    mid.inputs.push_back(forked[static_cast<std::size_t>(i)]);
+    mids.push_back(add_sampled_file(w, util::format("mid_%02d.dat", i), config, rng));
+    mid.outputs.push_back(mids.back());
+    w.add_task(std::move(mid));
+  }
+  Task join = sample_task("join", "join", config, rng);
+  join.inputs = mids;
+  join.outputs.push_back(add_sampled_file(w, "out_00.dat", config, rng));
+  w.add_task(std::move(join));
+  w.validate();
+  return w;
+}
+
+}  // namespace
+
+Workflow make_shaped_dag(DagShape shape, const RandomDagConfig& config, util::Rng& rng) {
+  switch (shape) {
+    case DagShape::Layered:
+      return make_random_layered(config, rng);
+    case DagShape::Chain:
+      return make_chain(config, rng);
+    case DagShape::FanOut:
+      return make_fan_out(config, rng);
+    case DagShape::FanIn:
+      return make_fan_in(config, rng);
+    case DagShape::ForkJoin:
+      return make_fork_join(config, rng);
+  }
+  BBSIM_ASSERT(false, "make_shaped_dag: unknown shape");
+  return Workflow{};
 }
 
 }  // namespace bbsim::wf

@@ -27,4 +27,21 @@ struct RandomDagConfig {
 /// Builds a connected layered DAG. Deterministic for a given (config, rng).
 Workflow make_random_layered(const RandomDagConfig& config, util::Rng& rng);
 
+/// Structural archetypes beyond the layered default. Chain / fan-out /
+/// fan-in / fork-join are the shapes where scheduling and staging corner
+/// cases concentrate (single-wide pipelines, broadcast inputs, all-to-one
+/// barriers), so the differential fuzzer samples them explicitly.
+enum class DagShape {
+  Layered,   ///< make_random_layered
+  Chain,     ///< t0 -> t1 -> ... -> tn, one file per hop
+  FanOut,    ///< one producer, N independent consumers
+  FanIn,     ///< N independent producers, one sink reading all outputs
+  ForkJoin,  ///< fan-out then fan-in through a final join task
+};
+
+/// Builds a DAG of the requested shape; sizes/durations/core counts are
+/// sampled from the same config ranges as the layered generator.
+/// Deterministic for a given (shape, config, rng).
+Workflow make_shaped_dag(DagShape shape, const RandomDagConfig& config, util::Rng& rng);
+
 }  // namespace bbsim::wf

@@ -1,0 +1,72 @@
+// Replays every checked-in fuzzcase under tests/corpus/ through the
+// differential harness: each case must parse as bbsim.fuzzcase.v1, run on
+// both the engine and the reference replayer, and diff clean. Fuzz-found
+// (then minimized) divergences get checked in here so they stay fixed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+#include "json/json.hpp"
+
+#ifndef BBSIM_CORPUS_DIR
+#error "BBSIM_CORPUS_DIR must point at tests/corpus (set by tests/CMakeLists.txt)"
+#endif
+
+namespace bbsim {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(BBSIM_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, IsNotEmpty) {
+  // An empty corpus means the glob is broken, not that everything passes.
+  EXPECT_GE(corpus_files().size(), 3u);
+}
+
+TEST(Corpus, EveryCaseParsesAsFuzzcaseV1) {
+  for (const std::string& path : corpus_files()) {
+    const json::Value doc = json::parse_file(path);
+    EXPECT_EQ(doc.at("schema").as_string(), fuzz::kFuzzcaseSchema) << path;
+    EXPECT_NO_THROW(fuzz::scenario_from_file(path)) << path;
+  }
+}
+
+TEST(Corpus, EveryCaseReplaysDivergenceFree) {
+  for (const std::string& path : corpus_files()) {
+    const auto outcome = fuzz::replay_case_file(path);
+    EXPECT_FALSE(outcome.diverged)
+        << path << ": "
+        << (outcome.divergences.empty() ? "(no detail)"
+                                        : outcome.divergences.front().describe());
+    EXPECT_TRUE(outcome.engine_error.empty()) << path << ": " << outcome.engine_error;
+  }
+}
+
+TEST(Corpus, ReplayIsExactRoundTrip) {
+  // Replaying a corpus file must be identical to re-running its parsed
+  // scenario: the file format loses nothing the harness cares about.
+  for (const std::string& path : corpus_files()) {
+    const fuzz::Scenario sc = fuzz::scenario_from_file(path);
+    const auto from_file = fuzz::replay_case_file(path);
+    const auto from_memory = fuzz::run_scenario(sc);
+    EXPECT_EQ(from_file.diverged, from_memory.diverged) << path;
+    EXPECT_EQ(from_file.divergences.size(), from_memory.divergences.size()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace bbsim

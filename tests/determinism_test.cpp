@@ -1,0 +1,124 @@
+// Determinism regression tests: an identical seed + spec must serialize
+// byte-identical bbsim.run.v1 / bbsim.sweep.v1 reports across --jobs
+// 1/2/4 and across audit ON/OFF (audit-only fields stripped before the
+// byte compare -- the audit must observe, never perturb).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/options.hpp"
+#include "cli/runner.hpp"
+#include "cli/sweep_cli.hpp"
+#include "json/json.hpp"
+#include "sweep/spec.hpp"
+
+namespace bbsim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Deep-copies `v` with every audit-only key removed, at any depth. The
+/// json::Object API has no erase, so filtered copies are rebuilt.
+json::Value strip_audit_fields(const json::Value& v) {
+  if (v.is_object()) {
+    json::Object out;
+    for (const auto& [key, value] : v.as_object()) {
+      if (key == "audit" || key == "audit_violations") continue;
+      out.set(key, strip_audit_fields(value));
+    }
+    return json::Value(std::move(out));
+  }
+  if (v.is_array()) {
+    json::Array out;
+    out.reserve(v.as_array().size());
+    for (const auto& element : v.as_array()) {
+      out.push_back(strip_audit_fields(element));
+    }
+    return json::Value(std::move(out));
+  }
+  return v;
+}
+
+sweep::SweepSpec determinism_spec() {
+  return sweep::parse_sweep_spec(json::parse(R"({
+    "name": "determinism",
+    "base": {"workflow": "swarp", "testbed": "cori-private", "seed": 7},
+    "axes": {"pipelines": [1, 2], "policy": ["all_pfs", "all_bb"]},
+    "repetitions": 2
+  })"));
+}
+
+std::string sweep_report_dump(int jobs, bool audit) {
+  cli::SweepCliOptions opt;
+  opt.jobs = jobs;
+  opt.quiet = true;
+  opt.audit = audit;
+  return cli::run_sweep_to_json(determinism_spec(), opt).dump(2);
+}
+
+TEST(Determinism, SweepReportByteIdenticalAcrossJobs) {
+  const std::string serial = sweep_report_dump(/*jobs=*/1, /*audit=*/false);
+  EXPECT_NE(serial.find("\"schema\": \"bbsim.sweep.v1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"ok\": true"), std::string::npos);
+  for (const int jobs : {2, 4}) {
+    EXPECT_EQ(sweep_report_dump(jobs, false), serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(Determinism, SweepReportStableAcrossInvocations) {
+  EXPECT_EQ(sweep_report_dump(2, false), sweep_report_dump(2, false));
+}
+
+std::string run_report_dump(bool audit) {
+  const std::string path = ::testing::TempDir() + "/bbsim_determinism_run.json";
+  cli::CliOptions opt;
+  opt.quiet = true;
+  opt.pipelines = 2;
+  opt.trace_path = path;
+  opt.audit = audit;
+  EXPECT_EQ(cli::run_cli(opt), 0);
+  // Reserialize through the parser so the comparison is formatting-stable.
+  const std::string report = json::parse(slurp(path)).dump(2);
+  std::remove(path.c_str());
+  return report;
+}
+
+TEST(Determinism, RunReportByteIdenticalAcrossInvocations) {
+  const std::string first = run_report_dump(false);
+  EXPECT_NE(first.find("\"schema\": \"bbsim.run.v1\""), std::string::npos);
+  EXPECT_EQ(run_report_dump(false), first);
+}
+
+#if defined(BBSIM_AUDIT_ENABLED)
+TEST(Determinism, SweepReportUnchangedByAudit) {
+  const std::string off = sweep_report_dump(/*jobs=*/2, /*audit=*/false);
+  const std::string on = sweep_report_dump(/*jobs=*/2, /*audit=*/true);
+  EXPECT_NE(on, off);  // audit fields are present when auditing...
+  const std::string off_stripped =
+      strip_audit_fields(json::parse(off)).dump(2);
+  const std::string on_stripped = strip_audit_fields(json::parse(on)).dump(2);
+  EXPECT_EQ(on_stripped, off_stripped);  // ...and are the ONLY difference
+  EXPECT_EQ(off_stripped, off);  // stripping a no-audit report is a no-op
+}
+
+TEST(Determinism, RunReportUnchangedByAudit) {
+  const std::string off = run_report_dump(false);
+  const std::string on = run_report_dump(true);
+  const std::string off_stripped =
+      strip_audit_fields(json::parse(off)).dump(2);
+  const std::string on_stripped = strip_audit_fields(json::parse(on)).dump(2);
+  EXPECT_EQ(on_stripped, off_stripped);
+  EXPECT_EQ(off_stripped, off);
+}
+#endif  // BBSIM_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace bbsim

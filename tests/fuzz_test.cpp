@@ -1,0 +1,163 @@
+// Tests of the fuzz subsystem itself: scenario sampling determinism,
+// fuzzcase JSON round-tripping, clean campaigns on the shipped engine,
+// and the self-test that a perturbed engine is caught and the failing
+// case minimized down to a handful of tasks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/minimize.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+#include "json/json.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bbsim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ------------------------------------------------------------- sampling
+
+TEST(Sampler, SameSeedSameScenario) {
+  util::Rng a(7), b(7);
+  const fuzz::Scenario sa = fuzz::sample_scenario(a);
+  const fuzz::Scenario sb = fuzz::sample_scenario(b);
+  EXPECT_EQ(sa.to_json().dump(2), sb.to_json().dump(2));
+}
+
+TEST(Sampler, DifferentSeedsDiffer) {
+  util::Rng a(7), b(8);
+  const fuzz::Scenario sa = fuzz::sample_scenario(a);
+  const fuzz::Scenario sb = fuzz::sample_scenario(b);
+  EXPECT_NE(sa.to_json().dump(2), sb.to_json().dump(2));
+}
+
+TEST(Sampler, ScenariosAreFeasible) {
+  util::Rng root(11);
+  for (int i = 0; i < 20; ++i) {
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const fuzz::Scenario sc = fuzz::sample_scenario(rng);
+    EXPECT_GT(sc.workflow.task_count(), 0u);
+    EXPECT_FALSE(sc.platform.hosts.empty());
+    // Every task's core request fits the largest host.
+    int max_cores = 0;
+    for (const auto& h : sc.platform.hosts) max_cores = std::max(max_cores, h.cores);
+    for (const auto& name : sc.workflow.task_names())
+      EXPECT_LE(sc.workflow.task(name).requested_cores, max_cores) << name;
+  }
+}
+
+// ----------------------------------------------------------- round-trip
+
+TEST(Fuzzcase, JsonRoundTripIsByteIdentical) {
+  util::Rng root(23);
+  for (int i = 0; i < 10; ++i) {
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const fuzz::Scenario sc = fuzz::sample_scenario(rng);
+    const std::string once = sc.to_json().dump(2);
+    const fuzz::Scenario back = fuzz::scenario_from_json(json::parse(once));
+    EXPECT_EQ(back.to_json().dump(2), once) << "iter " << i;
+  }
+}
+
+TEST(Fuzzcase, RoundTripPreservesOutcome) {
+  util::Rng rng(31);
+  const fuzz::Scenario sc = fuzz::sample_scenario(rng);
+  const fuzz::Scenario back = fuzz::scenario_from_json(sc.to_json());
+  const auto a = fuzz::run_scenario(sc);
+  const auto b = fuzz::run_scenario(back);
+  EXPECT_EQ(a.diverged, b.diverged);
+  EXPECT_EQ(a.engine_error, b.engine_error);
+}
+
+TEST(Fuzzcase, RejectsWrongSchema) {
+  json::Object doc;
+  doc.set("schema", "bbsim.run.v1");
+  EXPECT_THROW(fuzz::scenario_from_json(json::Value(std::move(doc))),
+               util::Error);
+}
+
+TEST(Fuzzcase, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bbsim_fuzzcase_rt.json";
+  util::Rng rng(37);
+  const fuzz::Scenario sc = fuzz::sample_scenario(rng);
+  json::write_file(path, sc.to_json());
+  const fuzz::Scenario back = fuzz::scenario_from_file(path);
+  EXPECT_EQ(back.to_json().dump(2), sc.to_json().dump(2));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ campaigns
+
+TEST(Campaign, ShippedEngineIsCleanAndDeterministic) {
+  fuzz::CampaignOptions opt;
+  opt.seed = 42;
+  opt.iterations = 40;
+  const auto first = fuzz::run_campaign(opt);
+  EXPECT_TRUE(first.clean())
+      << first.failures.front().divergences.front().describe();
+  EXPECT_EQ(first.iterations_run, 40);
+  const auto second = fuzz::run_campaign(opt);
+  EXPECT_EQ(second.clean(), first.clean());
+  EXPECT_EQ(second.iterations_run, first.iterations_run);
+}
+
+TEST(Campaign, PerturbedEngineIsCaughtAndMinimized) {
+  fuzz::CampaignOptions opt;
+  opt.seed = 42;
+  opt.iterations = 50;
+  opt.run.engine_bb_capacity_scale = 0.5;
+  opt.max_failures = 1;
+  const std::string dir = ::testing::TempDir();
+  opt.out_dir = dir;
+  const auto result = fuzz::run_campaign(opt);
+  ASSERT_FALSE(result.clean());
+  const auto& failure = result.failures.front();
+  EXPECT_FALSE(failure.divergences.empty());
+  // Acceptance criterion: the minimizer shrinks the repro to <= 5 tasks.
+  EXPECT_LE(failure.minimized.workflow.task_count(), 5u);
+  // The written fuzzcase replays: same divergence under the perturbation,
+  // no divergence on the unperturbed engine.
+  ASSERT_FALSE(failure.written_path.empty());
+  const auto replayed = fuzz::replay_case_file(failure.written_path, opt.run);
+  EXPECT_TRUE(replayed.diverged);
+  const auto clean_replay = fuzz::replay_case_file(failure.written_path);
+  EXPECT_FALSE(clean_replay.diverged);
+  // The file itself carries the schema tag.
+  const json::Value doc = json::parse(slurp(failure.written_path));
+  EXPECT_EQ(doc.at("schema").as_string(), fuzz::kFuzzcaseSchema);
+  std::remove(failure.written_path.c_str());
+}
+
+TEST(Minimizer, KeepsReproAndShrinks) {
+  // Find a failing scenario under perturbation, then minimize by hand and
+  // check the invariants the campaign relies on.
+  fuzz::RunOptions perturbed;
+  perturbed.engine_bb_capacity_scale = 0.5;
+  util::Rng root(42);
+  for (int i = 0; i < 50; ++i) {
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const fuzz::Scenario sc = fuzz::sample_scenario(rng);
+    const auto outcome = fuzz::run_scenario(sc, perturbed);
+    if (!outcome.diverged) continue;
+    const fuzz::Scenario small = fuzz::minimize_scenario(sc, perturbed);
+    EXPECT_LE(small.workflow.task_count(), sc.workflow.task_count());
+    EXPECT_TRUE(fuzz::run_scenario(small, perturbed).diverged);
+    small.workflow.validate();  // still a legal workflow
+    return;
+  }
+  FAIL() << "perturbation produced no divergence in 50 scenarios";
+}
+
+}  // namespace
+}  // namespace bbsim

@@ -1,0 +1,187 @@
+// Parser-hardening and negative-path tests: truncated, duplicate-key and
+// NaN/overflow-containing inputs to the JSON parser, the WfFormat workflow
+// loader and the platform loader must surface typed util errors (never
+// crash), and the CLI drivers must reject bad flag combinations with a
+// non-zero exit naming the offending option.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cli/options.hpp"
+#include "cli/runner.hpp"
+#include "cli/sweep_cli.hpp"
+#include "json/json.hpp"
+#include "platform/platform_json.hpp"
+#include "util/error.hpp"
+#include "workflow/wfformat.hpp"
+
+namespace bbsim {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+  return path;
+}
+
+// ----------------------------------------------------------- json parser
+
+TEST(JsonHardening, TruncatedDocumentsThrowParseError) {
+  for (const char* doc : {"", "{", "[1, 2", R"({"a": )", R"({"a": "unterminated)",
+                          R"({"a": 1,})", "nul", "1e"}) {
+    EXPECT_THROW(json::parse(doc), util::ParseError) << "input: " << doc;
+  }
+}
+
+TEST(JsonHardening, DuplicateKeysThrowParseError) {
+  try {
+    json::parse(R"({"a": 1, "b": 2, "a": 3})");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'a'"), std::string::npos);
+  }
+  // Nested objects are checked independently: this is legal.
+  EXPECT_NO_THROW(json::parse(R"({"a": {"x": 1}, "b": {"x": 2}})"));
+}
+
+TEST(JsonHardening, NonFiniteNumbersThrowParseError) {
+  // JSON has no NaN/Infinity literals, and overflowing doubles must not
+  // smuggle an infinity into the simulator either.
+  for (const char* doc : {"NaN", "Infinity", "-Infinity", "1e999", "[1, 1e999]"}) {
+    EXPECT_THROW(json::parse(doc), util::ParseError) << "input: " << doc;
+  }
+}
+
+TEST(JsonHardening, TrailingGarbageThrowsParseError) {
+  EXPECT_THROW(json::parse("{} {}"), util::ParseError);
+  EXPECT_THROW(json::parse("1 2"), util::ParseError);
+}
+
+// ------------------------------------------------------ workflow loader
+
+TEST(WfFormatHardening, TruncatedFileThrowsTypedError) {
+  const std::string path =
+      write_temp("bbsim_trunc.json", R"({"name": "w", "workflow": {"specVersion")");
+  EXPECT_THROW(wf::load_workflow(path), util::ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(WfFormatHardening, WrongShapeThrowsTypedError) {
+  // Structurally valid JSON that is not a WfFormat document.
+  for (const char* doc : {"[1, 2, 3]", R"({"tasks": "nope"})", R"({"workflow": 5})"}) {
+    EXPECT_THROW(wf::from_wfformat(json::parse(doc)), util::Error) << doc;
+  }
+}
+
+TEST(WfFormatHardening, MissingFileThrowsTypedError) {
+  EXPECT_THROW(wf::load_workflow("/nonexistent/bbsim_wf.json"), util::Error);
+}
+
+// ------------------------------------------------------ platform loader
+
+TEST(PlatformHardening, TruncatedFileThrowsTypedError) {
+  const std::string path =
+      write_temp("bbsim_plat_trunc.json", R"({"hosts": [{"cores": )");
+  EXPECT_THROW(platform::load_platform(path), util::ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(PlatformHardening, WrongShapeThrowsTypedError) {
+  for (const char* doc : {"[]", R"({"hosts": 3})", R"({"hosts": [], "storage": []})"}) {
+    EXPECT_THROW(platform::from_json(json::parse(doc)), util::Error) << doc;
+  }
+}
+
+// ------------------------------------------------------------- run CLI
+
+TEST(CliHardening, UnknownFlagNamesTheFlag) {
+  try {
+    cli::parse_cli({"--frobnicate"});
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--frobnicate"), std::string::npos);
+  }
+}
+
+TEST(CliHardening, MissingValueNamesTheFlag) {
+  try {
+    cli::parse_cli({"--pipelines"});
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--pipelines"), std::string::npos);
+  }
+}
+
+TEST(CliHardening, AuditOutWithoutAuditIsRejected) {
+  try {
+    cli::parse_cli({"--audit-out", "report.json"});
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--audit-out"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--audit"), std::string::npos);
+  }
+  // The pair together stays legal.
+  EXPECT_NO_THROW(cli::parse_cli({"--audit", "--audit-out", "report.json"}));
+}
+
+TEST(CliHardening, OutOfRangeValuesAreRejected) {
+  EXPECT_THROW(cli::parse_cli({"--jobs", "-1"}), util::ConfigError);
+  EXPECT_THROW(cli::parse_cli({"--nodes", "0"}), util::ConfigError);
+  EXPECT_THROW(cli::parse_cli({"--reps", "0"}), util::ConfigError);
+  EXPECT_THROW(cli::parse_cli({"--stage-width", "0"}), util::ConfigError);
+}
+
+TEST(CliHardening, MainImplExitsNonZeroOnBadFlags) {
+  {
+    const char* argv[] = {"bbsim_run", "--audit-out", "x.json"};
+    EXPECT_NE(cli::main_impl(3, argv), 0);
+  }
+  {
+    const char* argv[] = {"bbsim_run", "--jobs", "-2"};
+    EXPECT_NE(cli::main_impl(3, argv), 0);
+  }
+}
+
+// ------------------------------------------------------------ sweep CLI
+
+TEST(SweepCliHardening, UnknownFlagNamesTheFlag) {
+  try {
+    cli::parse_sweep_cli({"spec.json", "--bogus"});
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--bogus"), std::string::npos);
+  }
+}
+
+TEST(SweepCliHardening, MalformedSpecFileExitsNonZero) {
+  const std::string path =
+      write_temp("bbsim_bad_spec.json", R"({"axes": {"a": []}})");
+  const std::string truncated =
+      write_temp("bbsim_trunc_spec.json", R"({"name": )");
+  {
+    const char* argv[] = {"bbsim_sweep", path.c_str(), "--quiet"};
+    EXPECT_NE(cli::sweep_main_impl(3, argv), 0);
+  }
+  {
+    const char* argv[] = {"bbsim_sweep", truncated.c_str(), "--quiet"};
+    EXPECT_NE(cli::sweep_main_impl(3, argv), 0);
+  }
+  {
+    const char* argv[] = {"bbsim_sweep", "/nonexistent/spec.json", "--quiet"};
+    EXPECT_NE(cli::sweep_main_impl(3, argv), 0);
+  }
+  std::remove(path.c_str());
+  std::remove(truncated.c_str());
+}
+
+TEST(SweepCliHardening, OutOfRangeJobsRejected) {
+  EXPECT_THROW(cli::parse_sweep_cli({"spec.json", "--jobs", "-1"}),
+               util::ConfigError);
+}
+
+}  // namespace
+}  // namespace bbsim

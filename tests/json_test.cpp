@@ -80,10 +80,16 @@ TEST(JsonObject, PreservesInsertionOrder) {
   EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
 }
 
-TEST(JsonObject, DuplicateKeysLastWins) {
-  const Value v = parse(R"({"a": 1, "a": 2})");
-  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 2.0);
-  EXPECT_EQ(v.as_object().size(), 1u);
+TEST(JsonObject, DuplicateKeysRejected) {
+  // A duplicate key is almost always a hand-edited config mistake; since
+  // silently letting the last value win hides it, the parser rejects it.
+  EXPECT_THROW(parse(R"({"a": 1, "a": 2})"), util::ParseError);
+  // Object::set still overwrites programmatically.
+  Object o;
+  o.set("a", Value(1));
+  o.set("a", Value(2));
+  EXPECT_DOUBLE_EQ(o.at("a").as_number(), 2.0);
+  EXPECT_EQ(o.size(), 1u);
 }
 
 TEST(JsonObject, AtThrowsNotFound) {

@@ -1,0 +1,211 @@
+// Differential tests of the reference oracle (src/oracle): the brute-force
+// max-min solver against flow::Network::solve, and the straight-line
+// replayer against exec::Simulation on preset platforms and real
+// workloads. A deliberately perturbed engine must be caught.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "exec/engine.hpp"
+#include "flow/network.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/scenario.hpp"
+#include "oracle/diff.hpp"
+#include "oracle/maxmin_ref.hpp"
+#include "oracle/replay.hpp"
+#include "platform/presets.hpp"
+#include "util/rng.hpp"
+#include "workflow/genomes.hpp"
+#include "workflow/random_dag.hpp"
+#include "workflow/swarp.hpp"
+
+namespace bbsim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------------ reference solver
+
+TEST(MaxminRef, EqualShareOnOneResource) {
+  oracle::RefProblem p;
+  p.capacities = {100.0};
+  for (int i = 0; i < 4; ++i) p.flows.push_back({{0}, kInf, 1.0});
+  const auto rates = oracle::reference_maxmin(p);
+  for (const double r : rates) EXPECT_DOUBLE_EQ(r, 25.0);
+}
+
+TEST(MaxminRef, CapFreesBandwidthForOthers) {
+  oracle::RefProblem p;
+  p.capacities = {100.0};
+  p.flows.push_back({{0}, 10.0, 1.0});  // capped
+  p.flows.push_back({{0}, kInf, 1.0});
+  const auto rates = oracle::reference_maxmin(p);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 90.0);
+}
+
+TEST(MaxminRef, WeightsScaleShares) {
+  oracle::RefProblem p;
+  p.capacities = {90.0};
+  p.flows.push_back({{0}, kInf, 1.0});
+  p.flows.push_back({{0}, kInf, 2.0});
+  const auto rates = oracle::reference_maxmin(p);
+  EXPECT_DOUBLE_EQ(rates[0], 30.0);
+  EXPECT_DOUBLE_EQ(rates[1], 60.0);
+}
+
+TEST(MaxminRef, UnconstrainedFlowIsUnlimited) {
+  oracle::RefProblem p;
+  p.capacities = {kInf};
+  p.flows.push_back({{0}, kInf, 1.0});
+  p.flows.push_back({{}, kInf, 1.0});  // empty path
+  const auto rates = oracle::reference_maxmin(p);
+  EXPECT_TRUE(std::isinf(rates[0]));
+  EXPECT_TRUE(std::isinf(rates[1]));
+}
+
+TEST(MaxminRef, MultiBottleneckChain) {
+  // f0 crosses both resources; f1 only r0, f2 only r1. r0 = 100, r1 = 40:
+  // level fills r1 first (f0 = f2 = 20), then f1 takes the r0 remainder.
+  oracle::RefProblem p;
+  p.capacities = {100.0, 40.0};
+  p.flows.push_back({{0, 1}, kInf, 1.0});
+  p.flows.push_back({{0}, kInf, 1.0});
+  p.flows.push_back({{1}, kInf, 1.0});
+  const auto rates = oracle::reference_maxmin(p);
+  EXPECT_DOUBLE_EQ(rates[0], 20.0);
+  EXPECT_DOUBLE_EQ(rates[2], 20.0);
+  EXPECT_DOUBLE_EQ(rates[1], 80.0);
+}
+
+TEST(MaxminRef, AgreesWithEngineSolverOnRandomProblems) {
+  const auto result = fuzz::run_solver_campaign(/*seed=*/2024, /*iterations=*/500);
+  EXPECT_EQ(result.iterations_run, 500);
+  EXPECT_TRUE(result.clean()) << result.first_divergence;
+}
+
+TEST(MaxminRef, CatchesPerturbedEngineSolver) {
+  // Scaling one engine-side capacity must produce rate divergences.
+  const auto result = fuzz::run_solver_campaign(/*seed=*/2024, /*iterations=*/200,
+                                                /*engine_capacity_scale=*/0.7);
+  EXPECT_FALSE(result.clean());
+}
+
+// ---------------------------------------------------- reference replayer
+
+fuzz::Scenario preset_scenario(platform::PlatformSpec platform, wf::Workflow workflow) {
+  fuzz::Scenario sc;
+  sc.platform = std::move(platform);
+  sc.workflow = std::move(workflow);
+  return sc;
+}
+
+TEST(ReplayOracle, MatchesEngineOnSwarpCoriPrivate) {
+  platform::PresetOptions popt;
+  popt.compute_nodes = 2;
+  auto sc = preset_scenario(platform::cori_platform(popt), wf::make_swarp({}));
+  const auto outcome = fuzz::run_scenario(sc);
+  EXPECT_TRUE(outcome.engine_error.empty()) << outcome.engine_error;
+  EXPECT_FALSE(outcome.diverged)
+      << (outcome.divergences.empty() ? "" : outcome.divergences.front().describe());
+}
+
+TEST(ReplayOracle, MatchesEngineOnSwarpCoriStriped) {
+  platform::PresetOptions popt;
+  popt.compute_nodes = 2;
+  popt.bb_nodes = 2;
+  popt.bb_mode = platform::BBMode::Striped;
+  auto sc = preset_scenario(platform::cori_platform(popt), wf::make_swarp({}));
+  sc.config.stage_out = true;
+  const auto outcome = fuzz::run_scenario(sc);
+  EXPECT_TRUE(outcome.engine_error.empty()) << outcome.engine_error;
+  EXPECT_FALSE(outcome.diverged)
+      << (outcome.divergences.empty() ? "" : outcome.divergences.front().describe());
+}
+
+TEST(ReplayOracle, MatchesEngineOnGenomesSummit) {
+  platform::PresetOptions popt;
+  popt.compute_nodes = 2;
+  wf::GenomesConfig gopt;
+  gopt.chromosomes = 2;
+  gopt.individuals_per_chromosome = 4;
+  gopt.populations = 3;
+  auto sc = preset_scenario(platform::summit_platform(popt), wf::make_1000genomes(gopt));
+  sc.config.stage_in_mode = exec::StageInMode::Instant;
+  const auto outcome = fuzz::run_scenario(sc);
+  EXPECT_TRUE(outcome.engine_error.empty()) << outcome.engine_error;
+  EXPECT_FALSE(outcome.diverged)
+      << (outcome.divergences.empty() ? "" : outcome.divergences.front().describe());
+}
+
+TEST(ReplayOracle, MatchesEngineOnRandomShapes) {
+  util::Rng root(99);
+  for (int i = 0; i < 25; ++i) {
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const fuzz::Scenario sc = fuzz::sample_scenario(rng);
+    const auto outcome = fuzz::run_scenario(sc);
+    EXPECT_FALSE(outcome.diverged)
+        << "iter " << i << ": "
+        << (outcome.divergences.empty() ? "" : outcome.divergences.front().describe());
+  }
+}
+
+TEST(ReplayOracle, CatchesPerturbedEngine) {
+  platform::PresetOptions popt;
+  popt.compute_nodes = 2;
+  auto sc = preset_scenario(platform::cori_platform(popt), wf::make_swarp({}));
+  fuzz::RunOptions options;
+  options.engine_bb_capacity_scale = 0.5;  // slow the engine's BB only
+  const auto outcome = fuzz::run_scenario(sc, options);
+  EXPECT_TRUE(outcome.diverged);
+}
+
+TEST(ReplayOracle, SchedulerPoliciesAgree) {
+  const exec::SchedulerPolicy policies[] = {
+      exec::SchedulerPolicy::Fcfs, exec::SchedulerPolicy::CriticalPathFirst,
+      exec::SchedulerPolicy::LargestFirst, exec::SchedulerPolicy::SmallestFirst};
+  for (const auto policy : policies) {
+    platform::PresetOptions popt;
+    popt.compute_nodes = 2;
+    auto sc = preset_scenario(platform::cori_platform(popt), wf::make_swarp({}));
+    sc.config.scheduler = policy;
+    const auto outcome = fuzz::run_scenario(sc);
+    EXPECT_FALSE(outcome.diverged)
+        << exec::to_string(policy) << ": "
+        << (outcome.divergences.empty() ? "" : outcome.divergences.front().describe());
+  }
+}
+
+// ------------------------------------------------------------------ diff
+
+TEST(Diff, ToleranceAndExactFields) {
+  oracle::DiffOptions opts;
+  EXPECT_TRUE(oracle::values_agree(1.0, 1.0 + 1e-9, opts));
+  EXPECT_FALSE(oracle::values_agree(1.0, 1.1, opts));
+  EXPECT_TRUE(oracle::values_agree(kInf, kInf, opts));
+  EXPECT_FALSE(oracle::values_agree(kInf, 1.0, opts));
+  EXPECT_FALSE(oracle::values_agree(std::nan(""), std::nan(""), opts));
+
+  exec::Result engine;
+  engine.makespan = 10.0;
+  oracle::RefResult reference;
+  reference.makespan = 10.0 + 1e-9;
+  EXPECT_TRUE(oracle::diff_results(engine, reference).empty());
+  reference.demoted_writes = 1;  // counters compare exactly
+  EXPECT_EQ(oracle::diff_results(engine, reference).size(), 1u);
+}
+
+TEST(Diff, ReportsMissingTasks) {
+  exec::Result engine;
+  engine.tasks["a"] = exec::TaskRecord{};
+  oracle::RefResult reference;
+  reference.tasks["b"] = oracle::RefTask{};
+  const auto divergences = oracle::diff_results(engine, reference);
+  ASSERT_EQ(divergences.size(), 2u);
+  EXPECT_EQ(divergences[0].field, "task_missing_in_reference");
+  EXPECT_EQ(divergences[1].field, "task_missing_in_engine");
+}
+
+}  // namespace
+}  // namespace bbsim

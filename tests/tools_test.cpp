@@ -10,6 +10,7 @@
 #include "exec/engine.hpp"
 #include "exec/gantt.hpp"
 #include "json/json.hpp"
+#include "util/error.hpp"
 #include "workflow/dot.hpp"
 #include "workflow/swarp.hpp"
 
@@ -71,11 +72,18 @@ TEST(RunCli, HelpReturnsZero) {
 
 TEST(RunCli, AuditFlagsParse) {
   const cli::CliOptions opt =
-      cli::parse_cli({"--audit-out", "a.json", "--quiet"});
-  EXPECT_TRUE(opt.audit);  // --audit-out implies --audit
+      cli::parse_cli({"--audit", "--audit-out", "a.json", "--quiet"});
+  EXPECT_TRUE(opt.audit);
   EXPECT_EQ(opt.audit_path, "a.json");
   EXPECT_TRUE(cli::parse_cli({"--audit"}).audit);
   EXPECT_FALSE(cli::parse_cli({}).audit);
+  // --audit-out without --audit is a config error naming the option.
+  try {
+    cli::parse_cli({"--audit-out", "a.json"});
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--audit-out"), std::string::npos);
+  }
 }
 
 #if defined(BBSIM_AUDIT_ENABLED)

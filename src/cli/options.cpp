@@ -48,6 +48,16 @@ Output:
   --dot FILE.dot                       write the workflow DAG as Graphviz
   --metrics-out FILE.json              write runtime metrics (engine/solver
                                        counters, utilization, BB occupancy)
+  --timeline-out FILE.json             write a Chrome/Perfetto trace-event
+                                       timeline (task phase spans per host
+                                       core lane, flow transfer spans, BB
+                                       occupancy / bandwidth / queue-depth
+                                       counters); load it at ui.perfetto.dev
+  --profile                            measure wall-clock time per subsystem
+                                       (solver, event dispatch, placement)
+                                       and print it; embedded in --trace
+                                       output as the only nondeterministic
+                                       section
   --audit                              verify simulation invariants during the
                                        run (clock, byte conservation, BB
                                        capacity, max-min fairness, schedule
@@ -165,6 +175,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.dot_path = next_value(a);
     } else if (a == "--metrics-out") {
       opt.metrics_path = next_value(a);
+    } else if (a == "--timeline-out") {
+      opt.timeline_path = next_value(a);
+    } else if (a == "--profile") {
+      opt.profile = true;
     } else if (a == "--audit") {
       opt.audit = true;
     } else if (a == "--audit-out") {

@@ -51,6 +51,8 @@ struct CliOptions {
   std::string csv_path;      ///< per-task CSV
   std::string dot_path;      ///< workflow DOT
   std::string metrics_path;  ///< metrics registry JSON (enables collection)
+  std::string timeline_path; ///< Perfetto timeline JSON (enables recording)
+  bool profile = false;      ///< wall-clock self-profiling (nondeterministic)
   bool audit = false;        ///< run the invariant auditor alongside the run
   std::string audit_path;    ///< audit report JSON (implies audit)
   bool gantt = false;

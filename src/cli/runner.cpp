@@ -10,6 +10,7 @@
 #include "platform/presets.hpp"
 #include "testbed/characterize.hpp"
 #include "testbed/testbed.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 #include "workflow/clustering.hpp"
@@ -66,6 +67,8 @@ exec::ExecutionConfig execution_config(const CliOptions& options) {
   cfg.bb_eviction = options.evict;
   cfg.stage_in_width = options.stage_width;
   cfg.collect_metrics = !options.metrics_path.empty();
+  cfg.collect_timeline = !options.timeline_path.empty();
+  cfg.profile = options.profile;
   cfg.audit = options.audit;
   if (options.cores > 0) cfg.force_cores = options.cores;
   return cfg;
@@ -117,6 +120,17 @@ void print_summary(const exec::Result& result, const CliOptions& options) {
     std::printf("storage %-6s served %-10s at %s\n", s.service.c_str(),
                 util::format_size(s.bytes_served).c_str(),
                 util::format_bandwidth(s.achieved_bandwidth()).c_str());
+  }
+}
+
+void print_profile(const exec::Result& result) {
+  if (result.profile.is_null()) return;
+  std::printf("profile (wall-clock, nondeterministic):\n");
+  for (const json::Value& s : result.profile.at("sections").as_array()) {
+    std::printf("  %-14s %8.0f calls  total %.6fs  mean %.9fs  max %.9fs\n",
+                s.at("name").as_string().c_str(), s.at("calls").as_number(),
+                s.at("total_seconds").as_number(), s.at("mean_seconds").as_number(),
+                s.at("max_seconds").as_number());
   }
 }
 
@@ -188,6 +202,18 @@ int run_cli(const CliOptions& options) {
       std::printf("[metrics] wrote %s\n", options.metrics_path.c_str());
     }
   }
+  if (!options.timeline_path.empty()) {
+    try {
+      json::write_file(options.timeline_path, result.timeline->to_perfetto());
+    } catch (const util::Error& e) {
+      // Re-raise naming the flag so the failure is actionable from argv.
+      throw util::ConfigError(std::string("--timeline-out: ") + e.what());
+    }
+    if (!options.quiet) {
+      std::printf("[timeline] wrote %s\n", options.timeline_path.c_str());
+    }
+  }
+  if (options.profile && !options.quiet) print_profile(result);
   if (options.audit) {
     if (result.audit.is_null()) {
       // The build compiled the hooks out (BBSIM_AUDIT=OFF).

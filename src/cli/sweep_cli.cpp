@@ -1,6 +1,7 @@
 #include "cli/sweep_cli.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <set>
 
 #include "cli/runner.hpp"
@@ -27,6 +28,10 @@ Options:
   --jobs N           worker threads (default: 1 = serial; 0 = all hardware
                      threads). Results are identical for any N.
   --out FILE.json    write the report to FILE (default: stdout)
+  --timeline-dir DIR write one Chrome/Perfetto timeline JSON per run that
+                     sets "timeline": true in the spec (file name = the
+                     sanitised run name). Requires --jobs 1: timelines are
+                     a deep-dive tool, not a campaign-scale output.
   --timings          embed per-run host wall times in the report (makes the
                      report nondeterministic; off by default)
   --audit            verify simulation invariants in every run; per-run
@@ -55,6 +60,8 @@ SweepCliOptions parse_sweep_cli(const std::vector<std::string>& args) {
       opt.jobs = std::stoi(next_value(a));
     } else if (a == "--out") {
       opt.out_path = next_value(a);
+    } else if (a == "--timeline-dir") {
+      opt.timeline_dir = next_value(a);
     } else if (a == "--timings") {
       opt.timings = true;
     } else if (a == "--audit") {
@@ -73,6 +80,9 @@ SweepCliOptions parse_sweep_cli(const std::vector<std::string>& args) {
     }
   }
   if (opt.jobs < 0) throw ConfigError("--jobs must be >= 0 (0 = all hardware threads)");
+  if (!opt.timeline_dir.empty() && opt.jobs != 1) {
+    throw ConfigError("--timeline-dir requires --jobs 1");
+  }
   if (!opt.help && opt.spec_path.empty()) {
     throw ConfigError("no sweep spec given (usage: bbsim_sweep SPEC.json)");
   }
@@ -86,8 +96,27 @@ namespace {
 const std::set<std::string>& forbidden_keys() {
   static const std::set<std::string> keys = {
       "trace", "csv",   "dot",    "metrics-out", "audit-out", "gantt",
-      "describe", "report", "quiet", "help",  "jobs",        "reps"};
+      "describe", "report", "quiet", "help",  "jobs",        "reps",
+      "timeline-out", "profile"};
   return keys;
+}
+
+/// Run names embed '=', ',', ':' and '#'; keep [A-Za-z0-9._-] for file names.
+std::string sanitise_run_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+
+/// True when this run's settings opt into timeline recording
+/// ("timeline": true in the spec's base or on an axis).
+bool wants_timeline(const json::Object& settings) {
+  const json::Value* flag = settings.find("timeline");
+  return flag != nullptr && flag->is_bool() && flag->as_bool();
 }
 
 /// Translate one expanded run's settings into a bbsim_run argv and parse
@@ -95,7 +124,8 @@ const std::set<std::string>& forbidden_keys() {
 CliOptions options_from_settings(const json::Object& settings) {
   std::vector<std::string> argv;
   for (const auto& [key, value] : settings) {
-    if (key == "metrics") continue;  // sweep-level switch, handled below
+    if (key == "metrics") continue;   // sweep-level switch, handled below
+    if (key == "timeline") continue;  // per-run switch, handled by the caller
     if (forbidden_keys().count(key) > 0) {
       throw ConfigError("sweep spec: '" + key + "' is not allowed inside a sweep" +
                         (key == "reps" ? " (use top-level \"repetitions\")" : ""));
@@ -110,9 +140,23 @@ CliOptions options_from_settings(const json::Object& settings) {
   return parse_cli(argv);
 }
 
+/// Export one finished run's timeline into --timeline-dir (no-op when the
+/// run did not record one).
+void write_run_timeline(exec::Result& result, const std::string& run_name,
+                        const std::string& dir) {
+  if (result.timeline == nullptr) return;
+  if (dir.empty()) {
+    throw ConfigError("sweep spec sets \"timeline\": true but no --timeline-dir "
+                      "was given");
+  }
+  json::write_file(dir + "/" + sanitise_run_name(run_name) + ".json",
+                   result.timeline->to_perfetto());
+  result.timeline.reset();  // exported; don't hold every timeline in memory
+}
+
 /// Execute one expanded run on a fully isolated simulation stack.
 exec::Result execute_run(const sweep::ExpandedRun& run, bool collect_metrics,
-                         bool force_audit) {
+                         bool force_audit, const std::string& timeline_dir) {
   const CliOptions opt = options_from_settings(run.settings);
   wf::Workflow workflow = resolve_workflow(opt);
   if (opt.cluster) workflow = wf::cluster_chains(workflow).workflow;
@@ -120,6 +164,7 @@ exec::Result execute_run(const sweep::ExpandedRun& run, bool collect_metrics,
   exec::ExecutionConfig cfg = execution_config(opt);
   cfg.collect_metrics = collect_metrics;
   cfg.collect_trace = false;  // sweeps aggregate records, not event traces
+  cfg.collect_timeline = wants_timeline(run.settings);
   if (force_audit) cfg.audit = true;  // a spec's "audit": true is kept either way
 
   if (opt.testbed_system) {
@@ -135,11 +180,15 @@ exec::Result execute_run(const sweep::ExpandedRun& run, bool collect_metrics,
     topt.seed = opt.seed;
     topt.repetitions = 1;
     const testbed::Testbed tb(*opt.testbed_system, topt);
-    return tb.run_once(workflow, cfg,
-                       static_cast<unsigned long long>(run.repetition), hint);
+    exec::Result result = tb.run_once(
+        workflow, cfg, static_cast<unsigned long long>(run.repetition), hint);
+    write_run_timeline(result, run.name, timeline_dir);
+    return result;
   }
   exec::Simulation sim(resolve_platform(opt), workflow, cfg);
-  return sim.run();
+  exec::Result result = sim.run();
+  write_run_timeline(result, run.name, timeline_dir);
+  return result;
 }
 
 }  // namespace
@@ -152,12 +201,24 @@ std::vector<sweep::RunOutcome> execute_sweep_spec(const sweep::SweepSpec& spec,
   }();
 
   const std::vector<sweep::ExpandedRun> runs = sweep::expand(spec);
+  if (options.timeline_dir.empty()) {
+    // Fail before running anything, not on the first finished run.
+    for (const sweep::ExpandedRun& run : runs) {
+      if (wants_timeline(run.settings)) {
+        throw ConfigError("sweep spec sets \"timeline\": true but no "
+                          "--timeline-dir was given");
+      }
+    }
+  } else {
+    std::filesystem::create_directories(options.timeline_dir);
+  }
   std::vector<sweep::RunSpec> specs;
   specs.reserve(runs.size());
   for (const sweep::ExpandedRun& run : runs) {
     specs.push_back(sweep::RunSpec{run.name, [&run, collect_metrics, &options] {
                                      return execute_run(run, collect_metrics,
-                                                        options.audit);
+                                                        options.audit,
+                                                        options.timeline_dir);
                                    }});
   }
 

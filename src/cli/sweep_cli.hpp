@@ -24,6 +24,9 @@ struct SweepCliOptions {
   std::string spec_path;        ///< positional: the sweep spec JSON file
   int jobs = 1;                 ///< worker threads (0 = hardware threads)
   std::string out_path;         ///< report destination ("" = stdout)
+  /// Directory for per-run Perfetto timeline JSON files; runs opt in with
+  /// "timeline": true in the spec. Requires --jobs 1.
+  std::string timeline_dir;
   bool timings = false;         ///< embed per-run host wall times
   bool audit = false;           ///< run the invariant auditor in every run
   bool cancel_on_error = false; ///< skip unstarted runs after a failure

@@ -42,6 +42,34 @@ Simulation::Simulation(platform::PlatformSpec platform, const wf::Workflow& work
     fabric_.flows().set_metrics(metrics_.get());
     storage_.set_metrics(metrics_.get());
   }
+  if (config_.collect_timeline) {
+    timeline_rec_ = std::make_unique<trace::TimelineRecorder>();
+    std::vector<std::string> host_names;
+    host_names.reserve(fabric_.spec().hosts.size());
+    for (const auto& h : fabric_.spec().hosts) host_names.push_back(h.name);
+    timeline_rec_->set_host_names(std::move(host_names));
+    fabric_.engine().set_timeline(timeline_rec_.get());
+    fabric_.flows().set_timeline(timeline_rec_.get());
+    storage_.set_timeline(timeline_rec_.get());
+  }
+  if (config_.collect_metrics || config_.collect_timeline) {
+    // One achieved-bandwidth group per storage service (its read + write
+    // disk channels): the time-resolved Figure 9 signal, published into
+    // the metrics registry and/or the timeline by the flow manager.
+    for (std::size_t s = 0; s < fabric_.spec().storage.size(); ++s) {
+      const auto& res = fabric_.storage_resources(s);
+      std::vector<flow::ResourceId> group(res.disk_read);
+      group.insert(group.end(), res.disk_write.begin(), res.disk_write.end());
+      fabric_.flows().register_bandwidth_group(fabric_.spec().storage[s].name,
+                                               std::move(group));
+    }
+  }
+  if (config_.profile) {
+    profiler_ = std::make_unique<trace::Profiler>();
+    fabric_.engine().set_profiler(profiler_.get());
+    fabric_.flows().set_profiler(profiler_.get());
+    placement_profile_ = profiler_->section("exec.placement");
+  }
 #if defined(BBSIM_AUDIT_ENABLED)
   if (config_.audit) {
     auditor_ = std::make_unique<audit::Auditor>();
@@ -75,7 +103,8 @@ int Simulation::cores_for(const wf::Task& task) const {
   return std::max(1, cores);
 }
 
-void Simulation::trace(const char* kind, const std::string& task, std::string detail) {
+void Simulation::trace(TraceEventKind kind, const std::string& task,
+                       std::string detail) {
   if (!config_.collect_trace) return;
   trace_.push_back(TraceEvent{fabric_.engine().now(), kind, task, std::move(detail)});
 }
@@ -131,7 +160,10 @@ void Simulation::prepare() {
 
   // Staging plan.
   staged_files_.clear();
-  if (bb_svc != nullptr) staged_files_ = config_.placement->files_to_stage(workflow_);
+  if (bb_svc != nullptr) {
+    const trace::ScopedTimer timer(placement_profile_);
+    staged_files_ = config_.placement->files_to_stage(workflow_);
+  }
   for (const std::string& f : staged_files_) {
     std::size_t host = 0;
     const auto consumers = workflow_.consumers(f);
@@ -160,7 +192,7 @@ void Simulation::prepare() {
       st.ready = true;
       st.record.t_ready = fabric_.engine().now();
       enqueue_ready(name);
-      trace("task_ready", name);
+      trace(TraceEventKind::TaskReady, name);
     }
   }
   try_schedule();
@@ -252,7 +284,7 @@ void Simulation::start_task(TaskState& ts, std::size_t host) {
   ts.record.host = host;
   free_cores_[host] -= ts.cores;
   ts.record.t_start = fabric_.engine().now();
-  trace("task_start", ts.task->name,
+  trace(TraceEventKind::TaskStart, ts.task->name,
         util::format("host=%zu cores=%d", host, ts.cores));
 
   if (ts.task->type == kStageInType) {
@@ -346,7 +378,7 @@ void Simulation::pump_stage_chain(const std::shared_ptr<StageChain>& chain) {
       // The allocation is full: the file stays on the PFS (and is counted).
       ++skipped_stage_files_;
       bump("storage.skipped_stage_ins");
-      trace("stage_skipped",
+      trace(TraceEventKind::StageSkipped,
             chain->ts != nullptr ? chain->ts->task->name : "implicit_stage_in", fname);
       continue;
     }
@@ -355,7 +387,7 @@ void Simulation::pump_stage_chain(const std::shared_ptr<StageChain>& chain) {
       chain->ts->record.bytes_read += file.size;
       chain->ts->record.bytes_written += file.size;
     }
-    trace("stage_file",
+    trace(TraceEventKind::StageFile,
           chain->ts != nullptr ? chain->ts->task->name : "implicit_stage_in",
           util::format("%s -> bb (host %zu)", fname.c_str(), via_host));
     ++chain->inflight;
@@ -410,14 +442,14 @@ double Simulation::compute_duration(const TaskState& ts) const {
 
 void Simulation::on_reads_done(TaskState& ts) {
   ts.record.t_reads_done = fabric_.engine().now();
-  trace("reads_done", ts.task->name);
+  trace(TraceEventKind::ReadsDone, ts.task->name);
   const double duration = compute_duration(ts);
   fabric_.engine().schedule_in(duration, [this, &ts] { on_compute_done(ts); });
 }
 
 void Simulation::on_compute_done(TaskState& ts) {
   ts.record.t_compute_done = fabric_.engine().now();
-  trace("compute_done", ts.task->name);
+  trace(TraceEventKind::ComputeDone, ts.task->name);
   for (const std::string& f : ts.task->outputs) ts.pending_writes.push_back(f);
   if (ts.pending_writes.empty()) {
     finish_task(ts);
@@ -459,14 +491,20 @@ void Simulation::issue_writes(TaskState& ts) {
   while (!ts.pending_writes.empty() && ts.inflight_io < window) {
     const std::string fname = ts.pending_writes.front();
     ts.pending_writes.pop_front();
-    const Tier requested =
-        config_.placement->place_output(workflow_, ts.task->name, fname);
-    Tier tier = output_tier(ts, fname);
-    if (tier == Tier::BurstBuffer) {
-      // Demotion 2: the BB is full (optionally evict staged inputs first).
-      const double size = workflow_.file(fname).size;
-      if (!bb_has_room(size) && !(config_.bb_eviction && try_evict(size))) {
-        tier = Tier::PFS;
+    Tier requested = Tier::PFS;
+    Tier tier = Tier::PFS;
+    {
+      // The placement decision (policy + demotion rules) is what the
+      // profiler attributes to "exec.placement"; issuing the write is not.
+      const trace::ScopedTimer placement_timer(placement_profile_);
+      requested = config_.placement->place_output(workflow_, ts.task->name, fname);
+      tier = output_tier(ts, fname);
+      if (tier == Tier::BurstBuffer) {
+        // Demotion 2: the BB is full (optionally evict staged inputs first).
+        const double size = workflow_.file(fname).size;
+        if (!bb_has_room(size) && !(config_.bb_eviction && try_evict(size))) {
+          tier = Tier::PFS;
+        }
       }
     }
     if (requested == Tier::BurstBuffer && tier == Tier::PFS) {
@@ -477,7 +515,7 @@ void Simulation::issue_writes(TaskState& ts) {
         tier == Tier::BurstBuffer ? *storage_.burst_buffer() : storage_.pfs();
     const storage::FileRef file{fname, workflow_.file(fname).size};
     ts.record.bytes_written += file.size;
-    trace("write", ts.task->name,
+    trace(TraceEventKind::Write, ts.task->name,
           util::format("%s -> %s", fname.c_str(), dst.name().c_str()));
     ++ts.inflight_io;
     dst.write(file, ts.host, [this, &ts] {
@@ -497,7 +535,7 @@ void Simulation::finish_task(TaskState& ts) {
   ts.done = true;
   free_cores_[ts.host] += ts.cores;
   --tasks_remaining_;
-  trace("task_end", ts.task->name);
+  trace(TraceEventKind::TaskEnd, ts.task->name);
   bump("exec.tasks_completed");
   bump("exec.task_wait_time", ts.record.t_start - ts.record.t_ready);
   bump("exec.task_read_time", ts.record.read_time());
@@ -510,7 +548,7 @@ void Simulation::finish_task(TaskState& ts) {
       cs.ready = true;
       cs.record.t_ready = fabric_.engine().now();
       enqueue_ready(child);
-      trace("task_ready", child);
+      trace(TraceEventKind::TaskReady, child);
     }
   }
   if (tasks_remaining_ == 0 && config_.stage_out) {
@@ -540,7 +578,7 @@ void Simulation::run_stage_out() {
     const std::string& fname = (*files)[index];
     const storage::StorageService::Replica* rep = bb_svc->replica(fname);
     const std::size_t via_host = rep != nullptr ? rep->creator_host : 0;
-    trace("stage_out", "stage_out", fname);
+    trace(TraceEventKind::StageOut, "stage_out", fname);
     storage_.transfer(storage::FileRef{fname, workflow_.file(fname).size}, *bb_svc,
                       storage_.pfs(), via_host,
                       [drain, index] { (*drain)(index + 1); });
@@ -574,7 +612,7 @@ bool Simulation::try_evict(double bytes) {
     bb_svc->erase_file(c.file);
     ++evicted_files_;
     bump("storage.evictions");
-    trace("evict", "", c.file);
+    trace(TraceEventKind::Evict, "", c.file);
   }
   return bb_has_room(bytes);
 }
@@ -608,6 +646,43 @@ Result Simulation::collect_result() {
       c.busy_time = std::max(c.busy_time, net.resource(id).busy_time);
     }
     r.storage.push_back(std::move(c));
+  }
+  if (metrics_) {
+    // Mirror each storage service's achieved-bandwidth time series (sampled
+    // by the flow manager's bandwidth groups) into its counters entry.
+    for (StorageCounters& c : r.storage) {
+      const stats::TimeSeries* series =
+          metrics_->find_series("storage." + c.service + ".achieved_bandwidth");
+      if (series == nullptr) continue;
+      c.bandwidth_series.reserve(series->samples().size());
+      for (const stats::Sample& smp : series->samples()) {
+        c.bandwidth_series.emplace_back(smp.time, smp.value);
+      }
+    }
+  }
+  if (profiler_) {
+    if (metrics_) profiler_->publish(*metrics_);
+    r.profile = profiler_->to_json();
+  }
+  if (timeline_rec_) {
+    // states_ is a name-sorted map, so task spans enter in a deterministic
+    // order; finish() re-sorts by (host, start) for lane assignment.
+    for (const auto& [name, st] : states_) {
+      trace::TaskSpan span;
+      span.name = name;
+      span.type = st.record.type;
+      span.host = st.record.host;
+      span.cores = st.record.cores;
+      span.t_ready = st.record.t_ready;
+      span.t_start = st.record.t_start;
+      span.t_reads_done = st.record.t_reads_done;
+      span.t_compute_done = st.record.t_compute_done;
+      span.t_end = st.record.t_end;
+      span.bytes_read = st.record.bytes_read;
+      span.bytes_written = st.record.bytes_written;
+      timeline_rec_->add_task(std::move(span));
+    }
+    r.timeline = std::make_shared<const trace::Timeline>(timeline_rec_->finish());
   }
   if (metrics_) r.metrics = metrics_->to_json();
   if (auditor_) {

@@ -37,6 +37,8 @@
 #include "platform/fabric.hpp"
 #include "stats/metrics.hpp"
 #include "storage/system.hpp"
+#include "trace/profiler.hpp"
+#include "trace/timeline.hpp"
 #include "workflow/workflow.hpp"
 
 namespace bbsim::exec {
@@ -85,6 +87,17 @@ struct ExecutionConfig {
   /// MetricsRegistry, exported as Result::metrics. Off by default: sweeps
   /// that run thousands of simulations should not pay for sampling.
   bool collect_metrics = false;
+  /// Record the structured virtual-time timeline (task phase spans, flow
+  /// transfer spans, occupancy / bandwidth / queue-depth counter tracks)
+  /// into a trace::TimelineRecorder, exported as Result::timeline
+  /// (Perfetto JSON via Timeline::to_perfetto). Off by default for the
+  /// same reason as collect_metrics.
+  bool collect_timeline = false;
+  /// Aggregate wall-clock self-profiling (solver, event dispatch,
+  /// placement) into a trace::Profiler, exported as Result::profile.
+  /// The profile is non-deterministic by nature; everything else in the
+  /// Result stays byte-stable. Off by default.
+  bool profile = false;
   /// Attach the invariant auditor: engine/storage probes run during the
   /// simulation, the flow network is certified max-min fair after every
   /// solve, and the finished Result is cross-checked. Violations are
@@ -111,6 +124,10 @@ class Simulation {
   const ExecutionConfig& config() const { return config_; }
   /// The live metrics registry; nullptr unless config.collect_metrics.
   stats::MetricsRegistry* metrics() { return metrics_.get(); }
+  /// The live timeline recorder; nullptr unless config.collect_timeline.
+  trace::TimelineRecorder* timeline_recorder() { return timeline_rec_.get(); }
+  /// The live wall-clock profiler; nullptr unless config.profile.
+  trace::Profiler* profiler() { return profiler_.get(); }
   /// The live invariant auditor; nullptr unless config.audit (or when the
   /// build compiled the hooks out, BBSIM_AUDIT=OFF).
   audit::Auditor* auditor() { return auditor_.get(); }
@@ -144,6 +161,9 @@ class Simulation {
   platform::Fabric fabric_;
   storage::StorageSystem storage_;
   std::unique_ptr<stats::MetricsRegistry> metrics_;  ///< set iff collect_metrics
+  std::unique_ptr<trace::TimelineRecorder> timeline_rec_;  ///< iff collect_timeline
+  std::unique_ptr<trace::Profiler> profiler_;              ///< iff profile
+  trace::ProfileSection* placement_profile_ = nullptr;     ///< iff profile
   // Invariant auditing (set iff config.audit and the build has the hooks).
   std::unique_ptr<audit::Auditor> auditor_;
   std::unique_ptr<audit::EngineProbe> engine_probe_;
@@ -206,7 +226,7 @@ class Simulation {
   /// True when the BB has room for `bytes` more.
   bool bb_has_room(double bytes);
   storage::StorageService* bb() { return storage_.burst_buffer(); }
-  void trace(const char* kind, const std::string& task, std::string detail = "");
+  void trace(TraceEventKind kind, const std::string& task, std::string detail = "");
   /// Increment a named metrics counter (no-op when metrics are off).
   void bump(const char* counter_name, double delta = 1.0);
   double compute_duration(const TaskState& ts) const;

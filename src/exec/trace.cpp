@@ -2,6 +2,22 @@
 
 namespace bbsim::exec {
 
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::TaskReady: return "task_ready";
+    case TraceEventKind::TaskStart: return "task_start";
+    case TraceEventKind::ReadsDone: return "reads_done";
+    case TraceEventKind::ComputeDone: return "compute_done";
+    case TraceEventKind::Write: return "write";
+    case TraceEventKind::TaskEnd: return "task_end";
+    case TraceEventKind::StageFile: return "stage_file";
+    case TraceEventKind::StageSkipped: return "stage_skipped";
+    case TraceEventKind::StageOut: return "stage_out";
+    case TraceEventKind::Evict: return "evict";
+  }
+  return "?";
+}
+
 std::vector<const TaskRecord*> Result::records_of(const std::string& type) const {
   std::vector<const TaskRecord*> out;
   for (const auto& [_, rec] : tasks) {
@@ -63,6 +79,16 @@ json::Value Result::to_json() const {
     o.set("bytes_served", s.bytes_served);
     o.set("busy_time", s.busy_time);
     o.set("achieved_bandwidth", s.achieved_bandwidth());
+    if (!s.bandwidth_series.empty()) {
+      json::Array series;
+      for (const auto& [t, bw] : s.bandwidth_series) {
+        json::Array point;
+        point.push_back(json::Value(t));
+        point.push_back(json::Value(bw));
+        series.push_back(json::Value(std::move(point)));
+      }
+      o.set("bandwidth_series", json::Value(std::move(series)));
+    }
     storage_arr.push_back(json::Value(std::move(o)));
   }
   root.set("storage", json::Value(std::move(storage_arr)));
@@ -71,7 +97,7 @@ json::Value Result::to_json() const {
   for (const TraceEvent& e : trace) {
     json::Object o;
     o.set("time", e.time);
-    o.set("kind", e.kind);
+    o.set("kind", to_string(e.kind));
     o.set("task", e.task);
     o.set("detail", e.detail);
     trace_arr.push_back(json::Value(std::move(o)));
@@ -79,6 +105,7 @@ json::Value Result::to_json() const {
   root.set("trace", json::Value(std::move(trace_arr)));
   if (!metrics.is_null()) root.set("metrics", metrics);
   if (!audit.is_null()) root.set("audit", audit);
+  if (!profile.is_null()) root.set("profile", profile);
   return json::Value(std::move(root));
 }
 

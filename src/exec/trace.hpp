@@ -4,17 +4,51 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "json/json.hpp"
 
+namespace bbsim::trace {
+struct Timeline;
+}  // namespace bbsim::trace
+
 namespace bbsim::exec {
+
+/// The closed set of event kinds the execution engine records. Serialised
+/// by to_string() -- the JSON wire format is the same snake_case string the
+/// trace always carried; the enum just makes producers typo-proof.
+enum class TraceEventKind {
+  TaskReady,     ///< all parents finished; the task entered the ready queue
+  TaskStart,     ///< dispatched onto a host (detail: host, cores)
+  ReadsDone,     ///< last input byte arrived; compute begins
+  ComputeDone,   ///< compute finished; writes begin
+  Write,         ///< one output write issued (detail: file -> service)
+  TaskEnd,       ///< last output byte landed; cores released
+  StageFile,     ///< one file staged PFS -> BB (detail: file, via host)
+  StageSkipped,  ///< staging skipped: BB full (detail: file)
+  StageOut,      ///< one file drained BB -> PFS (detail: file)
+  Evict,         ///< one staged input evicted from the BB (detail: file)
+};
+
+/// Wire name of a kind ("task_ready", "task_start", ...).
+const char* to_string(TraceEventKind kind);
+
+/// Every kind, in declaration order (tests assert the set is exhaustive).
+inline constexpr TraceEventKind kAllTraceEventKinds[] = {
+    TraceEventKind::TaskReady,    TraceEventKind::TaskStart,
+    TraceEventKind::ReadsDone,    TraceEventKind::ComputeDone,
+    TraceEventKind::Write,        TraceEventKind::TaskEnd,
+    TraceEventKind::StageFile,    TraceEventKind::StageSkipped,
+    TraceEventKind::StageOut,     TraceEventKind::Evict,
+};
 
 /// One line of the event trace.
 struct TraceEvent {
   double time = 0.0;
-  std::string kind;    ///< task_ready | task_start | reads_done | ...
+  TraceEventKind kind = TraceEventKind::TaskReady;
   std::string task;
   std::string detail;  ///< free-form (host, file, tier...)
 };
@@ -50,6 +84,10 @@ struct StorageCounters {
   std::string service;
   double bytes_served = 0.0;
   double busy_time = 0.0;
+  /// (time, bytes/s) achieved-bandwidth samples over the run -- the
+  /// time-resolved counterpart of achieved_bandwidth(). Filled from the
+  /// metrics registry when ExecutionConfig::collect_metrics is on.
+  std::vector<std::pair<double, double>> bandwidth_series;
   double achieved_bandwidth() const {
     return busy_time > 0 ? bytes_served / busy_time : 0.0;
   }
@@ -88,6 +126,14 @@ struct Result {
   /// Violations the auditor recorded (0 when auditing was off or the run
   /// was clean -- check `audit.is_null()` to tell the two apart).
   std::size_t audit_violations = 0;
+  /// The run's sealed virtual-time timeline (ExecutionConfig::
+  /// collect_timeline); nullptr when not recorded. Export with
+  /// Timeline::to_perfetto(). Shared so Result stays copyable.
+  std::shared_ptr<const trace::Timeline> timeline;
+  /// Wall-clock self-profile (ExecutionConfig::profile); null when
+  /// profiling was off. NON-DETERMINISTIC: carries a "nondeterministic"
+  /// marker and must be excluded from golden comparisons.
+  json::Value profile;
 
   /// Mean observed duration of tasks of `type` (0 when none).
   double mean_duration(const std::string& type) const;

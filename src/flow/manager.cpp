@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/profiler.hpp"
+#include "trace/timeline.hpp"
+
 namespace bbsim::flow {
 
 namespace {
@@ -21,6 +24,11 @@ FlowId FlowManager::start(FlowSpec spec, CompletionHandler on_complete) {
   settle();
   const FlowId id = net_.add_flow(std::move(spec));
   handlers_.emplace(id, std::move(on_complete));
+  if (timeline_ != nullptr) {
+    const FlowState& st = net_.flow(id);
+    timeline_->flow_begin(id, engine_.now(), st.spec.label, st.spec.volume);
+  }
+  if (transfer_hist_ != nullptr) flow_started_.emplace(id, engine_.now());
   reschedule();
   return id;
 }
@@ -30,6 +38,8 @@ bool FlowManager::abort(FlowId id) {
   settle();
   net_.remove_flow(id);
   handlers_.erase(id);
+  if (timeline_ != nullptr) timeline_->flow_end(id, engine_.now(), false);
+  flow_started_.erase(id);
   reschedule();
   return true;
 }
@@ -44,6 +54,45 @@ void FlowManager::set_metrics(stats::MetricsRegistry* metrics) {
   metrics_ = metrics;
   util_series_.clear();
   net_.set_metrics(metrics);
+  transfer_hist_ =
+      metrics != nullptr ? &metrics->histogram("flow.transfer_seconds") : nullptr;
+  if (transfer_hist_ == nullptr) flow_started_.clear();
+  for (BandwidthGroup& g : bandwidth_groups_) {
+    g.series = metrics != nullptr
+                   ? &metrics->series("storage." + g.name + ".achieved_bandwidth")
+                   : nullptr;
+  }
+}
+
+void FlowManager::set_timeline(trace::TimelineRecorder* timeline) {
+  timeline_ = timeline;
+  for (BandwidthGroup& g : bandwidth_groups_) {
+    g.track_ready = timeline_ != nullptr;
+    if (timeline_ != nullptr) {
+      g.track = timeline_->counter_track("storage." + g.name + ".achieved_bandwidth",
+                                         "bytes/s");
+    }
+  }
+}
+
+void FlowManager::set_profiler(trace::Profiler* profiler) {
+  solve_profile_ = profiler != nullptr ? profiler->section("flow.solve") : nullptr;
+}
+
+void FlowManager::register_bandwidth_group(const std::string& name,
+                                           std::vector<ResourceId> resources) {
+  BandwidthGroup g;
+  g.name = name;
+  g.resources = std::move(resources);
+  if (metrics_ != nullptr) {
+    g.series = &metrics_->series("storage." + name + ".achieved_bandwidth");
+  }
+  if (timeline_ != nullptr) {
+    g.track = timeline_->counter_track("storage." + name + ".achieved_bandwidth",
+                                       "bytes/s");
+    g.track_ready = true;
+  }
+  bandwidth_groups_.push_back(std::move(g));
 }
 
 void FlowManager::settle() {
@@ -88,6 +137,20 @@ void FlowManager::settle() {
       util_series_[r]->sample(now, res_bytes[r] / (cap * dt), dt);
     }
   }
+
+  // Achieved bandwidth per registered group over this settle interval
+  // (bytes actually moved / dt, not the allocated rate): the time-resolved
+  // per-storage throughput the paper's Figure 9 plots.
+  for (BandwidthGroup& g : bandwidth_groups_) {
+    if (g.series == nullptr && !g.track_ready) continue;
+    double bytes = 0.0;
+    for (const ResourceId r : g.resources) {
+      if (r < res_bytes.size()) bytes += res_bytes[r];
+    }
+    const double bandwidth = bytes / dt;
+    if (g.series != nullptr) g.series->sample(now, bandwidth, dt);
+    if (g.track_ready) timeline_->counter_sample(g.track, now, bandwidth);
+  }
 }
 
 void FlowManager::reschedule() {
@@ -97,7 +160,19 @@ void FlowManager::reschedule() {
   }
   if (net_.flow_count() == 0) return;
 
-  net_.solve();
+  {
+    const trace::ScopedTimer timer(solve_profile_);
+    net_.solve();
+  }
+  if (timeline_ != nullptr) {
+    // Publish each flow's freshly allocated rate as a change point of its
+    // span (flow_rate dedups unchanged rates, so a stable allocation
+    // costs one point, not one per solve).
+    const sim::Time now = engine_.now();
+    for (const FlowId id : net_.flow_ids()) {
+      timeline_->flow_rate(id, now, net_.flow(id).rate);
+    }
+  }
 
   // Earliest completion among active flows.
   double horizon = kUnlimited;
@@ -146,6 +221,14 @@ void FlowManager::on_wake() {
     auto it = handlers_.find(id);
     callbacks.push_back(std::move(it->second));
     handlers_.erase(it);
+    if (timeline_ != nullptr) timeline_->flow_end(id, engine_.now(), true);
+    if (transfer_hist_ != nullptr) {
+      const auto started = flow_started_.find(id);
+      if (started != flow_started_.end()) {
+        transfer_hist_->record(engine_.now() - started->second);
+        flow_started_.erase(started);
+      }
+    }
   }
 
   reschedule();

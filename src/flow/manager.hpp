@@ -8,11 +8,18 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "flow/network.hpp"
 #include "sim/engine.hpp"
+
+namespace bbsim::trace {
+class TimelineRecorder;
+struct ProfileSection;
+class Profiler;
+}  // namespace bbsim::trace
 
 namespace bbsim::flow {
 
@@ -55,8 +62,29 @@ class FlowManager {
   /// Publish flow metrics: forwards to the network (solver counters) and
   /// samples per-resource utilization (`flow.util.<resource>`) at every
   /// settle point, weighted by the interval length so the series' mean is
-  /// the time-weighted utilization. nullptr disables publishing.
+  /// the time-weighted utilization. nullptr disables publishing. Also
+  /// records a `flow.transfer_seconds` histogram of completed-flow
+  /// durations.
   void set_metrics(stats::MetricsRegistry* metrics);
+
+  /// Publish per-flow transfer spans (begin / allocated-rate changes / end)
+  /// into `timeline`; nullptr disables (the default). Producers should set
+  /// FlowSpec::label when a timeline is installed (see has_timeline()).
+  void set_timeline(trace::TimelineRecorder* timeline);
+  bool has_timeline() const { return timeline_ != nullptr; }
+
+  /// Aggregate wall-clock solver cost ("flow.solve") into `profiler`;
+  /// nullptr disables (the default).
+  void set_profiler(trace::Profiler* profiler);
+
+  /// Declare a named group of resources whose combined throughput is one
+  /// achieved-bandwidth signal (one group per storage service: its disk
+  /// read + write channels). Every settle interval with dt > 0 samples
+  /// `storage.<name>.achieved_bandwidth` (bytes/s, dt-weighted) into the
+  /// metrics registry and, when a timeline is installed, the counter track
+  /// of the same name -- the time-resolved Figure 9 signal.
+  void register_bandwidth_group(const std::string& name,
+                                std::vector<ResourceId> resources);
 
  private:
   sim::Engine& engine_;
@@ -69,6 +97,22 @@ class FlowManager {
   /// Cached per-resource utilization series (index = ResourceId); refreshed
   /// lazily when resources were added since the last settle.
   std::vector<stats::TimeSeries*> util_series_;
+
+  trace::TimelineRecorder* timeline_ = nullptr;
+  trace::ProfileSection* solve_profile_ = nullptr;
+  stats::Histogram* transfer_hist_ = nullptr;
+  /// Flow start times for the transfer-duration histogram; maintained only
+  /// while a metrics registry is installed.
+  std::unordered_map<FlowId, sim::Time> flow_started_;
+
+  struct BandwidthGroup {
+    std::string name;
+    std::vector<ResourceId> resources;
+    stats::TimeSeries* series = nullptr;  ///< when metrics are on
+    std::size_t track = 0;                ///< when a timeline is on
+    bool track_ready = false;
+  };
+  std::vector<BandwidthGroup> bandwidth_groups_;
 
   /// Apply elapsed progress since the last settle point.
   void settle();

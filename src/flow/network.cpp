@@ -46,11 +46,13 @@ void Network::set_metrics(stats::MetricsRegistry* metrics) {
     solve_calls_ = nullptr;
     solve_rounds_ = nullptr;
     active_flows_ = nullptr;
+    rounds_hist_ = nullptr;
     return;
   }
   solve_calls_ = &metrics->counter("flow.solve_calls");
   solve_rounds_ = &metrics->counter("flow.solve_rounds");
   active_flows_ = &metrics->gauge("flow.active_flows");
+  rounds_hist_ = &metrics->histogram("flow.solve_rounds_per_call");
 }
 
 FlowId Network::add_flow(FlowSpec spec) {
@@ -263,6 +265,7 @@ int Network::solve() {
     }
   }
   if (solve_rounds_ != nullptr) solve_rounds_->add(static_cast<double>(rounds));
+  if (rounds_hist_ != nullptr) rounds_hist_->record(static_cast<double>(rounds));
   BBSIM_AUDIT_HOOK(if (post_solve_) post_solve_(*this, rounds));
   return rounds;
 }

@@ -50,6 +50,10 @@ struct FlowSpec {
   std::vector<ResourceId> path;         ///< resources traversed (may be empty)
   double rate_cap = kUnlimited;         ///< per-flow ceiling (e.g. one POSIX stream)
   double weight = 1.0;                  ///< max-min share weight (> 0)
+  /// Human-readable description for the timeline ("read f.fits pfs->host0").
+  /// Empty unless timeline recording is on -- label construction costs
+  /// allocations, so producers only fill it when someone will look.
+  std::string label{};
 };
 
 /// Allocation state of one active flow.
@@ -155,6 +159,7 @@ class Network {
   stats::Counter* solve_calls_ = nullptr;
   stats::Counter* solve_rounds_ = nullptr;
   stats::Gauge* active_flows_ = nullptr;
+  stats::Histogram* rounds_hist_ = nullptr;  ///< rounds-per-solve distribution
 
   std::size_t index_of(FlowId id) const {
     return id < id_to_index_.size() ? id_to_index_[id] : kNoFlow;

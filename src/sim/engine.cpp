@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "stats/metrics.hpp"
+#include "trace/profiler.hpp"
+#include "trace/timeline.hpp"
 
 namespace bbsim::sim {
 
@@ -18,6 +20,17 @@ void Engine::set_metrics(stats::MetricsRegistry* metrics) {
   events_executed_ = &metrics->counter("sim.events_executed");
   events_cancelled_ = &metrics->counter("sim.events_cancelled");
   queue_depth_ = &metrics->gauge("sim.queue_depth");
+}
+
+void Engine::set_timeline(trace::TimelineRecorder* timeline) {
+  timeline_ = timeline;
+  if (timeline_ != nullptr) {
+    queue_track_ = timeline_->counter_track("sim.queue_depth", "events");
+  }
+}
+
+void Engine::set_profiler(trace::Profiler* profiler) {
+  dispatch_profile_ = profiler != nullptr ? profiler->section("sim.dispatch") : nullptr;
 }
 
 EventId Engine::schedule_at(Time t, EventHandler fn) {
@@ -36,6 +49,10 @@ EventId Engine::schedule_at(Time t, EventHandler fn) {
     events_scheduled_->add(1.0);
     queue_depth_->set(static_cast<double>(pending_count()));
   }
+  if (timeline_ != nullptr) {
+    timeline_->counter_sample(queue_track_, now_,
+                              static_cast<double>(pending_count()));
+  }
   return id;
 }
 
@@ -45,6 +62,10 @@ bool Engine::cancel(EventId id) {
   handlers_.erase(id);
   BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_cancelled(id));
   if (events_cancelled_ != nullptr) events_cancelled_->add(1.0);
+  if (timeline_ != nullptr) {
+    timeline_->counter_sample(queue_track_, now_,
+                              static_cast<double>(pending_count()));
+  }
   return true;
 }
 
@@ -75,7 +96,14 @@ bool Engine::step() {
   ++executed_;
   BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_executed(r.id, r.time));
   if (events_executed_ != nullptr) events_executed_->add(1.0);
-  fn();
+  if (timeline_ != nullptr) {
+    timeline_->counter_sample(queue_track_, now_,
+                              static_cast<double>(pending_count()));
+  }
+  {
+    const trace::ScopedTimer timer(dispatch_profile_);
+    fn();
+  }
   return true;
 }
 

@@ -25,6 +25,12 @@ class Gauge;
 class MetricsRegistry;
 }  // namespace bbsim::stats
 
+namespace bbsim::trace {
+class TimelineRecorder;
+struct ProfileSection;
+class Profiler;
+}  // namespace bbsim::trace
+
 namespace bbsim::sim {
 
 /// Simulated time in seconds.
@@ -102,6 +108,14 @@ class Engine {
   /// observer must outlive the engine or be cleared before destruction.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
 
+  /// Publish an event-queue-depth counter track into `timeline`; nullptr
+  /// disables (the default). Same opt-in contract as set_metrics.
+  void set_timeline(trace::TimelineRecorder* timeline);
+
+  /// Aggregate wall-clock event-dispatch cost ("sim.dispatch") into
+  /// `profiler`; nullptr disables (the default).
+  void set_profiler(trace::Profiler* profiler);
+
  private:
   struct Record {
     Time time;
@@ -130,6 +144,11 @@ class Engine {
   stats::Counter* events_executed_ = nullptr;
   stats::Counter* events_cancelled_ = nullptr;
   stats::Gauge* queue_depth_ = nullptr;
+
+  // Optional timeline sink (cached track id) and wall-clock profiler.
+  trace::TimelineRecorder* timeline_ = nullptr;
+  std::size_t queue_track_ = 0;
+  trace::ProfileSection* dispatch_profile_ = nullptr;
 
   /// Pops the next live record or returns false.
   bool pop_next(Record& out);

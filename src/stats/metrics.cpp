@@ -1,8 +1,29 @@
 #include "stats/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bbsim::stats {
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  const int exp = std::ilogb(value) + kOffset;
+  if (exp < 0) return 0;
+  return std::min<std::size_t>(static_cast<std::size_t>(exp), kBuckets - 1);
+}
+
+double Histogram::bucket_lower_bound(std::size_t index) {
+  if (index == 0) return 0.0;  // underflow bucket: catches <= 2^(1-kOffset)
+  return std::ldexp(1.0, static_cast<int>(index) - kOffset);
+}
+
+void Histogram::record(double value) {
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_index(value)];
+}
 
 TimeSeries::TimeSeries(std::size_t max_samples)
     : max_samples_(std::max<std::size_t>(2, max_samples)) {
@@ -61,6 +82,11 @@ const TimeSeries* MetricsRegistry::find_series(const std::string& name) const {
   return it == series_.end() ? nullptr : &it->second;
 }
 
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 json::Value MetricsRegistry::to_json(bool include_samples) const {
   json::Object root;
   root.set("schema", "bbsim.metrics.v1");
@@ -101,6 +127,27 @@ json::Value MetricsRegistry::to_json(bool include_samples) const {
     series.set(name, json::Value(std::move(o)));
   }
   root.set("series", json::Value(std::move(series)));
+
+  json::Object histograms;
+  for (const auto& [name, h] : histograms_) {
+    json::Object o;
+    o.set("count", h.count());
+    o.set("sum", h.sum());
+    o.set("mean", h.mean());
+    o.set("min", h.min());
+    o.set("max", h.max());
+    json::Array buckets;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets()[i] == 0) continue;
+      json::Array entry;
+      entry.push_back(json::Value(Histogram::bucket_lower_bound(i)));
+      entry.push_back(json::Value(h.buckets()[i]));
+      buckets.push_back(json::Value(std::move(entry)));
+    }
+    o.set("buckets", json::Value(std::move(buckets)));
+    histograms.set(name, json::Value(std::move(o)));
+  }
+  root.set("histograms", json::Value(std::move(histograms)));
   return json::Value(std::move(root));
 }
 

@@ -27,7 +27,9 @@
 /// byte-identically (golden-file friendly).
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -112,9 +114,52 @@ class TimeSeries {
   double last_ = 0.0;
 };
 
+/// A fixed log-scale (base-2) value histogram with an exact count / sum /
+/// min / max. Bucket i spans [2^(i - kOffset), 2^(i - kOffset + 1));
+/// values at or below the bottom edge (including zero and negatives) land
+/// in bucket 0, values beyond the top edge in the last bucket. The bucket
+/// layout is compile-time fixed, so the JSON export is deterministic and
+/// histograms from different runs are directly comparable.
+///
+/// Used for distributions where a mean hides the story: solver rounds per
+/// solve() call, per-flow transfer durations.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  /// Bucket 0's upper edge is 2^(1 - kOffset) ~ 6e-8; the top bucket
+  /// starts at 2^(kBuckets - 1 - kOffset) ~ 1.4e11. Covers sub-microsecond
+  /// durations through hundreds-of-gigabyte volumes.
+  static constexpr int kOffset = 24;
+
+  void record(double value);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  /// Index of the bucket `value` falls in.
+  static std::size_t bucket_index(double value);
+  /// Lower edge of bucket `index` (bucket 0's edge is 0: the underflow
+  /// bucket also catches zero and negative values).
+  static double bucket_lower_bound(std::size_t index);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Named metrics, created on first use. References returned by counter() /
-/// gauge() / series() stay valid for the registry's lifetime (node-based
-/// storage), so hot paths can cache them once and skip the name lookup.
+/// gauge() / series() / histogram() stay valid for the registry's lifetime
+/// (node-based storage), so hot paths can cache them once and skip the
+/// name lookup.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -125,29 +170,37 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   TimeSeries& series(const std::string& name,
                      std::size_t max_samples = TimeSeries::kDefaultMaxSamples);
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
 
   /// Lookup without creating; nullptr when the metric does not exist.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const TimeSeries* find_series(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
 
   std::size_t counter_count() const { return counters_.size(); }
   std::size_t gauge_count() const { return gauges_.size(); }
   std::size_t series_count() const { return series_.size(); }
+  std::size_t histogram_count() const { return histograms_.size(); }
 
   /// Deterministic (name-sorted) export:
   ///   { "schema": "bbsim.metrics.v1",
   ///     "counters": {name: total},
   ///     "gauges":   {name: {"value", "peak"}},
   ///     "series":   {name: {"count","mean","min","peak","last",
-  ///                         "stride", "samples": [[t, v], ...]}} }
-  /// `include_samples` = false drops the raw sample arrays (summaries only).
+  ///                         "stride", "samples": [[t, v], ...]}},
+  ///     "histograms": {name: {"count","sum","mean","min","max",
+  ///                           "buckets": [[lower_bound, count], ...]}} }
+  /// Histogram buckets export only non-empty entries, in ascending edge
+  /// order. `include_samples` = false drops the raw sample arrays
+  /// (summaries only).
   json::Value to_json(bool include_samples = true) const;
 
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, TimeSeries> series_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace bbsim::stats

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "trace/timeline.hpp"
 #include "util/error.hpp"
 
 namespace bbsim::storage {
@@ -31,6 +32,7 @@ void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done) {
         spec.volume = sf.volume;
         spec.path = sf.path;
         spec.rate_cap = p.rate_cap;
+        spec.label = p.label;  // empty (free) unless a timeline is recording
         fabric.flows().start(std::move(spec), [state] {
           if (--state->pending == 0 && state->done) state->done();
         });
@@ -41,6 +43,7 @@ void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done) {
       flow::FlowSpec meta;
       meta.volume = plan.metadata_ops;
       meta.path = {plan.metadata_res};
+      if (!plan.label.empty()) meta.label = plan.label + " [meta]";
       fabric.flows().start(std::move(meta),
                            [launch_subflows, plan]() { launch_subflows(plan); });
     } else {
@@ -91,10 +94,23 @@ void StorageService::set_metrics(stats::MetricsRegistry* metrics) {
   sample_occupancy();  // establish the timeline's starting point
 }
 
+void StorageService::set_timeline(trace::TimelineRecorder* timeline) {
+  timeline_ = timeline;
+  if (timeline_ != nullptr) {
+    occupancy_track_ =
+        timeline_->counter_track("storage." + name() + ".occupancy_bytes", "bytes");
+    sample_occupancy();  // establish the track's starting point
+  }
+}
+
 void StorageService::sample_occupancy() {
-  if (occupancy_gauge_ == nullptr) return;
-  occupancy_gauge_->set(used_bytes_);
-  occupancy_series_->sample(fabric_.engine().now(), used_bytes_);
+  if (occupancy_gauge_ != nullptr) {
+    occupancy_gauge_->set(used_bytes_);
+    occupancy_series_->sample(fabric_.engine().now(), used_bytes_);
+  }
+  if (timeline_ != nullptr) {
+    timeline_->counter_sample(occupancy_track_, fabric_.engine().now(), used_bytes_);
+  }
 }
 
 void StorageService::reserve_capacity(const FileRef& file) {
@@ -171,6 +187,10 @@ IoPlan StorageService::plan_read(const FileRef& file, std::size_t host_idx) cons
   plan.metadata_res = res().metadata;
   plan.rate_cap = spec_.stream_bw;
   plan.data = route_read(*rep, file, host_idx);
+  if (timeline_ != nullptr) {
+    plan.label =
+        "read " + file.name + " " + name() + "->host" + std::to_string(host_idx);
+  }
   apply_perturbation(plan, file, /*is_write=*/false, host_idx);
   return plan;
 }
@@ -182,6 +202,10 @@ IoPlan StorageService::plan_write(const FileRef& file, std::size_t host_idx) con
   plan.metadata_res = res().metadata;
   plan.rate_cap = spec_.stream_bw;
   plan.data = route_write(file, host_idx);
+  if (timeline_ != nullptr) {
+    plan.label =
+        "write " + file.name + " host" + std::to_string(host_idx) + "->" + name();
+  }
   apply_perturbation(plan, file, /*is_write=*/true, host_idx);
   return plan;
 }

@@ -23,6 +23,10 @@
 #include "platform/fabric.hpp"
 #include "stats/metrics.hpp"
 
+namespace bbsim::trace {
+class TimelineRecorder;
+}  // namespace bbsim::trace
+
 namespace bbsim::storage {
 
 /// A file as the storage layer sees it: a name and a size in bytes.
@@ -59,6 +63,9 @@ struct IoPlan {
   flow::ResourceId metadata_res = 0;
   std::vector<SubFlow> data;
   double rate_cap = flow::kUnlimited;  ///< per sub-flow ceiling
+  /// Timeline annotation for the plan's flows ("read f.fits pfs->host0").
+  /// Empty unless the owning service has a timeline installed.
+  std::string label;
 };
 
 /// Execute a plan on the fabric; `done` fires when every sub-flow finished.
@@ -151,6 +158,13 @@ class StorageService {
   /// nullptr disables publishing (the default).
   void set_metrics(stats::MetricsRegistry* metrics);
 
+  /// Publish an occupancy counter track (`storage.<name>.occupancy_bytes`)
+  /// into `timeline` and start labelling plans (IoPlan::label) so the flow
+  /// layer can annotate transfer spans. nullptr disables (the default).
+  void set_timeline(trace::TimelineRecorder* timeline);
+  /// True when plans should carry labels (a timeline is installed).
+  bool labelling() const { return timeline_ != nullptr; }
+
   /// Install a capacity/replica lifecycle observer (nullptr disables; the
   /// default). The observer must outlive the service or be cleared first.
   void set_observer(StorageObserver* observer) { observer_ = observer; }
@@ -189,6 +203,8 @@ class StorageService {
   StorageObserver* observer_ = nullptr;
   stats::Gauge* occupancy_gauge_ = nullptr;
   stats::TimeSeries* occupancy_series_ = nullptr;
+  trace::TimelineRecorder* timeline_ = nullptr;
+  std::size_t occupancy_track_ = 0;
 
   /// Create/replace the replica record for `file` and notify the observer.
   void install_replica(const FileRef& file, std::size_t host_idx);

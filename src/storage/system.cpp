@@ -124,6 +124,10 @@ void StorageSystem::transfer(const FileRef& file, StorageService& from, StorageS
                          std::to_string(w.size()) + " sub-flows)");
   }
 
+  if (!read.label.empty()) {  // labelling on: annotate the fused copy
+    fused.label = "transfer " + file.name + " " + from.name() + "->" + to.name();
+  }
+
   to.begin_external_write(file);
   execute_plan(fabric_, std::move(fused),
                [&to, file, via_host, done = std::move(done)] {
@@ -138,6 +142,10 @@ void StorageSystem::set_perturbation(const PerturbFn& fn) {
 
 void StorageSystem::set_metrics(stats::MetricsRegistry* metrics) {
   for (auto& s : services_) s->set_metrics(metrics);
+}
+
+void StorageSystem::set_timeline(trace::TimelineRecorder* timeline) {
+  for (auto& s : services_) s->set_timeline(timeline);
 }
 
 void StorageSystem::set_observer(StorageObserver* observer) {

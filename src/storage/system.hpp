@@ -54,6 +54,9 @@ class StorageSystem {
   /// Install the same metrics registry on every service (nullptr disables).
   void set_metrics(stats::MetricsRegistry* metrics);
 
+  /// Install the same timeline recorder on every service (nullptr disables).
+  void set_timeline(trace::TimelineRecorder* timeline);
+
   /// Install the same audit observer on every service (nullptr disables).
   void set_observer(StorageObserver* observer);
 

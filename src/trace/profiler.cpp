@@ -1,0 +1,64 @@
+#include "trace/profiler.hpp"
+
+#include <algorithm>
+
+#include "stats/metrics.hpp"
+
+namespace bbsim::trace {
+
+ProfileSection* Profiler::section(const std::string& name) {
+  for (const auto& s : order_) {
+    if (s->name == name) return s.get();
+  }
+  auto s = std::make_unique<ProfileSection>();
+  s->name = name;
+  order_.push_back(std::move(s));
+  return order_.back().get();
+}
+
+void Profiler::merge(const Profiler& other) {
+  for (const auto& theirs : other.order_) {
+    ProfileSection* mine = section(theirs->name);
+    mine->calls += theirs->calls;
+    mine->total_seconds += theirs->total_seconds;
+    mine->max_seconds = std::max(mine->max_seconds, theirs->max_seconds);
+  }
+}
+
+json::Value Profiler::to_json() const {
+  std::vector<const ProfileSection*> sorted;
+  sorted.reserve(order_.size());
+  for (const auto& s : order_) sorted.push_back(s.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ProfileSection* a, const ProfileSection* b) {
+              return a->name < b->name;
+            });
+  json::Object root;
+  // Wall-clock measurements: values change run to run. Golden and
+  // determinism comparisons must drop any object carrying this marker.
+  root.set("nondeterministic", true);
+  root.set("unit", "seconds");
+  json::Array arr;
+  for (const ProfileSection* s : sorted) {
+    json::Object o;
+    o.set("name", s->name);
+    o.set("calls", s->calls);
+    o.set("total_seconds", s->total_seconds);
+    o.set("max_seconds", s->max_seconds);
+    o.set("mean_seconds",
+          s->calls > 0 ? s->total_seconds / static_cast<double>(s->calls) : 0.0);
+    arr.push_back(json::Value(std::move(o)));
+  }
+  root.set("sections", json::Value(std::move(arr)));
+  return json::Value(std::move(root));
+}
+
+void Profiler::publish(stats::MetricsRegistry& registry) const {
+  for (const auto& s : order_) {
+    registry.counter("profile." + s->name + ".calls")
+        .add(static_cast<double>(s->calls));
+    registry.counter("profile." + s->name + ".seconds").add(s->total_seconds);
+  }
+}
+
+}  // namespace bbsim::trace

@@ -1,0 +1,298 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bbsim::trace {
+
+namespace {
+
+/// Virtual seconds -> Chrome trace-event microseconds.
+double us(double seconds) { return seconds * 1e6; }
+
+/// Greedy first-fit interval packing: spans must arrive sorted by start
+/// time; each gets the lowest lane whose previous span already ended.
+/// Deterministic and O(n * lanes).
+class LaneAllocator {
+ public:
+  std::size_t place(double start, double end) {
+    for (std::size_t lane = 0; lane < lane_end_.size(); ++lane) {
+      if (lane_end_[lane] <= start) {
+        lane_end_[lane] = end;
+        return lane;
+      }
+    }
+    lane_end_.push_back(end);
+    return lane_end_.size() - 1;
+  }
+  std::size_t lanes() const { return lane_end_.size(); }
+
+ private:
+  std::vector<double> lane_end_;
+};
+
+json::Value meta_event(const char* what, std::size_t pid, std::size_t tid,
+                       const std::string& value) {
+  json::Object e;
+  e.set("ph", "M");
+  e.set("name", what);
+  e.set("pid", pid);
+  e.set("tid", tid);
+  json::Object args;
+  args.set("name", value);
+  e.set("args", json::Value(std::move(args)));
+  return json::Value(std::move(e));
+}
+
+json::Value sort_event(const char* what, std::size_t pid, std::size_t tid,
+                       std::size_t index) {
+  json::Object e;
+  e.set("ph", "M");
+  e.set("name", what);
+  e.set("pid", pid);
+  e.set("tid", tid);
+  json::Object args;
+  args.set("sort_index", index);
+  e.set("args", json::Value(std::move(args)));
+  return json::Value(std::move(e));
+}
+
+json::Value complete_event(const std::string& name, const std::string& cat,
+                           std::size_t pid, std::size_t tid, double t_start,
+                           double t_end, json::Object args) {
+  json::Object e;
+  e.set("ph", "X");
+  e.set("name", name);
+  e.set("cat", cat);
+  e.set("pid", pid);
+  e.set("tid", tid);
+  e.set("ts", us(t_start));
+  // us(end) - us(start), not us(end - start): ts + dur must land on the next
+  // span's ts exactly (lanes are packed back-to-back in seconds, and the two
+  // roundings would otherwise disagree by an ulp).
+  e.set("dur", std::max(0.0, us(t_end) - us(t_start)));
+  e.set("args", json::Value(std::move(args)));
+  return json::Value(std::move(e));
+}
+
+}  // namespace
+
+TrackId TimelineRecorder::counter_track(const std::string& name,
+                                        const std::string& unit) {
+  for (std::size_t i = 0; i < timeline_.counters.size(); ++i) {
+    if (timeline_.counters[i].name == name) return i;
+  }
+  timeline_.counters.push_back(CounterTrack{name, unit, {}});
+  return timeline_.counters.size() - 1;
+}
+
+void TimelineRecorder::counter_sample(TrackId track, double time, double value) {
+  BBSIM_ASSERT(track < timeline_.counters.size(), "counter_sample: bad track id");
+  std::vector<CounterSample>& samples = timeline_.counters[track].samples;
+  if (!samples.empty() && samples.back().time == time) {
+    samples.back().value = value;  // coalesce within one simulated instant
+    return;
+  }
+  samples.push_back(CounterSample{time, value});
+}
+
+void TimelineRecorder::flow_begin(std::uint64_t flow_id, double time,
+                                  std::string label, double bytes) {
+  FlowSpan span;
+  span.label = std::move(label);
+  span.t_begin = time;
+  span.t_end = time;
+  span.bytes = bytes;
+  open_flows_[flow_id] = timeline_.flows.size();
+  timeline_.flows.push_back(std::move(span));
+}
+
+void TimelineRecorder::flow_rate(std::uint64_t flow_id, double time, double rate) {
+  const auto it = open_flows_.find(flow_id);
+  if (it == open_flows_.end()) return;
+  if (!std::isfinite(rate)) return;  // zero-duration flow: no steady rate
+  std::vector<RatePoint>& rates = timeline_.flows[it->second].rates;
+  if (!rates.empty() && rates.back().rate == rate) return;  // unchanged
+  if (!rates.empty() && rates.back().time == time) {
+    rates.back().rate = rate;  // re-solve at the same instant: last wins
+    return;
+  }
+  rates.push_back(RatePoint{time, rate});
+}
+
+void TimelineRecorder::flow_end(std::uint64_t flow_id, double time, bool completed) {
+  const auto it = open_flows_.find(flow_id);
+  if (it == open_flows_.end()) return;
+  FlowSpan& span = timeline_.flows[it->second];
+  span.t_end = time;
+  span.completed = completed;
+  open_flows_.erase(it);
+}
+
+void TimelineRecorder::add_task(TaskSpan span) {
+  timeline_.tasks.push_back(std::move(span));
+}
+
+void TimelineRecorder::set_host_names(std::vector<std::string> names) {
+  timeline_.host_names = std::move(names);
+}
+
+Timeline TimelineRecorder::finish() {
+  // Close whatever is still open at its last recorded instant (an aborted
+  // or crashed run must still export a loadable timeline).
+  for (const auto& [_, index] : open_flows_) {
+    FlowSpan& span = timeline_.flows[index];
+    const double last =
+        span.rates.empty() ? span.t_begin : span.rates.back().time;
+    span.t_end = std::max(span.t_begin, last);
+    span.completed = false;
+  }
+  open_flows_.clear();
+
+  std::stable_sort(timeline_.counters.begin(), timeline_.counters.end(),
+                   [](const CounterTrack& a, const CounterTrack& b) {
+                     return a.name < b.name;
+                   });
+  std::stable_sort(timeline_.tasks.begin(), timeline_.tasks.end(),
+                   [](const TaskSpan& a, const TaskSpan& b) {
+                     if (a.host != b.host) return a.host < b.host;
+                     if (a.t_start != b.t_start) return a.t_start < b.t_start;
+                     return a.name < b.name;
+                   });
+
+  // Display lanes: per-host first-fit for tasks, global first-fit for flows
+  // (flows are already in begin order, which is time order).
+  std::size_t current_host = 0;
+  LaneAllocator host_lanes;
+  for (TaskSpan& t : timeline_.tasks) {
+    if (t.host != current_host) {
+      current_host = t.host;
+      host_lanes = LaneAllocator{};
+    }
+    t.lane = host_lanes.place(t.t_start, t.t_end);
+  }
+  LaneAllocator flow_lanes;
+  for (FlowSpan& f : timeline_.flows) {
+    f.lane = flow_lanes.place(f.t_begin, f.t_end);
+  }
+
+  Timeline out = std::move(timeline_);
+  timeline_ = Timeline{};
+  return out;
+}
+
+json::Value Timeline::to_perfetto() const {
+  // Deterministic pid layout: hosts first (pid = host index + 1 -- pid 0 is
+  // reserved by some trace consumers), then the flow process, then counters.
+  std::size_t max_host = 0;
+  for (const TaskSpan& t : tasks) max_host = std::max(max_host, t.host);
+  const std::size_t num_hosts = std::max(host_names.size(), max_host + 1);
+  const std::size_t flows_pid = num_hosts + 1;
+  const std::size_t counters_pid = num_hosts + 2;
+
+  json::Array events;
+
+  // ------------------------------------------------------------- metadata
+  std::vector<std::size_t> lanes_per_host(num_hosts, 0);
+  for (const TaskSpan& t : tasks) {
+    lanes_per_host[t.host] = std::max(lanes_per_host[t.host], t.lane + 1);
+  }
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    const std::string label =
+        h < host_names.size() ? host_names[h] : "host" + std::to_string(h);
+    events.push_back(meta_event("process_name", h + 1, 0, label));
+    events.push_back(sort_event("process_sort_index", h + 1, 0, h));
+    for (std::size_t lane = 0; lane < lanes_per_host[h]; ++lane) {
+      events.push_back(
+          meta_event("thread_name", h + 1, lane, "core lane " + std::to_string(lane)));
+      events.push_back(sort_event("thread_sort_index", h + 1, lane, lane));
+    }
+  }
+  std::size_t flow_lanes = 0;
+  for (const FlowSpan& f : flows) flow_lanes = std::max(flow_lanes, f.lane + 1);
+  events.push_back(meta_event("process_name", flows_pid, 0, "flows"));
+  events.push_back(sort_event("process_sort_index", flows_pid, 0, num_hosts));
+  for (std::size_t lane = 0; lane < flow_lanes; ++lane) {
+    events.push_back(
+        meta_event("thread_name", flows_pid, lane, "flow lane " + std::to_string(lane)));
+    events.push_back(sort_event("thread_sort_index", flows_pid, lane, lane));
+  }
+  if (!counters.empty()) {
+    events.push_back(meta_event("process_name", counters_pid, 0, "counters"));
+    events.push_back(sort_event("process_sort_index", counters_pid, 0, num_hosts + 1));
+  }
+
+  // ------------------------------------------------------------ task spans
+  for (const TaskSpan& t : tasks) {
+    json::Object args;
+    args.set("cores", t.cores);
+    args.set("bytes_read", t.bytes_read);
+    args.set("bytes_written", t.bytes_written);
+    args.set("t_ready", t.t_ready);
+    events.push_back(complete_event(t.name, t.type.empty() ? "task" : t.type,
+                                    t.host + 1, t.lane, t.t_start, t.t_end,
+                                    std::move(args)));
+    // Nested read / compute / write phase spans (paper Figure 5's
+    // breakdown); zero-length phases are omitted.
+    const struct {
+      const char* name;
+      double begin;
+      double end;
+    } phases[] = {{"read", t.t_start, t.t_reads_done},
+                  {"compute", t.t_reads_done, t.t_compute_done},
+                  {"write", t.t_compute_done, t.t_end}};
+    for (const auto& ph : phases) {
+      if (!(ph.end > ph.begin)) continue;
+      events.push_back(complete_event(ph.name, "phase", t.host + 1, t.lane,
+                                      ph.begin, ph.end, json::Object{}));
+    }
+  }
+
+  // ------------------------------------------------------------ flow spans
+  for (const FlowSpan& f : flows) {
+    json::Object args;
+    args.set("bytes", f.bytes);
+    args.set("completed", f.completed);
+    args.set("mean_rate", f.mean_rate());
+    json::Array rates;
+    for (const RatePoint& rp : f.rates) {
+      json::Array point;
+      point.push_back(json::Value(rp.time));
+      point.push_back(json::Value(rp.rate));
+      rates.push_back(json::Value(std::move(point)));
+    }
+    args.set("rates", json::Value(std::move(rates)));
+    events.push_back(complete_event(f.label.empty() ? "flow" : f.label, "flow",
+                                    flows_pid, f.lane, f.t_begin, f.t_end,
+                                    std::move(args)));
+  }
+
+  // --------------------------------------------------------- counter tracks
+  for (const CounterTrack& track : counters) {
+    for (const CounterSample& s : track.samples) {
+      json::Object e;
+      e.set("ph", "C");
+      e.set("name", track.name);
+      e.set("pid", counters_pid);
+      e.set("tid", 0);
+      e.set("ts", us(s.time));
+      json::Object args;
+      args.set("value", s.value);
+      e.set("args", json::Value(std::move(args)));
+      events.push_back(json::Value(std::move(e)));
+    }
+  }
+
+  json::Object root;
+  root.set("traceEvents", json::Value(std::move(events)));
+  root.set("displayTimeUnit", "ms");
+  json::Object other;
+  other.set("schema", "bbsim.timeline.v1");
+  other.set("time_unit", "virtual microseconds");
+  root.set("otherData", json::Value(std::move(other)));
+  return json::Value(std::move(root));
+}
+
+}  // namespace bbsim::trace

@@ -313,7 +313,7 @@ TEST(Engine, TraceRecordsLifecycle) {
   Simulation sim(tiny(), single_task(), {});
   const Result r = sim.run();
   std::vector<std::string> kinds;
-  for (const TraceEvent& e : r.trace) kinds.push_back(e.kind);
+  for (const TraceEvent& e : r.trace) kinds.emplace_back(to_string(e.kind));
   EXPECT_NE(std::find(kinds.begin(), kinds.end(), "task_ready"), kinds.end());
   EXPECT_NE(std::find(kinds.begin(), kinds.end(), "task_start"), kinds.end());
   EXPECT_NE(std::find(kinds.begin(), kinds.end(), "task_end"), kinds.end());

@@ -128,6 +128,31 @@ TEST(CliHardening, AuditOutWithoutAuditIsRejected) {
   EXPECT_NO_THROW(cli::parse_cli({"--audit", "--audit-out", "report.json"}));
 }
 
+TEST(CliHardening, TimelineOutMissingValueNamesTheFlag) {
+  try {
+    cli::parse_cli({"--timeline-out"});
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--timeline-out"), std::string::npos);
+  }
+}
+
+TEST(CliHardening, TimelineOutUnwritablePathNamesTheFlag) {
+  // The run itself succeeds; the export must fail loudly, naming the flag
+  // that pointed at the unwritable destination.
+  const cli::CliOptions opt = cli::parse_cli(
+      {"--workflow", "swarp", "--pipelines", "1", "--quiet", "--timeline-out",
+       "/nonexistent-bbsim-dir/timeline.json"});
+  try {
+    cli::run_cli(opt);
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--timeline-out"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-bbsim-dir/timeline.json"),
+              std::string::npos);
+  }
+}
+
 TEST(CliHardening, OutOfRangeValuesAreRejected) {
   EXPECT_THROW(cli::parse_cli({"--jobs", "-1"}), util::ConfigError);
   EXPECT_THROW(cli::parse_cli({"--nodes", "0"}), util::ConfigError);
@@ -181,6 +206,21 @@ TEST(SweepCliHardening, MalformedSpecFileExitsNonZero) {
 TEST(SweepCliHardening, OutOfRangeJobsRejected) {
   EXPECT_THROW(cli::parse_sweep_cli({"spec.json", "--jobs", "-1"}),
                util::ConfigError);
+}
+
+TEST(SweepCliHardening, TimelineDirWithParallelJobsNamesTheOptions) {
+  try {
+    cli::parse_sweep_cli({"spec.json", "--timeline-dir", "d", "--jobs", "2"});
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--timeline-dir"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+  }
+  // The serial combination stays legal.
+  EXPECT_NO_THROW(
+      cli::parse_sweep_cli({"spec.json", "--timeline-dir", "d", "--jobs", "1"}));
+  // And the default --jobs is 1, so --timeline-dir alone is too.
+  EXPECT_NO_THROW(cli::parse_sweep_cli({"spec.json", "--timeline-dir", "d"}));
 }
 
 }  // namespace

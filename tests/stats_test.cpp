@@ -2,8 +2,10 @@
 // wiring through the simulation layers and the CLI.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "cli/options.hpp"
@@ -82,6 +84,53 @@ TEST(TimeSeries, DecimationBoundsBufferButNotSummary) {
   }
 }
 
+// --------------------------------------------------------------- Histogram
+
+TEST(Histogram, DegenerateValuesLandInTheUnderflowBucket) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e-300), 0u);  // below the bottom edge
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            0u);
+  // Beyond the top edge: saturates into the last bucket instead of UB.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, BucketEdgesArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(0), 0.0);
+  // Bucket i spans [lower, 2*lower): the lower edge belongs to the bucket,
+  // the upper edge to the next one.
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    const double lower = Histogram::bucket_lower_bound(i);
+    EXPECT_GT(lower, Histogram::bucket_lower_bound(i - 1));
+    EXPECT_EQ(Histogram::bucket_index(lower), i);
+    EXPECT_EQ(Histogram::bucket_index(std::nextafter(2.0 * lower, 0.0)), i);
+    EXPECT_EQ(Histogram::bucket_index(2.0 * lower), i + 1);
+  }
+  // Unit values sit in the bucket whose lower edge is exactly 1.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(Histogram::bucket_index(1.0)),
+                   1.0);
+}
+
+TEST(Histogram, RecordKeepsExactSummary) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);  // no division by zero on the empty case
+  h.record(2.0);
+  h.record(8.0);
+  h.record(0.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0 / 3.0);
+  EXPECT_EQ(h.buckets()[0], 1u);  // the zero
+  EXPECT_EQ(h.buckets()[Histogram::bucket_index(2.0)], 1u);
+  EXPECT_EQ(h.buckets()[Histogram::bucket_index(8.0)], 1u);
+}
+
 // ---------------------------------------------------------------- Registry
 
 TEST(MetricsRegistry, ReferencesAreStableAcrossInserts) {
@@ -100,7 +149,9 @@ TEST(MetricsRegistry, FindDoesNotCreate) {
   EXPECT_EQ(reg.find_counter("missing"), nullptr);
   EXPECT_EQ(reg.find_gauge("missing"), nullptr);
   EXPECT_EQ(reg.find_series("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
   EXPECT_EQ(reg.counter_count(), 0u);
+  EXPECT_EQ(reg.histogram_count(), 0u);
   reg.counter("hit").add(7.0);
   ASSERT_NE(reg.find_counter("hit"), nullptr);
   EXPECT_DOUBLE_EQ(reg.find_counter("hit")->value(), 7.0);
@@ -125,6 +176,31 @@ TEST(MetricsRegistry, JsonExportIsDeterministicAndTyped) {
   // Summaries-only export drops the sample arrays.
   const json::Value lean = reg.to_json(/*include_samples=*/false);
   EXPECT_FALSE(lean.at("series").at("util").contains("samples"));
+}
+
+TEST(MetricsRegistry, HistogramJsonExportsNonEmptyBucketsInOrder) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("durations");
+  h.record(1.0);
+  h.record(1.5);  // same [1, 2) bucket as the 1.0
+  h.record(1024.0);
+  ASSERT_NE(reg.find_histogram("durations"), nullptr);
+  const json::Value v = reg.to_json();
+  const json::Value& entry = v.at("histograms").at("durations");
+  EXPECT_DOUBLE_EQ(entry.at("count").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(entry.at("sum").as_number(), 1026.5);
+  EXPECT_DOUBLE_EQ(entry.at("min").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(entry.at("max").as_number(), 1024.0);
+  // Only the two occupied buckets export, as [lower_edge, count] pairs in
+  // ascending edge order.
+  const json::Array& buckets = entry.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].as_array()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[0].as_array()[1].as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(buckets[1].as_array()[0].as_number(), 1024.0);
+  EXPECT_DOUBLE_EQ(buckets[1].as_array()[1].as_number(), 1.0);
+  // Byte-stable across repeated dumps (golden-file friendly).
+  EXPECT_EQ(reg.to_json().dump(2), v.dump(2));
 }
 
 }  // namespace
@@ -199,6 +275,32 @@ TEST(SimulationMetrics, CollectsEngineSolverAndStorageMetrics) {
     EXPECT_LE(entry.at("peak").as_number(), 1.0 + 1e-6) << name;
   }
   EXPECT_TRUE(saw_util);
+}
+
+TEST(SimulationMetrics, HistogramsTrackSolverRoundsAndTransferDurations) {
+  stats::MetricsRegistry* reg = nullptr;
+  run_swarp_with_metrics(&reg);
+  ASSERT_NE(reg, nullptr);
+  // Solver rounds per solve(): the histogram's exact count/sum must agree
+  // with the scalar counters the solver already publishes.
+  const stats::Histogram* rounds =
+      reg->find_histogram("flow.solve_rounds_per_call");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_DOUBLE_EQ(static_cast<double>(rounds->count()),
+                   reg->find_counter("flow.solve_calls")->value());
+  EXPECT_DOUBLE_EQ(rounds->sum(),
+                   reg->find_counter("flow.solve_rounds")->value());
+  // Empty re-solves (last flow just retired) record zero rounds; any real
+  // solve records at least one.
+  EXPECT_GE(rounds->min(), 0.0);
+  EXPECT_GE(rounds->max(), 1.0);
+  // Per-flow transfer durations.
+  const stats::Histogram* transfers =
+      reg->find_histogram("flow.transfer_seconds");
+  ASSERT_NE(transfers, nullptr);
+  EXPECT_GT(transfers->count(), 0u);
+  EXPECT_GE(transfers->min(), 0.0);
+  EXPECT_GE(transfers->max(), transfers->min());
 }
 
 TEST(SimulationMetrics, ResultJsonEmbedsMetrics) {

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/options.hpp"
+#include "cli/runner.hpp"
 #include "cli/sweep_cli.hpp"
 #include "exec/engine.hpp"
 #include "platform/presets.hpp"
@@ -24,6 +28,13 @@ namespace bbsim {
 namespace {
 
 // ---------------------------------------------------------------- helpers
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 /// A tiny real simulation whose makespan depends on `pipelines` -- cheap,
 /// deterministic, and exercising the full sim/flow/exec stack.
@@ -347,6 +358,66 @@ TEST(SweepCli, ForbidsAuditOutInsideASweep) {
   ASSERT_EQ(outcomes.size(), 1u);
   EXPECT_FALSE(outcomes[0].ok);
   EXPECT_NE(outcomes[0].error.find("not allowed"), std::string::npos);
+}
+
+TEST(SweepCli, ForbidsTimelineOutAndProfileInsideASweep) {
+  // Per-run output/profiling flags stay banned from sweep specs; runs opt
+  // into timelines with the sweep-level "timeline": true switch instead.
+  for (const char* body :
+       {R"({"base": {"workflow": "swarp", "timeline-out": "t.json"}})",
+        R"({"base": {"workflow": "swarp", "profile": true}})"}) {
+    const auto spec = sweep::parse_sweep_spec(json::parse(body));
+    cli::SweepCliOptions opt;
+    opt.quiet = true;
+    const auto outcomes = cli::execute_sweep_spec(spec, opt);
+    ASSERT_EQ(outcomes.size(), 1u) << body;
+    EXPECT_FALSE(outcomes[0].ok) << body;
+    EXPECT_NE(outcomes[0].error.find("not allowed"), std::string::npos) << body;
+  }
+}
+
+TEST(SweepCli, SpecTimelineWithoutDirFailsBeforeRunning) {
+  const auto spec = sweep::parse_sweep_spec(json::parse(R"({
+    "base": {"workflow": "swarp", "timeline": true}
+  })"));
+  cli::SweepCliOptions opt;
+  opt.quiet = true;
+  try {
+    cli::execute_sweep_spec(spec, opt);
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--timeline-dir"), std::string::npos);
+  }
+}
+
+TEST(SweepCli, TimelineDirExportIsByteStableAndMatchesDirectRun) {
+  const auto make_spec = [] {
+    return sweep::parse_sweep_spec(json::parse(R"({
+      "name": "tl",
+      "base": {"workflow": "swarp", "pipelines": 2, "timeline": true}
+    })"));
+  };
+  const std::string dir = ::testing::TempDir() + "/bbsim_sweep_tl";
+  const std::string run_file = dir + "/base.json";  // run name: "base"
+  cli::SweepCliOptions opt;
+  opt.quiet = true;
+  opt.timeline_dir = dir;
+  cli::run_sweep_to_json(make_spec(), opt);
+  const std::string first = slurp(run_file);
+  ASSERT_FALSE(first.empty());
+  // Byte-identical on a repeated sweep...
+  cli::run_sweep_to_json(make_spec(), opt);
+  EXPECT_EQ(slurp(run_file), first);
+  // ...and identical to what bbsim_run --timeline-out exports for the same
+  // configuration: the timeline depends only on the simulated run.
+  const std::string direct = dir + "/direct.json";
+  ASSERT_EQ(cli::run_cli(cli::parse_cli({"--workflow", "swarp", "--pipelines",
+                                         "2", "--quiet", "--timeline-out",
+                                         direct})),
+            0);
+  EXPECT_EQ(slurp(direct), first);
+  std::remove(run_file.c_str());
+  std::remove(direct.c_str());
 }
 
 TEST(SweepCli, ParseRejectsBadArgs) {

@@ -56,6 +56,27 @@ TEST(RunCli, WritesTraceCsvAndDot) {
   std::remove(opt.dot_path.c_str());
 }
 
+TEST(RunCli, TimelineOutWritesStablePerfettoJson) {
+  const std::string path = ::testing::TempDir() + "/bbsim_cli_timeline.json";
+  cli::CliOptions opt;
+  opt.quiet = true;
+  opt.profile = true;
+  opt.timeline_path = path;
+  ASSERT_EQ(cli::run_cli(opt), 0);
+  const std::string first = slurp(path);
+  ASSERT_FALSE(first.empty());
+
+  const json::Value doc = json::parse(first);
+  EXPECT_EQ(doc.at("otherData").at("schema").as_string(), "bbsim.timeline.v1");
+  EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+
+  // --profile measures wall-clock time but must not leak into the
+  // timeline: a repeated run exports byte-identically.
+  ASSERT_EQ(cli::run_cli(opt), 0);
+  EXPECT_EQ(slurp(path), first);
+  std::remove(path.c_str());
+}
+
 TEST(RunCli, TestbedRepetitions) {
   cli::CliOptions opt;
   opt.quiet = true;

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate a bbsim timeline against the Chrome trace-event format.
+
+Checks the JSON that ``bbsim_run --timeline-out`` (and
+``bbsim_sweep --timeline-dir``) produces:
+
+  * the document is a JSON-array-container: ``{"traceEvents": [...]}``;
+  * every event has a known phase (``X`` complete span, ``C`` counter,
+    ``M`` metadata) and integer-like ``pid``/``tid`` fields;
+  * ``X`` events carry finite ``ts`` and non-negative ``dur``;
+  * per (pid, tid) track, ``X`` events are sorted by ``ts`` and spans on
+    one lane never overlap (a lane is one host core / one flow slot);
+  * per counter name, ``C`` samples have strictly increasing ``ts`` and
+    finite values;
+  * metadata names are from the documented set and ``process_name`` /
+    ``thread_name`` carry an ``args.name`` string.
+
+Exit code 0 = valid (prints a one-line summary), 1 = every violation is
+listed. Usage: ``python3 tools/check_trace.py TIMELINE.json [...]``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+KNOWN_PHASES = {"X", "C", "M"}
+
+# Span boundaries are converted seconds -> microseconds independently, so
+# adjacent spans may disagree by a few ulps. One nanosecond is far below
+# anything the simulator resolves and cannot mask a real overlap.
+OVERLAP_TOLERANCE_US = 1e-3
+KNOWN_METADATA = {
+    "process_name",
+    "process_sort_index",
+    "thread_name",
+    "thread_sort_index",
+}
+
+
+def is_intlike(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def is_finite_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def check_timeline(path: Path) -> list[str]:
+    errors: list[str] = []
+
+    def err(index: int, message: str) -> None:
+        errors.append(f"{path}: event {index}: {message}")
+
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: not a trace-event container (no 'traceEvents' key)"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' is not an array"]
+
+    # (pid, tid) -> list of (ts, dur, index) for X events, in file order.
+    spans: dict[tuple, list[tuple]] = defaultdict(list)
+    # counter name -> list of (ts, index), in file order.
+    counters: dict[str, list[tuple]] = defaultdict(list)
+
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            err(i, "not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            err(i, f"unknown phase {ph!r}")
+            continue
+        for field in ("pid", "tid"):
+            if not is_intlike(e.get(field)) or e.get(field) < 0:
+                err(i, f"{field!r} is not a non-negative integer: {e.get(field)!r}")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            err(i, "missing or empty 'name'")
+            continue
+
+        if ph == "M":
+            if e["name"] not in KNOWN_METADATA:
+                err(i, f"unknown metadata event {e['name']!r}")
+            if e["name"] in ("process_name", "thread_name") and not isinstance(
+                e.get("args", {}).get("name"), str
+            ):
+                err(i, f"metadata {e['name']!r} lacks a string args.name")
+            continue
+
+        if not is_finite_number(e.get("ts")):
+            err(i, f"'ts' is not a finite number: {e.get('ts')!r}")
+            continue
+        if ph == "X":
+            if not is_finite_number(e.get("dur")) or e["dur"] < 0:
+                err(i, f"'dur' is not a finite non-negative number: {e.get('dur')!r}")
+                continue
+            spans[(e["pid"], e["tid"])].append((e["ts"], e["dur"], i))
+        elif ph == "C":
+            value = e.get("args", {}).get("value")
+            if not is_finite_number(value):
+                err(i, f"counter 'args.value' is not a finite number: {value!r}")
+            counters[e["name"]].append((e["ts"], i))
+
+    for (pid, tid), track in spans.items():
+        prev_ts = None
+        for ts, dur, i in track:
+            if prev_ts is not None and ts < prev_ts:
+                err(i, f"track pid={pid} tid={tid}: 'ts' not monotonic "
+                       f"({ts} after {prev_ts})")
+            prev_ts = ts
+        # Nested phase spans share the task's lane, so containment is fine;
+        # only *partial* overlap (neither span contains the other) is a bug.
+        open_spans: list[tuple] = []  # (start, end, index) stack
+        for ts, dur, i in track:
+            end = ts + dur
+            while open_spans and open_spans[-1][1] <= ts + OVERLAP_TOLERANCE_US:
+                open_spans.pop()
+            if open_spans and end > open_spans[-1][1] + OVERLAP_TOLERANCE_US:
+                err(i, f"track pid={pid} tid={tid}: span [{ts}, {end}) partially "
+                       f"overlaps span starting at {open_spans[-1][0]}")
+            open_spans.append((ts, end, i))
+
+    for name, samples in counters.items():
+        prev_ts = None
+        for ts, i in samples:
+            if prev_ts is not None and ts <= prev_ts:
+                err(i, f"counter {name!r}: 'ts' not strictly increasing "
+                       f"({ts} after {prev_ts})")
+            prev_ts = ts
+
+    if not errors:
+        n_spans = sum(len(t) for t in spans.values())
+        n_samples = sum(len(s) for s in counters.values())
+        print(
+            f"{path}: OK -- {len(events)} events "
+            f"({n_spans} spans on {len(spans)} tracks, "
+            f"{n_samples} samples on {len(counters)} counters)"
+        )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for arg in argv[1:]:
+        errors.extend(check_timeline(Path(arg)))
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

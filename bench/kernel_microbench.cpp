@@ -1,18 +1,13 @@
 // Micro-benchmarks of the simulation substrates (google-benchmark):
 // event-queue throughput, max-min solver scaling, end-to-end engine rate.
-// Also writes BENCH_flow_solver.json: a machine-readable record of the
-// solver's scaling points, fed by the flow.solve_rounds metrics counter.
+// The solver scaling record (BENCH_flow_solver.json) is produced by
+// bench_flow_solver (flow_solver.cpp), not here.
 #include <benchmark/benchmark.h>
-
-#include <chrono>
-#include <cstdio>
 
 #include "exec/engine.hpp"
 #include "flow/manager.hpp"
 #include "flow/network.hpp"
-#include "json/json.hpp"
 #include "sim/engine.hpp"
-#include "stats/metrics.hpp"
 #include "testbed/testbed.hpp"
 #include "util/rng.hpp"
 #include "workflow/genomes.hpp"
@@ -21,56 +16,6 @@
 namespace {
 
 using namespace bbsim;
-
-/// Builds the same random network BM_MaxMinSolve benchmarks.
-flow::Network make_solver_network(int n_flows, int n_res) {
-  util::Rng rng(7);
-  flow::Network net;
-  for (int r = 0; r < n_res; ++r) {
-    net.add_resource("r" + std::to_string(r), rng.uniform(100.0, 1000.0));
-  }
-  for (int f = 0; f < n_flows; ++f) {
-    flow::FlowSpec spec;
-    spec.volume = 1.0;
-    const int hops = static_cast<int>(rng.uniform_int(1, 3));
-    for (int h = 0; h < hops; ++h) {
-      spec.path.push_back(static_cast<flow::ResourceId>(rng.uniform_int(0, n_res - 1)));
-    }
-    net.add_flow(spec);
-  }
-  return net;
-}
-
-/// Times the solver on each BM_MaxMinSolve configuration and writes the
-/// per-config timings plus water-filling round counts to `path`.
-void write_flow_solver_report(const std::string& path) {
-  const std::pair<int, int> configs[] = {{16, 8}, {128, 16}, {1024, 32}};
-  const int iterations = 200;
-  json::Array points;
-  for (const auto& [n_flows, n_res] : configs) {
-    stats::MetricsRegistry metrics;
-    flow::Network net = make_solver_network(n_flows, n_res);
-    net.set_metrics(&metrics);
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < iterations; ++i) net.solve();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
-    json::Object point;
-    point.set("flows", n_flows);
-    point.set("resources", n_res);
-    point.set("iterations", iterations);
-    point.set("ns_per_solve", ns / iterations);
-    point.set("rounds_per_solve",
-              metrics.counter("flow.solve_rounds").value() / iterations);
-    points.push_back(json::Value(std::move(point)));
-  }
-  json::Object root;
-  root.set("benchmark", std::string("flow_solver"));
-  root.set("points", json::Value(std::move(points)));
-  json::write_file(path, json::Value(std::move(root)));
-  std::printf("wrote %s\n", path.c_str());
-}
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -164,7 +109,6 @@ BENCHMARK(BM_GenomesSimulation)->Arg(2)->Arg(22);
 }  // namespace
 
 int main(int argc, char** argv) {
-  write_flow_solver_report("BENCH_flow_solver.json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

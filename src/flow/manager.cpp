@@ -102,26 +102,35 @@ void FlowManager::settle() {
   if (dt <= 0.0) return;
 
   // Per-resource accounting: accumulate bytes and busy time while flows ran.
-  std::vector<double> res_bytes(net_.resource_count(), 0.0);
-  std::vector<bool> res_busy(net_.resource_count(), false);
+  // The scratch vectors persist across settles (entries outside touched_
+  // stay zero), so the hot path allocates nothing and writes only the
+  // resources active flows actually cross.
+  if (res_bytes_.size() < net_.resource_count()) {
+    res_bytes_.resize(net_.resource_count(), 0.0);
+    res_busy_.resize(net_.resource_count(), 0);
+  }
+  touched_.clear();
 
-  for (const FlowId id : net_.flow_ids()) {
-    const FlowState& st = net_.flow(id);
+  net_.for_each_flow([&](FlowId id, const FlowState& st) {
     const double rate = (st.rate == kUnlimited) ? 0.0 : st.rate;
     const double moved = std::min(st.remaining, rate * dt);
     if (moved > 0.0) {
       for (const ResourceId r : st.spec.path) {
-        res_bytes[r] += moved;
-        res_busy[r] = true;
+        if (res_bytes_[r] == 0.0 && res_busy_[r] == 0) touched_.push_back(r);
+        res_bytes_[r] += moved;
+        res_busy_[r] = 1;
       }
       net_.consume(id, moved);
     } else if (rate > 0.0 || st.rate == kUnlimited) {
-      for (const ResourceId r : st.spec.path) res_busy[r] = true;
+      for (const ResourceId r : st.spec.path) {
+        if (res_bytes_[r] == 0.0 && res_busy_[r] == 0) touched_.push_back(r);
+        res_busy_[r] = 1;
+      }
     }
-  }
-  for (ResourceId r = 0; r < net_.resource_count(); ++r) {
-    net_.resource(r).bytes_served += res_bytes[r];
-    if (res_busy[r]) net_.resource(r).busy_time += dt;
+  });
+  for (const ResourceId r : touched_) {
+    net_.resource(r).bytes_served += res_bytes_[r];
+    if (res_busy_[r] != 0) net_.resource(r).busy_time += dt;
   }
 
   if (metrics_ != nullptr) {
@@ -131,10 +140,12 @@ void FlowManager::settle() {
         util_series_[r] = &metrics_->series("flow.util." + net_.resource(r).name);
       }
     }
+    // Every finite-capacity resource gets a sample each interval (including
+    // zero-utilization ones) so the series' time-weighted mean stays exact.
     for (ResourceId r = 0; r < net_.resource_count(); ++r) {
       const double cap = net_.resource(r).capacity;
       if (cap <= 0.0 || cap == kUnlimited) continue;
-      util_series_[r]->sample(now, res_bytes[r] / (cap * dt), dt);
+      util_series_[r]->sample(now, res_bytes_[r] / (cap * dt), dt);
     }
   }
 
@@ -145,11 +156,16 @@ void FlowManager::settle() {
     if (g.series == nullptr && !g.track_ready) continue;
     double bytes = 0.0;
     for (const ResourceId r : g.resources) {
-      if (r < res_bytes.size()) bytes += res_bytes[r];
+      if (r < res_bytes_.size()) bytes += res_bytes_[r];
     }
     const double bandwidth = bytes / dt;
     if (g.series != nullptr) g.series->sample(now, bandwidth, dt);
     if (g.track_ready) timeline_->counter_sample(g.track, now, bandwidth);
+  }
+
+  for (const ResourceId r : touched_) {
+    res_bytes_[r] = 0.0;
+    res_busy_[r] = 0;
   }
 }
 
@@ -169,25 +185,24 @@ void FlowManager::reschedule() {
     // span (flow_rate dedups unchanged rates, so a stable allocation
     // costs one point, not one per solve).
     const sim::Time now = engine_.now();
-    for (const FlowId id : net_.flow_ids()) {
-      timeline_->flow_rate(id, now, net_.flow(id).rate);
-    }
+    net_.for_each_flow([&](FlowId id, const FlowState& st) {
+      timeline_->flow_rate(id, now, st.rate);
+    });
   }
 
   // Earliest completion among active flows.
   double horizon = kUnlimited;
-  for (const FlowId id : net_.flow_ids()) {
-    const FlowState& st = net_.flow(id);
+  net_.for_each_flow([&horizon](FlowId, const FlowState& st) {
     double eta;
     if (st.remaining <= completion_tolerance(st) || st.rate == kUnlimited) {
       eta = 0.0;
     } else if (st.rate <= 0.0) {
-      continue;  // starved flow: waits for capacity to free up
+      return;  // starved flow: waits for capacity to free up
     } else {
       eta = st.remaining / st.rate;
     }
     horizon = std::min(horizon, eta);
-  }
+  });
   if (horizon == kUnlimited) return;  // everything starved (all-zero capacity)
   // Clamp sub-resolution horizons: if now + horizon does not advance the
   // clock, fire now and let the completion tolerance finish those flows.
@@ -204,19 +219,18 @@ void FlowManager::on_wake() {
   // Collect finished flows first, then remove, then invoke callbacks: a
   // callback may start new flows or abort others, so the network must be in
   // a consistent state before user code runs.
-  std::vector<FlowId> done;
-  for (const FlowId id : net_.flow_ids()) {
-    const FlowState& st = net_.flow(id);
+  done_.clear();
+  net_.for_each_flow([this](FlowId id, const FlowState& st) {
     const bool finished =
         st.remaining <= completion_tolerance(st) || st.rate == kUnlimited ||
         // Residual too small to ever advance the clock again.
         (st.rate > 0.0 && engine_.now() + st.remaining / st.rate == engine_.now());
-    if (finished) done.push_back(id);
-  }
+    if (finished) done_.push_back(id);
+  });
 
   std::vector<CompletionHandler> callbacks;
-  callbacks.reserve(done.size());
-  for (const FlowId id : done) {
+  callbacks.reserve(done_.size());
+  for (const FlowId id : done_) {
     net_.remove_flow(id);
     auto it = handlers_.find(id);
     callbacks.push_back(std::move(it->second));

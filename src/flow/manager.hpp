@@ -93,6 +93,13 @@ class FlowManager {
   sim::EventId wake_event_ = 0;
   bool wake_scheduled_ = false;
   sim::Time last_settle_ = 0.0;
+  /// Per-resource settle scratch, reused across calls so the per-event cost
+  /// is O(active flows + touched resources), not O(all resources) plus an
+  /// allocation. Entries outside touched_ are always zero.
+  std::vector<double> res_bytes_;
+  std::vector<char> res_busy_;
+  std::vector<ResourceId> touched_;
+  std::vector<FlowId> done_;  ///< completion scratch for on_wake()
   stats::MetricsRegistry* metrics_ = nullptr;
   /// Cached per-resource utilization series (index = ResourceId); refreshed
   /// lazily when resources were added since the last settle.

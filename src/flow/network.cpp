@@ -22,6 +22,8 @@ ResourceId Network::add_resource(std::string name, double capacity) {
   BBSIM_ASSERT(capacity >= 0 && !std::isnan(capacity),
                "resource '" + name + "': " + capacity_violation(capacity));
   resources_.push_back(Resource{std::move(name), capacity, 0.0, 0.0});
+  members_.emplace_back();
+  res_dirty_.push_back(0);
   return static_cast<ResourceId>(resources_.size() - 1);
 }
 
@@ -38,21 +40,32 @@ Resource& Network::resource(ResourceId id) {
 void Network::set_capacity(ResourceId id, double capacity) {
   BBSIM_ASSERT(capacity >= 0 && !std::isnan(capacity),
                "set_capacity: " + capacity_violation(capacity));
-  resource(id).capacity = capacity;
+  Resource& res = resource(id);
+  if (res.capacity == capacity) return;  // no-op changes leave the dirt alone
+  res.capacity = capacity;
+  mark_resource_dirty(id);
 }
 
 void Network::set_metrics(stats::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     solve_calls_ = nullptr;
     solve_rounds_ = nullptr;
+    flows_resolved_ = nullptr;
     active_flows_ = nullptr;
     rounds_hist_ = nullptr;
     return;
   }
   solve_calls_ = &metrics->counter("flow.solve_calls");
   solve_rounds_ = &metrics->counter("flow.solve_rounds");
+  flows_resolved_ = &metrics->counter("flow.solve_flows_resolved");
   active_flows_ = &metrics->gauge("flow.active_flows");
   rounds_hist_ = &metrics->histogram("flow.solve_rounds_per_call");
+}
+
+void Network::mark_resource_dirty(ResourceId r) {
+  if (res_dirty_[r] != 0) return;
+  res_dirty_[r] = 1;
+  dirty_res_.push_back(r);
 }
 
 FlowId Network::add_flow(FlowSpec spec) {
@@ -79,12 +92,36 @@ FlowId Network::add_flow(FlowSpec spec) {
     id = next_flow_id_++;
     id_to_index_.push_back(kNoFlow);
   }
-  id_to_index_[id] = flows_.size();
+  const std::size_t idx = flows_.size();
+  id_to_index_[id] = idx;
   ids_.push_back(id);
+
   FlowState st;
   st.remaining = spec.volume;
   st.spec = std::move(spec);
+
+  FlowLinks links;
+  links.member_pos.resize(st.spec.path.size());
+  for (std::uint32_t k = 0; k < st.spec.path.size(); ++k) {
+    const ResourceId r = st.spec.path[k];
+    links.member_pos[k] = static_cast<std::uint32_t>(members_[r].size());
+    members_[r].push_back(MemberRef{idx, k});
+    mark_resource_dirty(r);
+  }
+  if (st.spec.path.empty()) dirty_flow_ids_.push_back(id);
+
+  // Append to the creation-order list: recycled ids re-enter at the tail.
+  links.prev = tail_;
+  links.next = kNoId;
+  if (tail_ != kNoId) {
+    links_[id_to_index_[tail_]].next = id;
+  } else {
+    head_ = id;
+  }
+  tail_ = id;
+
   flows_.push_back(std::move(st));
+  links_.push_back(std::move(links));
   if (active_flows_ != nullptr) active_flows_->set(static_cast<double>(flows_.size()));
   return id;
 }
@@ -97,13 +134,48 @@ std::size_t Network::checked_index(FlowId id) const {
 
 void Network::remove_flow(FlowId id) {
   const std::size_t i = checked_index(id);
+
+  // Detach from every resource's member list (swap-remove, fixing the moved
+  // entry's back-pointer) and dirty the resources the flow leaves behind.
+  const FlowState& st = flows_[i];
+  FlowLinks& links = links_[i];
+  for (std::uint32_t k = 0; k < st.spec.path.size(); ++k) {
+    const ResourceId r = st.spec.path[k];
+    std::vector<MemberRef>& mem = members_[r];
+    const std::uint32_t pos = links.member_pos[k];
+    const MemberRef moved = mem.back();
+    mem[pos] = moved;
+    mem.pop_back();
+    if (moved.flow != i || moved.slot != k) {
+      links_[moved.flow].member_pos[moved.slot] = pos;
+    }
+    mark_resource_dirty(r);
+  }
+
+  // Unlink from the creation-order list.
+  if (links.prev != kNoId) {
+    links_[id_to_index_[links.prev]].next = links.next;
+  } else {
+    head_ = links.next;
+  }
+  if (links.next != kNoId) {
+    links_[id_to_index_[links.next]].prev = links.prev;
+  } else {
+    tail_ = links.prev;
+  }
+
   const std::size_t last = flows_.size() - 1;
-  if (i != last) {  // swap-remove, fixing the moved flow's index
+  if (i != last) {  // swap-remove, fixing the moved flow's index everywhere
     flows_[i] = std::move(flows_[last]);
+    links_[i] = std::move(links_[last]);
     ids_[i] = ids_[last];
     id_to_index_[ids_[i]] = i;
+    for (std::uint32_t k = 0; k < flows_[i].spec.path.size(); ++k) {
+      members_[flows_[i].spec.path[k]][links_[i].member_pos[k]].flow = i;
+    }
   }
   flows_.pop_back();
+  links_.pop_back();
   ids_.pop_back();
   id_to_index_[id] = kNoFlow;
   free_ids_.push_back(id);
@@ -118,60 +190,146 @@ void Network::consume(FlowId id, double bytes) {
 }
 
 std::vector<FlowId> Network::flow_ids() const {
-  std::vector<FlowId> out(ids_.begin(), ids_.end());
-  std::sort(out.begin(), out.end());  // creation order
+  std::vector<FlowId> out;
+  out.reserve(flows_.size());
+  for_each_flow([&out](FlowId id, const FlowState&) { out.push_back(id); });
   return out;
 }
 
-int Network::solve() {
+void Network::build_closure() {
   const std::size_t n = flows_.size();
   const std::size_t m = resources_.size();
 
+  // Arena growth (amortised; steady state resizes nothing).
+  if (flow_mark_.size() < n) flow_mark_.resize(n, 0);
+  if (frozen_.size() < n) frozen_.resize(n, 0);
+  if (res_mark_.size() < m) res_mark_.resize(m, 0);
+  if (frozen_load_.size() < m) frozen_load_.resize(m, 0.0);
+  if (unfrozen_weight_.size() < m) unfrozen_weight_.resize(m, 0.0);
+
+  ++epoch_;
+  closure_flows_.clear();
+  closure_res_.clear();
+
+  if (!incremental_ || !solved_once_) {
+    // Full solve: every flow and resource is in scope.
+    for (std::size_t f = 0; f < n; ++f) {
+      flow_mark_[f] = epoch_;
+      closure_flows_.push_back(f);
+    }
+    for (ResourceId r = 0; r < m; ++r) {
+      res_mark_[r] = epoch_;
+      closure_res_.push_back(r);
+    }
+    return;
+  }
+
+  // Seed: resources whose member set or capacity changed, plus flows
+  // dirtied directly (pathless adds never reach a resource).
+  for (const ResourceId r : dirty_res_) {
+    if (res_mark_[r] != epoch_) {
+      res_mark_[r] = epoch_;
+      closure_res_.push_back(r);
+    }
+  }
+  for (const FlowId id : dirty_flow_ids_) {
+    const std::size_t f = index_of(id);
+    if (f == kNoFlow || flow_mark_[f] == epoch_) continue;
+    flow_mark_[f] = epoch_;
+    closure_flows_.push_back(f);
+    for (const ResourceId r : flows_[f].spec.path) {
+      if (res_mark_[r] != epoch_) {
+        res_mark_[r] = epoch_;
+        closure_res_.push_back(r);
+      }
+    }
+  }
+
+  // BFS over the flow/resource bipartite graph: a dirty resource pulls in
+  // its member flows, each flow pulls in the rest of its path, until the
+  // affected bottleneck-connected components are fully enclosed.
+  for (std::size_t qi = 0; qi < closure_res_.size(); ++qi) {
+    for (const MemberRef& e : members_[closure_res_[qi]]) {
+      if (flow_mark_[e.flow] == epoch_) continue;
+      flow_mark_[e.flow] = epoch_;
+      closure_flows_.push_back(e.flow);
+      for (const ResourceId r : flows_[e.flow].spec.path) {
+        if (res_mark_[r] != epoch_) {
+          res_mark_[r] = epoch_;
+          closure_res_.push_back(r);
+        }
+      }
+    }
+  }
+
+  // Enumeration order inside the water-filling loops must match the full
+  // solver's (ascending index) so the two modes freeze ties identically.
+  std::sort(closure_flows_.begin(), closure_flows_.end());
+  std::sort(closure_res_.begin(), closure_res_.end());
+}
+
+int Network::solve() {
   if (solve_calls_ != nullptr) solve_calls_->add(1.0);
 
-  // Water-filling state. `level[f]` is the water level at which flow f froze;
-  // its rate is weight * level. Unfrozen flows all sit at the current level.
-  std::vector<bool> frozen(n, false);
-  std::vector<double> frozen_load(m, 0.0);    // sum of frozen rates per resource
-  std::vector<double> unfrozen_weight(m, 0.0);  // sum of unfrozen weights per resource
+  build_closure();
+  // Dirt is consumed by this solve, whatever its scope.
+  for (const ResourceId r : dirty_res_) res_dirty_[r] = 0;
+  dirty_res_.clear();
+  dirty_flow_ids_.clear();
+  solved_once_ = true;
 
-  for (std::size_t f = 0; f < n; ++f) {
+  const int rounds = solve_closure();
+
+  if (solve_rounds_ != nullptr) solve_rounds_->add(static_cast<double>(rounds));
+  if (flows_resolved_ != nullptr) {
+    flows_resolved_->add(static_cast<double>(closure_flows_.size()));
+  }
+  if (rounds_hist_ != nullptr) rounds_hist_->record(static_cast<double>(rounds));
+  BBSIM_AUDIT_HOOK(if (post_solve_) post_solve_(*this, rounds));
+  return rounds;
+}
+
+int Network::solve_closure() {
+  // Water-filling state, restricted to the closure. `frozen_load_[r]` is the
+  // sum of already-frozen closure rates on r (clean flows never cross a
+  // closure resource: the closure encloses whole components); unfrozen
+  // weights are recomputed exactly each round -- an incremental
+  // decrement-and-clamp loses weight to floating-point cancellation (a
+  // resource could claim zero unfrozen weight while unfrozen flows still
+  // cross it, poisoning the level comparison with 0/0 = NaN).
+  for (const std::size_t f : closure_flows_) {
+    frozen_[f] = 0;
     flows_[f].rate = 0.0;
     flows_[f].bottlenecked_by_cap = false;
   }
+  for (const ResourceId r : closure_res_) frozen_load_[r] = 0.0;
 
-  std::size_t remaining = n;
+  std::size_t remaining = closure_flows_.size();
   int rounds = 0;
   double level = 0.0;
 
   while (remaining > 0) {
     ++rounds;
-    // Recompute per-resource unfrozen weight exactly each round. The
-    // incremental decrement-and-clamp it replaces loses weight to
-    // floating-point cancellation/absorption: a resource could end up with
-    // unfrozen_weight == 0 while unfrozen flows still cross it, and the
-    // saturation scan's 0/0 then poisons the level comparison with NaN
-    // (freezing flows far above the resource's true spare capacity).
-    std::fill(unfrozen_weight.begin(), unfrozen_weight.end(), 0.0);
-    for (std::size_t f = 0; f < n; ++f) {
-      if (frozen[f]) continue;
+    for (const ResourceId r : closure_res_) unfrozen_weight_[r] = 0.0;
+    for (const std::size_t f : closure_flows_) {
+      if (frozen_[f] != 0) continue;
       for (const ResourceId r : flows_[f].spec.path) {
-        unfrozen_weight[r] += flows_[f].spec.weight;
+        unfrozen_weight_[r] += flows_[f].spec.weight;
       }
     }
 
-    // Next saturation level among resources.
+    // Next saturation level among closure resources.
     double next_level = kUnlimited;
-    for (std::size_t r = 0; r < m; ++r) {
-      if (unfrozen_weight[r] <= 0.0) continue;
+    for (const ResourceId r : closure_res_) {
+      if (unfrozen_weight_[r] <= 0.0) continue;
       if (resources_[r].capacity == kUnlimited) continue;
-      const double lvl = (resources_[r].capacity - frozen_load[r]) / unfrozen_weight[r];
+      const double lvl = (resources_[r].capacity - frozen_load_[r]) / unfrozen_weight_[r];
       next_level = std::min(next_level, std::max(lvl, 0.0));
     }
     // Next per-flow cap level.
     bool cap_binds = false;
-    for (std::size_t f = 0; f < n; ++f) {
-      if (frozen[f]) continue;
+    for (const std::size_t f : closure_flows_) {
+      if (frozen_[f] != 0) continue;
       const double cap_level = flows_[f].spec.rate_cap / flows_[f].spec.weight;
       if (cap_level < next_level) {
         next_level = cap_level;
@@ -184,10 +342,10 @@ int Network::solve() {
     if (next_level == kUnlimited) {
       // No finite constraint anywhere: unconstrained flows get infinite rate
       // (they complete instantly; the manager treats them as zero-duration).
-      for (std::size_t f = 0; f < n; ++f) {
-        if (!frozen[f]) {
+      for (const std::size_t f : closure_flows_) {
+        if (frozen_[f] == 0) {
           flows_[f].rate = kUnlimited;
-          frozen[f] = true;
+          frozen_[f] = 1;
         }
       }
       remaining = 0;
@@ -198,54 +356,54 @@ int Network::solve() {
 
     // Freeze every flow that binds at this level: flows whose cap equals the
     // level, and flows through a resource that saturates at the level.
-    std::vector<std::size_t> to_freeze;
-    for (std::size_t f = 0; f < n; ++f) {
-      if (frozen[f]) continue;
+    to_freeze_.clear();
+    for (const std::size_t f : closure_flows_) {
+      if (frozen_[f] != 0) continue;
       const double cap_level = flows_[f].spec.rate_cap / flows_[f].spec.weight;
       if (cap_binds && cap_level <= level + 1e-15 * std::max(1.0, level)) {
-        to_freeze.push_back(f);
+        to_freeze_.push_back(f);
         flows_[f].bottlenecked_by_cap = true;
         continue;
       }
       bool saturated = false;
       for (const ResourceId r : flows_[f].spec.path) {
         if (resources_[r].capacity == kUnlimited) continue;
-        const double uw = unfrozen_weight[r];
+        const double uw = unfrozen_weight_[r];
         if (uw <= 0.0) {
           // No unfrozen weight registered (possible only when this flow's
           // weight was absorbed in floating-point summation): never divide
           // by zero. An exhausted resource still saturates the flow.
-          if (resources_[r].capacity <= frozen_load[r]) {
+          if (resources_[r].capacity <= frozen_load_[r]) {
             saturated = true;
             break;
           }
           continue;
         }
-        const double lvl = (resources_[r].capacity - frozen_load[r]) / uw;
+        const double lvl = (resources_[r].capacity - frozen_load_[r]) / uw;
         if (lvl <= level + 1e-12 * std::max(1.0, level)) {
           saturated = true;
           break;
         }
       }
-      if (saturated) to_freeze.push_back(f);
+      if (saturated) to_freeze_.push_back(f);
     }
 
-    if (to_freeze.empty()) {
+    if (to_freeze_.empty()) {
       // Numerical corner: nothing bound exactly; freeze the flow with the
       // tightest constraint to guarantee progress.
       std::size_t best = kNoFlow;
       double best_lvl = kUnlimited;
-      for (std::size_t f = 0; f < n; ++f) {
-        if (frozen[f]) continue;
+      for (const std::size_t f : closure_flows_) {
+        if (frozen_[f] != 0) continue;
         double lvl = flows_[f].spec.rate_cap / flows_[f].spec.weight;
         for (const ResourceId r : flows_[f].spec.path) {
           if (resources_[r].capacity == kUnlimited) continue;
-          const double uw = unfrozen_weight[r];
+          const double uw = unfrozen_weight_[r];
           if (uw <= 0.0) {  // same degenerate case as the saturation scan
-            if (resources_[r].capacity <= frozen_load[r]) lvl = 0.0;
+            if (resources_[r].capacity <= frozen_load_[r]) lvl = 0.0;
             continue;
           }
-          lvl = std::min(lvl, (resources_[r].capacity - frozen_load[r]) / uw);
+          lvl = std::min(lvl, (resources_[r].capacity - frozen_load_[r]) / uw);
         }
         if (lvl < best_lvl) {
           best_lvl = lvl;
@@ -253,20 +411,17 @@ int Network::solve() {
         }
       }
       if (best == kNoFlow) break;  // all remaining flows unconstrained
-      to_freeze.push_back(best);
+      to_freeze_.push_back(best);
     }
 
-    for (const std::size_t f : to_freeze) {
-      frozen[f] = true;
+    for (const std::size_t f : to_freeze_) {
+      frozen_[f] = 1;
       const double rate = std::min(level * flows_[f].spec.weight, flows_[f].spec.rate_cap);
       flows_[f].rate = std::max(rate, 0.0);
-      for (const ResourceId r : flows_[f].spec.path) frozen_load[r] += flows_[f].rate;
+      for (const ResourceId r : flows_[f].spec.path) frozen_load_[r] += flows_[f].rate;
       --remaining;
     }
   }
-  if (solve_rounds_ != nullptr) solve_rounds_->add(static_cast<double>(rounds));
-  if (rounds_hist_ != nullptr) rounds_hist_->record(static_cast<double>(rounds));
-  BBSIM_AUDIT_HOOK(if (post_solve_) post_solve_(*this, rounds));
   return rounds;
 }
 

@@ -15,6 +15,17 @@
 // many workflow pipelines do I/O at once (paper Figures 7 and 11), instead
 // of being hard-coded into task runtimes.
 //
+// The solver is *incremental*: add_flow / remove_flow / set_capacity mark
+// the touched resources dirty, and solve() re-runs progressive filling only
+// over the bottleneck-connected components reachable from the dirty set
+// (a resource's member flows, those flows' other resources, and so on).
+// Flows in untouched components keep their previously converged rates --
+// max-min decomposes exactly across components, so the result is identical
+// to a full re-solve. All per-solve scratch is arena-allocated on the
+// network (epoch-stamped marks, reusable vectors), so steady-state solves
+// allocate nothing. set_incremental(false) restores the historical
+// solve-everything behaviour (the benchmark baseline and a debugging aid).
+//
 // Network is a pure solver over a static "current instant"; it knows nothing
 // about time. FlowManager (manager.hpp) binds it to the event engine.
 #pragma once
@@ -93,7 +104,8 @@ class Network {
   Resource& resource(ResourceId id);
 
   /// Change a resource's capacity (used by interference injection). The
-  /// caller is responsible for re-solving.
+  /// caller is responsible for re-solving. A no-op value change does not
+  /// dirty the resource.
   void set_capacity(ResourceId id, double capacity);
 
   /// Register a new flow. Rates are stale until solve() is called.
@@ -107,15 +119,39 @@ class Network {
   const FlowState& flow(FlowId id) const;
 
   /// Decrease a flow's remaining volume (called by the manager as time
-  /// advances). Clamps at zero.
+  /// advances). Clamps at zero. Does not dirty the allocation.
   void consume(FlowId id, double bytes);
 
-  /// Recompute all flow rates with progressive filling. O(F * R) per
-  /// freezing round, at most F rounds. Returns the number of rounds.
+  /// Recompute flow rates with progressive filling. In incremental mode
+  /// (the default) only the bottleneck-connected components touched since
+  /// the last solve are re-solved -- O(dirty component) -- and untouched
+  /// flows keep their converged rates; with set_incremental(false) every
+  /// flow is re-solved from scratch, O(F * R) per freezing round. Returns
+  /// the number of water-filling rounds run.
   int solve();
 
+  /// Toggle incremental solving (default on). Turning it off makes every
+  /// solve() a full re-solve -- the benchmark baseline.
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
   /// All flow ids currently active, in creation order (deterministic).
+  /// Creation order is tracked explicitly (an intrusive list), so it
+  /// survives id recycling: a recycled id keeps its *new* flow's position,
+  /// not the retired flow's numeric rank.
   std::vector<FlowId> flow_ids() const;
+
+  /// Visit every active flow in creation order without allocating.
+  /// `fn(FlowId, const FlowState&)` must not add or remove flows.
+  template <typename Fn>
+  void for_each_flow(Fn&& fn) const {
+    for (FlowId id = head_; id != kNoId;) {
+      const std::size_t i = id_to_index_[id];
+      const FlowId next = links_[i].next;
+      fn(id, flows_[i]);
+      id = next;
+    }
+  }
 
   /// Size of the id -> index table. Bounded by the high-water mark of
   /// concurrently active flows (ids are recycled through a free-list), not
@@ -123,7 +159,8 @@ class Network {
   std::size_t id_table_size() const { return id_to_index_.size(); }
 
   /// Publish solver metrics (solve calls/rounds, active-flow high-water
-  /// mark) into `metrics`; nullptr disables publishing (the default).
+  /// mark, flows re-solved per call) into `metrics`; nullptr disables
+  /// publishing (the default).
   void set_metrics(stats::MetricsRegistry* metrics);
 
   // ------------------------------------------------------- invariant checks
@@ -131,7 +168,9 @@ class Network {
   /// (feasibility) and flows below their cap with no saturated bottleneck
   /// (the max-min optimality certificate: no flow's rate can increase
   /// without decreasing a smaller one). Empty = the allocation is a valid
-  /// weighted max-min optimum within `tolerance`.
+  /// weighted max-min optimum within `tolerance`. Always checks the whole
+  /// network, so in audited runs every incremental solve is certified
+  /// against the global optimum, not just the re-solved component.
   std::vector<SolveIssue> solve_issues(double tolerance = 1e-6) const;
 
   /// Throwing form of solve_issues(): raises InvariantError on the first
@@ -145,19 +184,58 @@ class Network {
 
  private:
   static constexpr std::size_t kNoFlow = static_cast<std::size_t>(-1);
+  static constexpr FlowId kNoId = static_cast<FlowId>(-1);
+
+  /// One occurrence of a flow on a resource (a flow crossing a resource
+  /// twice has two entries -- it consumes a double share).
+  struct MemberRef {
+    std::size_t flow;    ///< index into flows_
+    std::uint32_t slot;  ///< which path entry of that flow
+  };
+
+  /// Per-flow bookkeeping parallel to flows_ (swap-removed together).
+  struct FlowLinks {
+    FlowId prev = kNoId;  ///< creation-order intrusive list
+    FlowId next = kNoId;
+    /// Position of (this flow, slot k) inside members_[spec.path[k]].
+    std::vector<std::uint32_t> member_pos;
+  };
 
   std::vector<Resource> resources_;
   std::vector<FlowId> ids_;          // parallel arrays for cache-friendly solve
   std::vector<FlowState> flows_;
+  std::vector<FlowLinks> links_;     // parallel to flows_
+  std::vector<std::vector<MemberRef>> members_;  // per resource: crossing flows
   std::vector<std::size_t> id_to_index_;  // FlowId -> index, kNoFlow when gone
   std::vector<FlowId> free_ids_;     // recycled ids (keeps id_to_index_ bounded)
   FlowId next_flow_id_ = 0;
+  FlowId head_ = kNoId;  ///< oldest active flow (creation order)
+  FlowId tail_ = kNoId;  ///< newest active flow
+
+  // --- dirty tracking between solves -------------------------------------
+  bool incremental_ = true;
+  bool solved_once_ = false;
+  std::vector<char> res_dirty_;          // per resource: already in dirty_res_
+  std::vector<ResourceId> dirty_res_;    // resources whose members/capacity changed
+  std::vector<FlowId> dirty_flow_ids_;   // directly-dirtied flows (pathless adds)
+
+  // --- arena-allocated solve scratch (zero steady-state allocation) ------
+  std::uint64_t epoch_ = 0;                   // current solve generation
+  std::vector<std::uint64_t> flow_mark_;      // == epoch_ -> flow in closure
+  std::vector<std::uint64_t> res_mark_;       // == epoch_ -> resource in closure
+  std::vector<char> frozen_;                  // per flow index, closure only
+  std::vector<double> frozen_load_;           // per resource, closure only
+  std::vector<double> unfrozen_weight_;       // per resource, closure only
+  std::vector<std::size_t> closure_flows_;    // flow indices, ascending
+  std::vector<ResourceId> closure_res_;       // resource ids, ascending
+  std::vector<std::size_t> to_freeze_;
 
   PostSolveHook post_solve_;
 
   // Optional metrics sinks (cached so solve() skips the name lookups).
   stats::Counter* solve_calls_ = nullptr;
   stats::Counter* solve_rounds_ = nullptr;
+  stats::Counter* flows_resolved_ = nullptr;  ///< closure sizes, accumulated
   stats::Gauge* active_flows_ = nullptr;
   stats::Histogram* rounds_hist_ = nullptr;  ///< rounds-per-solve distribution
 
@@ -165,6 +243,13 @@ class Network {
     return id < id_to_index_.size() ? id_to_index_[id] : kNoFlow;
   }
   std::size_t checked_index(FlowId id) const;
+
+  void mark_resource_dirty(ResourceId r);
+  /// Computes closure_flows_ / closure_res_ for this solve: everything in
+  /// full mode, the dirty-component closure in incremental mode.
+  void build_closure();
+  /// Progressive filling restricted to the closure. Returns rounds.
+  int solve_closure();
 };
 
 }  // namespace bbsim::flow

@@ -170,4 +170,106 @@ SolverCampaignResult run_solver_campaign(std::uint64_t seed, int iterations,
   return result;
 }
 
+SolverCampaignResult run_solver_churn_campaign(std::uint64_t seed, int iterations,
+                                               double rel_tol) {
+  SolverCampaignResult result;
+  const util::Rng root(seed);
+
+  const auto rates_agree = [rel_tol](double a, double b) {
+    return (std::isinf(a) && std::isinf(b)) ||
+           std::fabs(a - b) <= rel_tol * std::max({std::fabs(a), std::fabs(b), 1.0});
+  };
+
+  for (int i = 0; i < iterations; ++i) {
+    ++result.iterations_run;
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+
+    const int n_res = static_cast<int>(rng.uniform_int(1, 6));
+    flow::Network network;
+    for (int r = 0; r < n_res; ++r) {
+      network.add_resource(util::format("r%d", r),
+                           rng.chance(0.15) ? flow::kUnlimited
+                                            : rng.uniform(1e8, 1e10));
+    }
+
+    const auto random_spec = [&rng, n_res] {
+      flow::FlowSpec spec;
+      spec.volume = 1.0;
+      for (int r = 0; r < n_res; ++r) {
+        if (rng.chance(0.5)) spec.path.push_back(static_cast<std::uint32_t>(r));
+      }
+      spec.rate_cap = rng.chance(0.3) ? rng.uniform(1e7, 5e9) : flow::kUnlimited;
+      spec.weight = rng.chance(0.25) ? rng.uniform(0.5, 4.0) : 1.0;
+      return spec;
+    };
+
+    std::vector<flow::FlowId> live;
+    bool iteration_diverged = false;
+    const int n_steps = static_cast<int>(rng.uniform_int(6, 30));
+    for (int s = 0; s < n_steps && !iteration_diverged; ++s) {
+      // Mutate: add, remove an *arbitrary* live flow (recycling its id into
+      // the free-list while younger flows survive), or shift a capacity.
+      const double op = rng.uniform(0.0, 1.0);
+      if (op < 0.45 || live.empty()) {
+        live.push_back(network.add_flow(random_spec()));
+      } else if (op < 0.8) {
+        const std::size_t victim = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        network.remove_flow(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else {
+        const auto res = static_cast<flow::ResourceId>(
+            rng.uniform_int(0, n_res - 1));
+        network.set_capacity(res, rng.chance(0.15) ? flow::kUnlimited
+                                                   : rng.uniform(1e8, 1e10));
+      }
+      network.solve();
+
+      // Referee 1: a full re-solve of the identical state must not move
+      // any rate. Referee 2: neither may the oracle.
+      std::vector<flow::FlowId> order;
+      std::vector<double> incremental_rates;
+      oracle::RefProblem problem;
+      for (int r = 0; r < n_res; ++r) {
+        problem.capacities.push_back(
+            network.resource(static_cast<flow::ResourceId>(r)).capacity);
+      }
+      network.for_each_flow([&](flow::FlowId id, const flow::FlowState& st) {
+        order.push_back(id);
+        incremental_rates.push_back(st.rate);
+        oracle::RefFlow ref;
+        ref.path = st.spec.path;
+        ref.rate_cap = st.spec.rate_cap;
+        ref.weight = st.spec.weight;
+        problem.flows.push_back(std::move(ref));
+      });
+
+      network.set_incremental(false);
+      network.solve();
+      network.set_incremental(true);
+      const std::vector<double> reference = oracle::reference_maxmin(problem);
+
+      for (std::size_t f = 0; f < order.size(); ++f) {
+        const double incremental_rate = incremental_rates[f];
+        const double full_rate = network.flow(order[f]).rate;
+        const double oracle_rate = reference[f];
+        if (!rates_agree(incremental_rate, full_rate) ||
+            !rates_agree(incremental_rate, oracle_rate)) {
+          ++result.divergent;
+          iteration_diverged = true;
+          if (result.first_divergence.empty()) {
+            std::ostringstream os;
+            os << "iter " << i << " step " << s << " flow id " << order[f]
+               << ": incremental=" << incremental_rate << " full=" << full_rate
+               << " oracle=" << oracle_rate;
+            result.first_divergence = os.str();
+          }
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace bbsim::fuzz

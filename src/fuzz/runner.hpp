@@ -90,4 +90,15 @@ SolverCampaignResult run_solver_campaign(std::uint64_t seed, int iterations,
                                          double engine_capacity_scale = 1.0,
                                          double rel_tol = 1e-9);
 
+/// Churn differential for the *incremental* solver: each iteration builds a
+/// random allocation problem, then walks a random mutation sequence
+/// (add_flow / remove_flow of arbitrary live flows / set_capacity mid-run),
+/// solving after every mutation. Every converged state is checked two ways:
+/// against an immediate full re-solve of the same network (incremental off)
+/// and against the long-double oracle. Removals target arbitrary flows, so
+/// the free-list recycles ids while later adds are in flight -- the churn
+/// pattern that broke flow_ids() ordering. Deterministic per seed.
+SolverCampaignResult run_solver_churn_campaign(std::uint64_t seed, int iterations,
+                                               double rel_tol = 1e-6);
+
 }  // namespace bbsim::fuzz

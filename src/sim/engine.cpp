@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/metrics.hpp"
@@ -34,15 +35,21 @@ void Engine::set_profiler(trace::Profiler* profiler) {
 }
 
 EventId Engine::schedule_at(Time t, EventHandler fn) {
-  if (!(t >= now_)) {  // also rejects NaN
+  // Finiteness first: NaN compares false with everything, so a past-time
+  // check alone would blame NaN on "the past" instead of naming it.
+  if (!std::isfinite(t)) {
+    if (std::isnan(t)) {
+      throw util::InvariantError("schedule_at: time is NaN (now=" +
+                                 std::to_string(now_) + ")");
+    }
+    throw util::InvariantError("schedule_at: non-finite time " + std::to_string(t));
+  }
+  if (t < now_) {
     throw util::InvariantError("schedule_at: time " + std::to_string(t) +
                                " is in the past (now=" + std::to_string(now_) + ")");
   }
-  if (!std::isfinite(t)) {
-    throw util::InvariantError("schedule_at: non-finite time");
-  }
   const EventId id = next_id_++;
-  queue_.push(Record{t, next_seq_++, id});
+  queue_.push(EventRecord{t, next_seq_++, id});
   handlers_.emplace(id, std::move(fn));
   BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_scheduled(id, now_, t));
   if (events_scheduled_ != nullptr) {
@@ -58,10 +65,22 @@ EventId Engine::schedule_at(Time t, EventHandler fn) {
 
 bool Engine::cancel(EventId id) {
   if (handlers_.count(id) == 0) return false;
-  cancelled_.insert(id);
   handlers_.erase(id);
+  ++tombstones_;
+  // Compact once tombstones dominate the queue, so cancel-heavy phases
+  // (e.g. every flow completion cancelling the manager's wake event) keep
+  // the stored size proportional to the live size. The +64 slack keeps
+  // small queues from compacting on every other cancellation.
+  if (tombstones_ > handlers_.size() + 64) {
+    queue_.remove_if_not(
+        [this](EventId eid) { return handlers_.count(eid) != 0; });
+    tombstones_ = 0;
+  }
   BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_cancelled(id));
-  if (events_cancelled_ != nullptr) events_cancelled_->add(1.0);
+  if (events_cancelled_ != nullptr) {
+    events_cancelled_->add(1.0);
+    queue_depth_->set(static_cast<double>(pending_count()));
+  }
   if (timeline_ != nullptr) {
     timeline_->counter_sample(queue_track_, now_,
                               static_cast<double>(pending_count()));
@@ -69,24 +88,15 @@ bool Engine::cancel(EventId id) {
   return true;
 }
 
-bool Engine::pop_next(Record& out) {
-  while (!queue_.empty()) {
-    Record r = queue_.top();
-    if (cancelled_.count(r.id) > 0) {
-      queue_.pop();
-      cancelled_.erase(r.id);
-      continue;
-    }
-    out = r;
-    return true;
+bool Engine::pop_live(EventRecord& out) {
+  while (queue_.pop_min(out)) {
+    if (handlers_.count(out.id) != 0) return true;
+    if (tombstones_ > 0) --tombstones_;  // lazily discarded cancellation
   }
   return false;
 }
 
-bool Engine::step() {
-  Record r{};
-  if (!pop_next(r)) return false;
-  queue_.pop();
+void Engine::execute(const EventRecord& r) {
   now_ = r.time;
   // Move the handler out before invoking: the callback may schedule or
   // cancel other events, mutating handlers_.
@@ -95,7 +105,10 @@ bool Engine::step() {
   handlers_.erase(it);
   ++executed_;
   BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_executed(r.id, r.time));
-  if (events_executed_ != nullptr) events_executed_->add(1.0);
+  if (events_executed_ != nullptr) {
+    events_executed_->add(1.0);
+    queue_depth_->set(static_cast<double>(pending_count()));
+  }
   if (timeline_ != nullptr) {
     timeline_->counter_sample(queue_track_, now_,
                               static_cast<double>(pending_count()));
@@ -104,6 +117,12 @@ bool Engine::step() {
     const trace::ScopedTimer timer(dispatch_profile_);
     fn();
   }
+}
+
+bool Engine::step() {
+  EventRecord r{};
+  if (!pop_live(r)) return false;
+  execute(r);
   return true;
 }
 
@@ -114,13 +133,14 @@ Time Engine::run() {
 }
 
 bool Engine::run_until(Time t) {
-  Record r{};
-  while (pop_next(r)) {
+  EventRecord r{};
+  while (pop_live(r)) {
     if (r.time > t) {
+      queue_.push(r);  // keeps its original seq: ordering is unchanged
       now_ = t;
       return true;
     }
-    step();
+    execute(r);
   }
   now_ = std::max(now_, t);
   return false;

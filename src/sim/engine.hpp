@@ -1,22 +1,26 @@
 // bbsim -- discrete-event simulation kernel.
 //
 // A minimal, deterministic event engine in the style of SimGrid's kernel:
-// a virtual clock and a priority queue of timestamped events. Everything
-// above (flows, storage services, the workflow engine) is driven by
-// callbacks scheduled here.
+// a virtual clock and a calendar queue (event_queue.hpp) of timestamped
+// events. Everything above (flows, storage services, the workflow engine)
+// is driven by callbacks scheduled here.
 //
 // Determinism: ties in time are broken by insertion order (a monotonically
 // increasing sequence number), so two runs of the same program produce the
 // same event interleaving.
+//
+// Cancellation is lazy: cancel() drops the handler immediately (so
+// pending_count() is always the live count) and leaves a tombstone record
+// in the queue, discarded when popped; when tombstones outnumber live
+// events the queue is compacted in one O(stored) pass.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "util/error.hpp"
 
 namespace bbsim::stats {
@@ -32,12 +36,6 @@ class Profiler;
 }  // namespace bbsim::trace
 
 namespace bbsim::sim {
-
-/// Simulated time in seconds.
-using Time = double;
-
-/// Handle for a scheduled event, usable with Engine::cancel().
-using EventId = std::uint64_t;
 
 /// Callback invoked when an event fires. It runs at `Engine::now()` equal to
 /// the event's timestamp and may schedule further events.
@@ -73,7 +71,8 @@ class Engine {
   /// Current simulated time (seconds). Starts at 0.
   Time now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  /// Schedule `fn` at absolute time `t` (must be finite and >= now()).
+  /// NaN and infinite times are rejected with an error naming the value.
   EventId schedule_at(Time t, EventHandler fn);
 
   /// Schedule `fn` after a delay of `dt` seconds (must be >= 0).
@@ -96,8 +95,10 @@ class Engine {
   /// Number of events executed so far.
   std::size_t executed_count() const { return executed_; }
 
-  /// Number of events currently pending (cancelled ones are excluded).
-  std::size_t pending_count() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events currently pending. This is the *live* count --
+  /// cancelled events never appear, regardless of whether their queue
+  /// tombstones have been discarded yet.
+  std::size_t pending_count() const { return handlers_.size(); }
 
   /// Publish engine metrics (events scheduled / executed / cancelled and the
   /// pending-queue high-water mark) into `metrics`; nullptr disables
@@ -117,24 +118,15 @@ class Engine {
   void set_profiler(trace::Profiler* profiler);
 
  private:
-  struct Record {
-    Time time;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    // `greater` ordering for a min-heap on (time, seq).
-    friend bool operator>(const Record& a, const Record& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::size_t executed_ = 0;
-  std::priority_queue<Record, std::vector<Record>, std::greater<Record>> queue_;
+  CalendarQueue queue_;
   std::unordered_map<EventId, EventHandler> handlers_;
-  std::unordered_set<EventId> cancelled_;
+  /// Cancelled records still sitting in queue_; compacted when they
+  /// outnumber the live events (plus slack, so small queues never compact).
+  std::size_t tombstones_ = 0;
 
   EngineObserver* observer_ = nullptr;
 
@@ -150,8 +142,10 @@ class Engine {
   std::size_t queue_track_ = 0;
   trace::ProfileSection* dispatch_profile_ = nullptr;
 
-  /// Pops the next live record or returns false.
-  bool pop_next(Record& out);
+  /// Pops the next live record (discarding tombstones) or returns false.
+  bool pop_live(EventRecord& out);
+  /// Advances the clock to `r.time` and runs its handler.
+  void execute(const EventRecord& r);
 };
 
 }  // namespace bbsim::sim

@@ -1,0 +1,127 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbsim::sim {
+
+namespace {
+bool record_less(const EventRecord& a, const EventRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+}  // namespace
+
+void CalendarQueue::push(const EventRecord& r) {
+  ++count_;
+  std::uint64_t day = 0;
+  if (!virtual_day(r.time, day)) {
+    far_.push(r);
+    return;
+  }
+  if (day < cur_virtual_) cur_virtual_ = day;  // earlier than the cursor
+  buckets_[static_cast<std::size_t>(day) & (buckets_.size() - 1)].push_back(r);
+  if (count_ > buckets_.size() * 2) rebuild(buckets_.size() * 2);
+}
+
+bool CalendarQueue::pop_min(EventRecord& out) {
+  if (count_ == 0) return false;
+  if (count_ == far_.size()) {  // calendar empty, overflow heap only
+    out = far_.top();
+    far_.pop();
+    --count_;
+    return true;
+  }
+  if (buckets_.size() > kMinBuckets && count_ < buckets_.size() / 8) {
+    rebuild(buckets_.size() / 2);
+  }
+  // Walk days from the cursor. Every calendar record's virtual day is
+  // >= cur_virtual_ (pushes of earlier events pull the cursor back), so the
+  // first day with a resident holds the global minimum; far_ records are
+  // strictly later than all calendar residents by construction.
+  const std::size_t n = buckets_.size();
+  for (std::size_t lap = 0; lap < n; ++lap) {
+    const std::uint64_t day = cur_virtual_ + lap;
+    std::vector<EventRecord>& b = buckets_[static_cast<std::size_t>(day) & (n - 1)];
+    std::size_t best = b.size();
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      std::uint64_t d = 0;
+      if (!virtual_day(b[i].time, d) || d != day) continue;  // a later year
+      if (best == b.size() || record_less(b[i], b[best])) best = i;
+    }
+    if (best != b.size()) {
+      cur_virtual_ = day;
+      out = b[best];
+      b[best] = b.back();
+      b.pop_back();
+      --count_;
+      return true;
+    }
+  }
+  // A whole lap without a hit: the pending set is sparse relative to one
+  // calendar year. Find the minimum directly and reposition the cursor on
+  // it -- the correctness backstop that makes width tuning advisory.
+  std::size_t bi = n;
+  std::size_t ei = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < buckets_[i].size(); ++j) {
+      if (bi == n || record_less(buckets_[i][j], buckets_[bi][ei])) {
+        bi = i;
+        ei = j;
+      }
+    }
+  }
+  out = buckets_[bi][ei];
+  std::uint64_t day = 0;
+  if (virtual_day(out.time, day)) cur_virtual_ = day;
+  buckets_[bi][ei] = buckets_[bi].back();
+  buckets_[bi].pop_back();
+  --count_;
+  return true;
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets) {
+  std::vector<EventRecord> all;
+  all.reserve(count_);
+  for (std::vector<EventRecord>& b : buckets_) {
+    all.insert(all.end(), b.begin(), b.end());
+    b.clear();
+  }
+  while (!far_.empty()) {  // width changes may re-qualify overflow records
+    all.push_back(far_.top());
+    far_.pop();
+  }
+  buckets_.assign(nbuckets, {});
+
+  // Width = mean inter-event gap, estimated as span / population. A skewed
+  // estimate (duplicate timestamps, one far-future outlier) degrades pop to
+  // the direct-search fallback but never mis-orders.
+  if (!all.empty()) {
+    double lo = all.front().time;
+    double hi = lo;
+    for (const EventRecord& r : all) {
+      lo = std::min(lo, r.time);
+      hi = std::max(hi, r.time);
+    }
+    const double span = hi - lo;
+    if (span > 0.0) {
+      const double w = span / static_cast<double>(all.size());
+      if (std::isfinite(w) && w > 1e-12) width_ = w;
+    }
+  }
+
+  cur_virtual_ = static_cast<std::uint64_t>(-1);
+  for (const EventRecord& r : all) {
+    std::uint64_t day = 0;
+    if (!virtual_day(r.time, day)) {
+      far_.push(r);
+      continue;
+    }
+    if (day < cur_virtual_) cur_virtual_ = day;
+    buckets_[static_cast<std::size_t>(day) & (nbuckets - 1)].push_back(r);
+  }
+  if (cur_virtual_ == static_cast<std::uint64_t>(-1)) cur_virtual_ = 0;
+  count_ = all.size();
+}
+
+}  // namespace bbsim::sim

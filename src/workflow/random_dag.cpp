@@ -182,6 +182,63 @@ Workflow make_fork_join(const RandomDagConfig& config, util::Rng& rng) {
 
 }  // namespace
 
+Workflow make_scale_dag(const ScaleDagConfig& config, util::Rng& rng) {
+  BBSIM_ASSERT(config.task_count >= 1 && config.width >= 1 &&
+                   config.max_extra_fan_in >= 0,
+               "make_scale_dag: invalid configuration");
+  Workflow w;
+  w.name = "scale-pipelines";
+
+  const std::size_t width = std::min(config.width, config.task_count);
+  // One carried file per pipeline: level L's task i reads prev[i].
+  std::vector<std::string> prev;
+  std::vector<std::string> next(width);
+  prev.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    std::string f = util::format("in_%06zu.dat", i);
+    w.add_file(File{f, rng.uniform(config.min_file_size, config.max_file_size)});
+    prev.push_back(std::move(f));
+  }
+
+  std::size_t made = 0;
+  for (int level = 0; made < config.task_count; ++level) {
+    std::size_t level_width = 0;
+    for (std::size_t i = 0; i < width && made < config.task_count; ++i, ++made) {
+      Task task;
+      task.name = util::format("t_l%04d_%06zu", level, i);
+      task.type = "scale";
+      task.flops = rng.uniform(config.min_seq_seconds, config.max_seq_seconds) *
+                   config.reference_core_speed;
+      task.alpha = rng.uniform(0.0, 0.3);
+      task.requested_cores =
+          static_cast<int>(rng.uniform_int(1, config.max_requested_cores));
+      task.inputs.push_back(prev[i]);
+      const int extra =
+          static_cast<int>(rng.uniform_int(0, config.max_extra_fan_in));
+      for (int e = 0; e < extra; ++e) {
+        const std::size_t j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(width) - 1));
+        // Constant-size dedup scan: fan-in is at most 1 + max_extra_fan_in.
+        if (std::find(task.inputs.begin(), task.inputs.end(), prev[j]) ==
+            task.inputs.end()) {
+          task.inputs.push_back(prev[j]);
+        }
+      }
+      std::string out = util::format("f_l%04d_%06zu.dat", level, i);
+      w.add_file(File{out, rng.uniform(config.min_file_size, config.max_file_size)});
+      task.outputs.push_back(out);
+      w.add_task(std::move(task));
+      next[i] = std::move(out);
+      ++level_width;
+    }
+    // Partial last level: untouched pipelines keep their older output.
+    for (std::size_t i = 0; i < level_width; ++i) prev[i] = std::move(next[i]);
+  }
+
+  w.validate();
+  return w;
+}
+
 Workflow make_shaped_dag(DagShape shape, const RandomDagConfig& config, util::Rng& rng) {
   switch (shape) {
     case DagShape::Layered:

@@ -44,4 +44,26 @@ enum class DagShape {
 /// Deterministic for a given (shape, config, rng).
 Workflow make_shaped_dag(DagShape shape, const RandomDagConfig& config, util::Rng& rng);
 
+/// Parameters for the solver scale harness (bench/flow_solver.cpp): a
+/// pipeline-parallel layered DAG big enough to stress 100k-1M-task runs.
+struct ScaleDagConfig {
+  std::size_t task_count = 10000;  ///< total tasks (>= 1)
+  std::size_t width = 512;         ///< concurrent pipelines (tasks per level)
+  /// Cross-pipeline reads per task, sampled 0..max (keeps fan-in O(1)).
+  int max_extra_fan_in = 2;
+  double min_file_size = 1e6;
+  double max_file_size = 64e6;
+  double min_seq_seconds = 1.0;
+  double max_seq_seconds = 30.0;
+  double reference_core_speed = 36.80e9;
+  int max_requested_cores = 4;
+};
+
+/// Builds a `task_count`-task DAG of `width` parallel pipelines in
+/// O(task_count) time: task i of level L reads its own pipeline's previous
+/// output plus up to `max_extra_fan_in` sampled neighbours -- constant
+/// fan-in per task, no O(width^2) pool scans, so generating a 1M-task DAG
+/// costs seconds. Deterministic for a given (config, rng).
+Workflow make_scale_dag(const ScaleDagConfig& config, util::Rng& rng);
+
 }  // namespace bbsim::wf

@@ -488,5 +488,120 @@ TEST(NetworkHardening, RecycledIdsStayDistinct) {
   EXPECT_DOUBLE_EQ(net.flow(c).rate, 50.0);
 }
 
+TEST(NetworkHardening, FlowIdsStayInCreationOrderAfterRecycling) {
+  // flow_ids() documents creation order. It used to sort numerically,
+  // which silently stopped being creation order once the free-list started
+  // recycling retired ids: a recycled (numerically small) id belongs to the
+  // *youngest* flow. Churn past the high-water mark and verify the order
+  // tracks creation, not id value.
+  Network net;
+  const ResourceId r = net.add_resource("r", 100.0);
+  std::vector<FlowId> expect;
+  for (int i = 0; i < 8; ++i) expect.push_back(net.add_flow({1.0, {r}}));
+  for (int round = 0; round < 200; ++round) {
+    // Retire the oldest and one from the middle, then admit replacements
+    // (which recycle the retired ids).
+    net.remove_flow(expect.front());
+    expect.erase(expect.begin());
+    net.remove_flow(expect[expect.size() / 2]);
+    expect.erase(expect.begin() + static_cast<std::ptrdiff_t>(expect.size() / 2));
+    expect.push_back(net.add_flow({1.0, {r}}));
+    expect.push_back(net.add_flow({1.0, {r}}));
+    ASSERT_EQ(net.flow_ids(), expect) << "round " << round;
+  }
+  // The order must also be what for_each_flow walks and what the solver
+  // referees see: rates after churn agree with a fresh full re-solve.
+  net.solve();
+  net.check_invariants();
+  std::vector<double> incremental;
+  net.for_each_flow([&incremental](FlowId, const FlowState& st) {
+    incremental.push_back(st.rate);
+  });
+  net.set_incremental(false);
+  net.solve();
+  std::size_t i = 0;
+  net.for_each_flow([&](FlowId, const FlowState& st) {
+    EXPECT_NEAR(st.rate, incremental[i], 1e-6 * st.rate + 1e-12);
+    ++i;
+  });
+}
+
+// -------------------------------------------------------- incremental solve
+
+TEST(IncrementalSolve, UntouchedComponentKeepsConvergedRates) {
+  Network net;
+  const ResourceId a = net.add_resource("a", 100.0);
+  const ResourceId b = net.add_resource("b", 60.0);
+  const FlowId f1 = net.add_flow({1.0, {a}});
+  const FlowId f2 = net.add_flow({1.0, {a}});
+  const FlowId f3 = net.add_flow({1.0, {b}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f1).rate, 50.0);
+  EXPECT_DOUBLE_EQ(net.flow(f3).rate, 60.0);
+
+  // Mutating component {a} must re-solve it and leave {b} untouched but
+  // still correct.
+  net.remove_flow(f2);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f1).rate, 100.0);
+  EXPECT_DOUBLE_EQ(net.flow(f3).rate, 60.0);
+  net.check_invariants();
+}
+
+TEST(IncrementalSolve, SetCapacityRedirtiesItsComponent) {
+  Network net;
+  const ResourceId a = net.add_resource("a", 100.0);
+  const ResourceId b = net.add_resource("b", 60.0);
+  const FlowId f1 = net.add_flow({1.0, {a}});
+  const FlowId f3 = net.add_flow({1.0, {b}});
+  net.solve();
+  net.set_capacity(a, 30.0);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f1).rate, 30.0);
+  EXPECT_DOUBLE_EQ(net.flow(f3).rate, 60.0);
+  net.check_invariants();
+}
+
+TEST(IncrementalSolve, ResolvedFlowCounterCountsOnlyTheDirtyComponent) {
+  stats::MetricsRegistry metrics;
+  Network net;
+  net.set_metrics(&metrics);
+  const ResourceId a = net.add_resource("a", 100.0);
+  const ResourceId b = net.add_resource("b", 60.0);
+  net.add_flow({1.0, {a}});
+  const FlowId f2 = net.add_flow({1.0, {a}});
+  net.add_flow({1.0, {b}});
+  net.solve();  // first solve is always full: 3 flows
+  EXPECT_DOUBLE_EQ(metrics.counter("flow.solve_flows_resolved").value(), 3.0);
+  net.remove_flow(f2);
+  net.solve();  // only component {a} re-solves: 1 remaining flow
+  EXPECT_DOUBLE_EQ(metrics.counter("flow.solve_flows_resolved").value(), 4.0);
+}
+
+TEST(IncrementalSolve, FullModeMatchesIncrementalOnSharedBottleneck) {
+  // Two hosts coupled through a shared link: the dirty closure must pull in
+  // the whole connected component, not just the directly touched resource.
+  Network net;
+  const ResourceId h0 = net.add_resource("h0", 100.0);
+  const ResourceId h1 = net.add_resource("h1", 100.0);
+  const ResourceId shared = net.add_resource("shared", 90.0);
+  const FlowId f0 = net.add_flow({1.0, {h0, shared}});
+  const FlowId f1 = net.add_flow({1.0, {h1, shared}});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f0).rate, 45.0);
+  // Adding a flow on h1 re-solves the whole component through `shared`.
+  const FlowId f2 = net.add_flow({1.0, {h1}});
+  net.solve();
+  net.check_invariants();
+  const double r0 = net.flow(f0).rate;
+  const double r1 = net.flow(f1).rate;
+  const double r2 = net.flow(f2).rate;
+  net.set_incremental(false);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.flow(f0).rate, r0);
+  EXPECT_DOUBLE_EQ(net.flow(f1).rate, r1);
+  EXPECT_DOUBLE_EQ(net.flow(f2).rate, r2);
+}
+
 }  // namespace
 }  // namespace bbsim::flow

@@ -12,6 +12,7 @@
 
 #include "exec/engine.hpp"
 #include "flow/manager.hpp"
+#include "fuzz/runner.hpp"
 #include "model/calibration.hpp"
 #include "platform/presets.hpp"
 #include "storage/system.hpp"
@@ -199,6 +200,21 @@ TEST_P(StorageProperty, OperationTimeNeverBeatsBottleneck) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StorageProperty, ::testing::Range(0, 10));
+
+// ------------------------------------------------ incremental solver churn
+
+TEST(IncrementalSolverProperty, MatchesFullResolveAndOracleUnderChurn) {
+  // 500 fuzz-sampled mutation sequences (add_flow / remove_flow of
+  // arbitrary live flows / set_capacity mid-run); after every mutation the
+  // incremental solve must agree with an immediate full re-solve AND the
+  // long-double oracle within 1e-6. Arbitrary-victim removals force the
+  // free-list to recycle ids under younger survivors -- the recycled-id
+  // churn that broke creation ordering.
+  const fuzz::SolverCampaignResult result =
+      fuzz::run_solver_churn_campaign(20260809, 500, 1e-6);
+  EXPECT_EQ(result.iterations_run, 500);
+  EXPECT_TRUE(result.clean()) << result.first_divergence;
+}
 
 }  // namespace
 }  // namespace bbsim

@@ -1,10 +1,13 @@
 // Unit tests for the discrete-event kernel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "stats/metrics.hpp"
 #include "util/error.hpp"
 
 namespace bbsim::sim {
@@ -174,6 +177,106 @@ TEST(Engine, ManyEventsStressOrdering) {
   e.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(e.executed_count(), 10000u);
+}
+
+TEST(Engine, NaNTimeErrorNamesNaN) {
+  // NaN compares false with everything, so a past-time check that runs
+  // first used to misreport NaN as "in the past". The finiteness check must
+  // run first and the error must say NaN.
+  Engine e;
+  try {
+    e.schedule_at(std::numeric_limits<double>::quiet_NaN(), [] {});
+    FAIL() << "NaN time must throw";
+  } catch (const util::InvariantError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("NaN"), std::string::npos) << what;
+    EXPECT_EQ(what.find("past"), std::string::npos) << what;
+  }
+}
+
+TEST(Engine, QueueDepthMetricIsLiveCountAfterCancelBursts) {
+  // Tombstones sit in the queue until popped or compacted; the queue-depth
+  // gauge and pending_count() must report the live count anyway.
+  stats::MetricsRegistry metrics;
+  Engine e;
+  e.set_metrics(&metrics);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(e.schedule_at(static_cast<double>(i) + 1.0, [] {}));
+  }
+  for (int i = 0; i < 200; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(e.pending_count(), 100u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("sim.queue_depth").value(), 100.0);
+  // Executing events keeps the gauge in sync too (it used to be updated
+  // only by schedule_at).
+  e.step();
+  EXPECT_EQ(e.pending_count(), 99u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("sim.queue_depth").value(), 99.0);
+  e.run();
+  EXPECT_EQ(e.pending_count(), 0u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("sim.queue_depth").value(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sim.events_executed").value(), 100.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("sim.events_cancelled").value(), 100.0);
+}
+
+TEST(Engine, CancelHeavyChurnExecutesSurvivorsInOrder) {
+  // Interleaved schedule/cancel bursts (the tombstone-compaction path) must
+  // not lose or reorder surviving events.
+  Engine e;
+  std::vector<double> fired;
+  std::vector<EventId> cancelled;
+  int expected = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      const double t = static_cast<double>((round * 40 + i) % 97) + 1.0;
+      const EventId id = e.schedule_at(t, [&fired, t] { fired.push_back(t); });
+      if (i % 4 != 0) {
+        cancelled.push_back(id);
+      } else {
+        ++expected;
+      }
+    }
+    for (const EventId id : cancelled) e.cancel(id);
+    cancelled.clear();
+  }
+  e.run();
+  EXPECT_EQ(static_cast<int>(fired.size()), expected);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(Engine, CalendarHandlesClusteredAndFarApartTimes) {
+  // Sub-nanosecond clusters next to year-scale gaps exercise the calendar's
+  // rebuild and direct-search fallback paths; ordering must survive.
+  Engine e;
+  double last = -1.0;
+  bool monotone = true;
+  auto probe = [&](double t) {
+    e.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  };
+  for (int i = 0; i < 500; ++i) probe(1.0 + 1e-9 * i);
+  for (int i = 0; i < 500; ++i) probe(3.1e7 * (i + 1));
+  for (int i = 0; i < 500; ++i) probe(2.0 + 1e-9 * i);
+  e.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(e.executed_count(), 1500u);
+}
+
+TEST(Engine, FifoAmongEqualTimestampsSurvivesCancelChurn) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(e.schedule_at(5.0, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 100; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
+  e.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+    EXPECT_LT(order[k], order[k + 1]);  // insertion order among equal times
+  }
 }
 
 }  // namespace

@@ -383,5 +383,50 @@ TEST(Describe, ReportMentionsKeyNumbers) {
   EXPECT_NE(text.find("max fan-in 32"), std::string::npos);
 }
 
+TEST(ScaleDag, GeneratesExactTaskCountWithBoundedFanIn) {
+  util::Rng rng(7);
+  ScaleDagConfig cfg;
+  cfg.task_count = 2500;
+  cfg.width = 64;
+  cfg.max_extra_fan_in = 2;
+  const Workflow w = make_scale_dag(cfg, rng);
+  EXPECT_EQ(w.task_count(), 2500u);
+  // Fan-in is constant-bounded -- the property that makes generation
+  // O(task_count) and the 1M tier feasible.
+  for (const std::string& name : w.task_names()) {
+    const Task& t = w.task(name);
+    EXPECT_GE(t.inputs.size(), 1u);
+    EXPECT_LE(t.inputs.size(), 3u);
+    EXPECT_EQ(t.outputs.size(), 1u);
+  }
+  EXPECT_NO_THROW(w.validate());
+}
+
+TEST(ScaleDag, IsDeterministicPerSeed) {
+  ScaleDagConfig cfg;
+  cfg.task_count = 300;
+  cfg.width = 16;
+  util::Rng rng_a(11);
+  util::Rng rng_b(11);
+  const Workflow a = make_scale_dag(cfg, rng_a);
+  const Workflow b = make_scale_dag(cfg, rng_b);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  EXPECT_EQ(a.task_names(), b.task_names());
+  for (const std::string& name : a.task_names()) {
+    EXPECT_EQ(a.task(name).inputs, b.task(name).inputs);
+    EXPECT_DOUBLE_EQ(a.task(name).flops, b.task(name).flops);
+  }
+}
+
+TEST(ScaleDag, PartialLastLevelStillValidates) {
+  ScaleDagConfig cfg;
+  cfg.task_count = 70;  // not a multiple of width
+  cfg.width = 32;
+  util::Rng rng(3);
+  const Workflow w = make_scale_dag(cfg, rng);
+  EXPECT_EQ(w.task_count(), 70u);
+  EXPECT_NO_THROW(w.validate());
+}
+
 }  // namespace
 }  // namespace bbsim::wf

@@ -13,9 +13,11 @@ namespace {
 
 const char* kUsage = R"(bbsim_fuzz -- differential testing of bbsim against a naive reference
 
-  --mode <exec|solver>      what to fuzz (default: exec)
+  --mode <exec|solver|churn>  what to fuzz (default: exec)
                             exec: full engine vs reference replayer
                             solver: flow::Network::solve vs brute-force max-min
+                            churn: incremental solve under add/remove/
+                            set_capacity churn vs full re-solve and oracle
   --seed S                  campaign seed (default: 42)
   --iters N                 scenarios to sample (default: 100)
   --rel-tol X               relative diff tolerance (default: 1e-6)
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
         return 0;
       } else if (a == "--mode") {
         mode = next_value(a);
-        if (mode != "exec" && mode != "solver") {
+        if (mode != "exec" && mode != "solver" && mode != "churn") {
           throw bbsim::util::ConfigError("unknown --mode '" + mode + "'");
         }
       } else if (a == "--seed") {
@@ -109,6 +111,17 @@ int main(int argc, char** argv) {
       }
       std::cout << (outcome.diverged ? "case diverges\n" : "case agrees\n");
       return outcome.diverged ? 1 : 0;
+    }
+
+    if (mode == "churn") {
+      const auto result = bbsim::fuzz::run_solver_churn_campaign(
+          options.seed, options.iterations, options.run.diff.rel_tol);
+      std::cout << "churn campaign: " << result.iterations_run << " iterations, "
+                << result.divergent << " divergent\n";
+      if (!result.clean()) {
+        std::cout << "first divergence: " << result.first_divergence << "\n";
+      }
+      return result.clean() ? 0 : 1;
     }
 
     if (mode == "solver") {

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_flow_solver.json against the checked-in baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+For every tier present in BOTH files, `solves_per_second` in CURRENT must be
+at least (1 - threshold) x the BASELINE value. Tiers only present on one side
+are reported but do not fail the check (CI measures a subset of the
+checked-in tiers). Divergence fields are also validated: the incremental
+solver must still agree with the full re-solve and the oracle to 1e-6.
+
+Exit status: 0 = pass, 1 = regression or divergence, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+DIVERGENCE_TOL = 1e-6
+SCHEMA = "bbsim.bench.flow_solver.v1"
+
+
+def load_tiers(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != SCHEMA:
+        print(f"error: {path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    tiers = {}
+    for tier in doc.get("tiers", []):
+        tiers[tier["tier"]] = tier
+    if not tiers:
+        print(f"error: {path}: no tiers", file=sys.stderr)
+        sys.exit(2)
+    return tiers
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional throughput drop (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = load_tiers(args.baseline)
+    current = load_tiers(args.current)
+
+    failed = False
+    for label in sorted(set(baseline) | set(current)):
+        if label not in current:
+            print(f"tier {label}: only in baseline -- skipped")
+            continue
+        cur = current[label]
+
+        for key in ("max_rel_divergence_full", "max_rel_divergence_oracle"):
+            div = cur.get(key, 0.0)
+            if div > DIVERGENCE_TOL:
+                print(f"tier {label}: FAIL {key} = {div:.3e} > {DIVERGENCE_TOL:.0e}")
+                failed = True
+
+        if label not in baseline:
+            print(f"tier {label}: only in current -- no baseline to compare")
+            continue
+
+        base_tp = baseline[label]["solves_per_second"]
+        cur_tp = cur["solves_per_second"]
+        floor = base_tp * (1.0 - args.threshold)
+        ratio = cur_tp / base_tp if base_tp > 0 else float("inf")
+        verdict = "ok" if cur_tp >= floor else "FAIL"
+        print(f"tier {label}: {verdict} solves/s {cur_tp:,.0f} vs baseline "
+              f"{base_tp:,.0f} ({ratio:.2f}x, floor {floor:,.0f})")
+        if cur_tp < floor:
+            failed = True
+
+    if failed:
+        print("bench regression check FAILED", file=sys.stderr)
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

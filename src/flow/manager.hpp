@@ -95,7 +95,11 @@ class FlowManager {
   sim::Time last_settle_ = 0.0;
   /// Per-resource settle scratch, reused across calls so the per-event cost
   /// is O(active flows + touched resources), not O(all resources) plus an
-  /// allocation. Entries outside touched_ are always zero.
+  /// allocation. Entries outside touched_ are always zero. Exception: with
+  /// a metrics registry installed, utilization sampling still visits every
+  /// finite-capacity resource per settle interval (the series' time-weighted
+  /// mean needs a sample even at zero utilization), so that path is
+  /// O(all resources).
   std::vector<double> res_bytes_;
   std::vector<char> res_busy_;
   std::vector<ResourceId> touched_;

@@ -34,6 +34,15 @@ bool CalendarQueue::pop_min(EventRecord& out) {
   }
   if (buckets_.size() > kMinBuckets && count_ < buckets_.size() / 8) {
     rebuild(buckets_.size() / 2);
+    // The rebuild re-derives width_ from the survivors' span; tightly
+    // clustered records at a large timestamp can overflow virtual_day for
+    // every one of them, leaving the calendar empty and far_ holding all.
+    if (count_ == far_.size()) {
+      out = far_.top();
+      far_.pop();
+      --count_;
+      return true;
+    }
   }
   // Walk days from the cursor. Every calendar record's virtual day is
   // >= cur_virtual_ (pushes of earlier events pull the cursor back), so the
@@ -70,6 +79,12 @@ bool CalendarQueue::pop_min(EventRecord& out) {
         ei = j;
       }
     }
+  }
+  if (bi == n) {  // no calendar resident at all: everything lives in far_
+    out = far_.top();
+    far_.pop();
+    --count_;
+    return true;
   }
   out = buckets_[bi][ei];
   std::uint64_t day = 0;

@@ -2,11 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
 #include "stats/metrics.hpp"
 #include "util/error.hpp"
 
@@ -262,6 +264,41 @@ TEST(Engine, CalendarHandlesClusteredAndFarApartTimes) {
   e.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(e.executed_count(), 1500u);
+}
+
+TEST(CalendarQueue, ShrinkRebuildMovingEverythingToFarHeapStillPops) {
+  // Regression: a shrink rebuild re-derives the bucket width from the
+  // survivors' time span. When the only survivors are a 1-ulp-wide cluster
+  // at a large timestamp, the re-derived width is so small that every
+  // survivor's day index overflows 2^53 and the whole pending set lands in
+  // the far_ overflow heap -- the calendar-empty case must be re-checked
+  // after the rebuild or the fallback scan reads past the bucket array.
+  CalendarQueue q;
+  std::uint64_t seq = 0;
+  auto push = [&](double t) {
+    EventRecord r;
+    r.time = t;
+    r.seq = seq++;
+    r.id = seq;
+    q.push(r);
+  };
+  // 500 spread records grow the calendar well past kMinBuckets, so popping
+  // them back out triggers the shrink-rebuild cascade.
+  for (int i = 0; i < 500; ++i) push(static_cast<double>(i));
+  const double t0 = 1.0e6;
+  for (int i = 0; i < 7; ++i) push(t0);
+  push(std::nextafter(t0, 2.0 * t0));
+
+  EventRecord r;
+  double last = -1.0;
+  std::size_t popped = 0;
+  while (q.pop_min(r)) {
+    EXPECT_GE(r.time, last);
+    last = r.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 508u);
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(Engine, FifoAmongEqualTimestampsSurvivesCancelChurn) {

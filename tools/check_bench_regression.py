@@ -2,12 +2,21 @@
 """Compare a fresh BENCH_flow_solver.json against the checked-in baseline.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.20]
+                                 [--relative]
 
 For every tier present in BOTH files, `solves_per_second` in CURRENT must be
 at least (1 - threshold) x the BASELINE value. Tiers only present on one side
 are reported but do not fail the check (CI measures a subset of the
 checked-in tiers). Divergence fields are also validated: the incremental
 solver must still agree with the full re-solve and the oracle to 1e-6.
+
+With --relative, the absolute solves_per_second comparison is skipped:
+absolute throughput measured on shared CI runners is not comparable to a
+baseline captured on different hardware. Instead the gate uses
+hardware-insensitive quantities only -- divergence, and `speedup_vs_full`
+(incremental vs full re-solve, both measured back-to-back on the SAME
+machine within the run), which must stay within --speedup-threshold of the
+baseline's speedup and never drop below --min-speedup.
 
 Exit status: 0 = pass, 1 = regression or divergence, 2 = bad input.
 """
@@ -46,6 +55,15 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional throughput drop (default 0.20)")
+    parser.add_argument("--relative", action="store_true",
+                        help="skip the absolute solves/s comparison (different "
+                             "hardware); gate on divergence and speedup_vs_full")
+    parser.add_argument("--speedup-threshold", type=float, default=0.50,
+                        help="with --relative: allowed fractional drop in "
+                             "speedup_vs_full versus baseline (default 0.50)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="with --relative: absolute floor on "
+                             "speedup_vs_full (default 5.0)")
     args = parser.parse_args()
 
     baseline = load_tiers(args.baseline)
@@ -63,6 +81,22 @@ def main():
             if div > DIVERGENCE_TOL:
                 print(f"tier {label}: FAIL {key} = {div:.3e} > {DIVERGENCE_TOL:.0e}")
                 failed = True
+
+        if args.relative:
+            cur_sp = cur.get("speedup_vs_full", 0.0)
+            floor = args.min_speedup
+            if label in baseline:
+                base_sp = baseline[label].get("speedup_vs_full", 0.0)
+                floor = max(floor, base_sp * (1.0 - args.speedup_threshold))
+                detail = f"vs baseline {base_sp:,.0f}x"
+            else:
+                detail = "no baseline tier"
+            verdict = "ok" if cur_sp >= floor else "FAIL"
+            print(f"tier {label}: {verdict} speedup_vs_full {cur_sp:,.0f}x "
+                  f"{detail} (floor {floor:,.0f}x)")
+            if cur_sp < floor:
+                failed = True
+            continue
 
         if label not in baseline:
             print(f"tier {label}: only in current -- no baseline to compare")

@@ -15,6 +15,8 @@ const char* to_string(Code code) {
     case Code::kPrecedence: return "precedence";
     case Code::kCoreOversubscription: return "core_oversubscription";
     case Code::kResultInconsistent: return "result_inconsistent";
+    case Code::kJobLifecycle: return "job_lifecycle";
+    case Code::kReservationImbalance: return "reservation_imbalance";
   }
   return "unknown";
 }

@@ -47,6 +47,9 @@ enum class Code {
   kPrecedence,            ///< a child task started before a parent finished
   kCoreOversubscription,  ///< concurrent tasks exceeded a host's core count
   kResultInconsistent,    ///< aggregate result fields disagree with the records
+  // batch/*: multi-tenant scheduler legality (job streams over the machine).
+  kJobLifecycle,          ///< a job's submit/start/end times are disordered
+  kReservationImbalance,  ///< node/BB reservations diverged from the fleet ledger
 };
 
 /// Stable snake_case identifier used in JSON and metrics names.

@@ -1,0 +1,104 @@
+/// \file
+/// bbsim::batch -- the multi-tenant job-stream model: what one queued job
+/// asks the machine for, and the `bbsim.jobs.v1` operator-facing format a
+/// whole stream serialises to.
+///
+/// The paper models a single workflow that owns the entire platform; the
+/// real Cori deployment it studies ran thousands of queued jobs competing
+/// for compute nodes *and* DataWarp burst-buffer capacity (the regime of
+/// Kopanski & Rzadca, arXiv 2109.00082). A batch::Job is the unit of that
+/// competition: it arrives at `submit`, asks for `nodes` compute nodes and
+/// `bb_bytes` of burst-buffer reservation, declares a walltime estimate
+/// (what the user told the scheduler) and carries the actual runtime --
+/// either given directly or derived by simulating an attached workflow
+/// payload on a right-sized slice of the machine (payload.hpp).
+///
+/// Kill-at-estimate semantics: a job is terminated when it exceeds its
+/// estimate, so the executed runtime is min(actual, estimate). This is how
+/// production schedulers behave and it is what makes backfilling sound:
+/// a reservation computed from estimates can never be pushed back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace bbsim::batch {
+
+/// Shape of a job's optional workflow payload (resolved by payload.hpp
+/// into the wf:: generators).
+enum class PayloadKind {
+  None,      ///< no payload: walltime_actual must be given
+  Scale,     ///< wf::make_scale_dag (pipeline-parallel layered DAG)
+  Layered,   ///< wf::make_random_layered
+  Chain,     ///< wf::make_shaped_dag(DagShape::Chain)
+  FanOut,    ///< wf::make_shaped_dag(DagShape::FanOut)
+  FanIn,     ///< wf::make_shaped_dag(DagShape::FanIn)
+  ForkJoin,  ///< wf::make_shaped_dag(DagShape::ForkJoin)
+};
+
+/// Stable snake_case identifier ("none", "scale", "fan_out", ...), part of
+/// the bbsim.jobs.v1 schema.
+const char* to_string(PayloadKind kind);
+/// Inverse of to_string; throws util::ConfigError on unknown names.
+PayloadKind payload_kind_from_string(const std::string& text);
+
+/// An optional workflow attached to a job. When the job's walltime_actual
+/// is not given (<= 0), batch::resolve_payloads simulates this workflow on
+/// a platform slice matching the job's request and uses the resulting
+/// makespan as the actual runtime.
+struct Payload {
+  PayloadKind kind = PayloadKind::None;
+  std::size_t tasks = 16;  ///< total task budget of the generated DAG
+  std::size_t width = 4;   ///< parallel pipelines (Scale) / level width cap
+};
+
+/// One job of the stream: everything the batch scheduler knows about it.
+struct Job {
+  std::size_t id = 0;     ///< unique within the stream
+  std::string name;       ///< display label; defaults to "job<id>"
+  double submit = 0.0;    ///< arrival time in seconds since stream start
+  int nodes = 1;          ///< compute nodes requested (exclusive)
+  double walltime_estimate = 0.0;  ///< user-declared limit, seconds (> 0)
+  /// True runtime in seconds. The executed runtime is
+  /// min(walltime_actual, walltime_estimate) -- kill-at-estimate. A value
+  /// <= 0 means "derive from the payload" (resolve_payloads fills it in).
+  double walltime_actual = 0.0;
+  double bb_bytes = 0.0;  ///< burst-buffer reservation requested (>= 0)
+  Payload payload;        ///< optional workflow behind the runtime
+};
+
+/// A whole arrival stream, ordered by (submit, id).
+struct JobStream {
+  std::string name;          ///< study label, carried into reports
+  std::uint64_t seed = 0;    ///< generator seed (0 for hand-written streams)
+  std::vector<Job> jobs;
+};
+
+/// Structural validation against a machine of `machine_nodes` nodes and
+/// `machine_bb_bytes` of burst buffer (pass 0 to skip the fit checks):
+/// unique ids, non-negative submits, positive nodes/estimates, jobs that
+/// could ever start (nodes and bb fit the machine), and actual runtimes
+/// present unless a payload will provide them. Sorts jobs by (submit, id).
+/// Throws util::ConfigError with the offending job named.
+void validate_stream(JobStream& stream, int machine_nodes = 0,
+                     double machine_bb_bytes = 0.0);
+
+/// Serialise to the operator-facing format:
+///   { "schema": "bbsim.jobs.v1", "name": ..., "seed": ...,
+///     "jobs": [ { "id", "name", "submit", "nodes", "walltime_estimate",
+///                 "walltime_actual"?, "bb_bytes",
+///                 "payload"?: {"shape","tasks","width"} } ] }
+/// Deterministic: jobs appear in (submit, id) order, keys in fixed order.
+json::Value stream_to_json(const JobStream& stream);
+
+/// Parse a bbsim.jobs.v1 document (validates structurally, not against a
+/// machine). Throws util::ParseError / util::ConfigError.
+JobStream stream_from_json(const json::Value& doc);
+
+/// Parse a bbsim.jobs.v1 file.
+JobStream load_jobs_file(const std::string& path);
+
+}  // namespace bbsim::batch

@@ -1,0 +1,104 @@
+#include "batch/payload.hpp"
+
+#include <algorithm>
+
+#include "exec/engine.hpp"
+#include "platform/presets.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workflow/random_dag.hpp"
+#include "workflow/workflow.hpp"
+
+namespace bbsim::batch {
+
+using util::ConfigError;
+
+namespace {
+
+wf::Workflow build_payload_dag(const Job& job, util::Rng& rng) {
+  const Payload& p = job.payload;
+  const std::size_t width = std::max<std::size_t>(1, p.width);
+  switch (p.kind) {
+    case PayloadKind::None:
+      throw ConfigError("job '" + job.name + "': no payload to build");
+    case PayloadKind::Scale: {
+      wf::ScaleDagConfig cfg;
+      cfg.task_count = p.tasks;
+      cfg.width = width;
+      return wf::make_scale_dag(cfg, rng);
+    }
+    case PayloadKind::Layered: {
+      wf::RandomDagConfig cfg;
+      cfg.levels = std::max<int>(1, static_cast<int>(p.tasks / width));
+      cfg.min_width = 1;
+      cfg.max_width = static_cast<int>(width);
+      return wf::make_random_layered(cfg, rng);
+    }
+    case PayloadKind::Chain:
+    case PayloadKind::FanOut:
+    case PayloadKind::FanIn:
+    case PayloadKind::ForkJoin: {
+      wf::RandomDagConfig cfg;
+      cfg.levels = std::max<int>(1, static_cast<int>(p.tasks / width));
+      cfg.min_width = static_cast<int>(width);
+      cfg.max_width = static_cast<int>(width);
+      const wf::DagShape shape = p.kind == PayloadKind::Chain     ? wf::DagShape::Chain
+                                 : p.kind == PayloadKind::FanOut  ? wf::DagShape::FanOut
+                                 : p.kind == PayloadKind::FanIn   ? wf::DagShape::FanIn
+                                                                  : wf::DagShape::ForkJoin;
+      return wf::make_shaped_dag(shape, cfg, rng);
+    }
+  }
+  throw ConfigError("job '" + job.name + "': unknown payload kind");
+}
+
+}  // namespace
+
+std::size_t resolve_payloads(JobStream& stream, const PayloadSimOptions& options) {
+  if (options.cores_per_node < 1) {
+    throw ConfigError("payload sim: cores_per_node must be >= 1");
+  }
+  std::size_t resolved = 0;
+  const util::Rng base = util::Rng(stream.seed == 0 ? 1 : stream.seed).fork("payload");
+  for (Job& job : stream.jobs) {
+    if (job.walltime_actual > 0 || job.payload.kind == PayloadKind::None) continue;
+
+    util::Rng rng = base.fork(job.id);
+    const wf::Workflow dag = build_payload_dag(job, rng);
+
+    // A Cori-like slice of exactly the job's request: its nodes, one
+    // DataWarp allocation of its reserved size (striped: every node
+    // reads), and the paper's Table I bandwidths.
+    platform::PresetOptions popt;
+    popt.compute_nodes = job.nodes;
+    popt.bb_nodes = 1;
+    popt.bb_mode = platform::BBMode::Striped;
+    platform::PlatformSpec slice = platform::cori_platform(popt);
+    for (platform::HostSpec& host : slice.hosts) {
+      host.cores = options.cores_per_node;
+    }
+    const bool use_bb = job.bb_bytes > 0;
+    if (use_bb) {
+      for (platform::StorageSpec& svc : slice.storage) {
+        if (svc.kind == platform::StorageKind::SharedBB) {
+          svc.disk.capacity = job.bb_bytes;
+        }
+      }
+    }
+
+    exec::ExecutionConfig cfg;
+    cfg.placement = use_bb ? exec::all_bb_policy() : exec::all_pfs_policy();
+    cfg.stage_in_mode = exec::StageInMode::Task;
+    cfg.collect_trace = false;
+    // The BB slice is exactly the reservation; spill gracefully when the
+    // DAG's working set outgrows it instead of failing the job.
+    cfg.bb_eviction = use_bb;
+
+    const exec::Result r = exec::Simulation(std::move(slice), dag, cfg).run();
+    job.walltime_actual = std::max(options.min_runtime, r.makespan);
+    ++resolved;
+  }
+  return resolved;
+}
+
+}  // namespace bbsim::batch

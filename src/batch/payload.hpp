@@ -1,0 +1,39 @@
+/// \file
+/// bbsim::batch -- payload resolution: turning a job's attached workflow
+/// into its actual runtime by simulating it on a right-sized slice of the
+/// machine.
+///
+/// A bbsim.jobs.v1 job may omit walltime_actual and instead carry a
+/// payload (a paper-style DAG shape and task budget). resolve_payloads
+/// builds the workflow with the wf:: generators, carves out a Cori-like
+/// platform of exactly the job's node count with a burst buffer sized to
+/// the job's reservation, runs the full exec::Simulation on it, and uses
+/// the resulting makespan as walltime_actual. The inner run is the paper's
+/// single-tenant model; the batch layer stacks the multi-tenant queueing
+/// on top -- so the fleet's runtimes inherit every modeled effect
+/// (stage-in, BB bandwidth, contention inside the job).
+#pragma once
+
+#include "batch/job.hpp"
+
+namespace bbsim::batch {
+
+/// Options of the inner per-job simulations.
+struct PayloadSimOptions {
+  /// Cores per simulated node (Cori Haswell default).
+  int cores_per_node = 32;
+  /// Floor for the derived runtime in seconds (a degenerate payload must
+  /// still produce a schedulable job).
+  double min_runtime = 1.0;
+};
+
+/// Fill in walltime_actual for every job whose payload demands it (kind !=
+/// None and walltime_actual <= 0). Jobs with explicit runtimes are left
+/// untouched; walltime_estimate always stays the user's declaration (the
+/// scheduler needs it before the payload "runs"). Deterministic: the DAG
+/// of job j is built from the stream seed forked by the job id. Returns
+/// the number of jobs resolved. Throws util::ConfigError on impossible
+/// payloads.
+std::size_t resolve_payloads(JobStream& stream, const PayloadSimOptions& options = {});
+
+}  // namespace bbsim::batch

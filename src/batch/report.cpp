@@ -1,0 +1,161 @@
+#include "batch/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbsim::batch {
+
+namespace {
+
+/// Exact q-quantile of a sorted sample (linear interpolation between
+/// order statistics -- the same convention as numpy's default).
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+FleetSummary summarize(const FleetResult& result, const MachineSpec& machine,
+                       double tau) {
+  FleetSummary s;
+  s.jobs = result.jobs.size();
+  s.makespan = result.makespan;
+  s.backfilled_jobs = result.backfilled_jobs;
+  s.killed_jobs = result.killed_jobs;
+  s.node_utilization = result.node_utilization(machine);
+  s.bb_utilization = result.bb_utilization(machine);
+  s.bb_internal_fragmentation = result.bb_internal_fragmentation();
+  s.bb_blocked_fraction = result.bb_blocked_fraction();
+  if (result.makespan > 0) {
+    s.mean_queue_depth = result.queue_job_seconds / result.makespan;
+  }
+  if (result.jobs.empty()) return s;
+
+  std::vector<double> waits, bslds;
+  waits.reserve(result.jobs.size());
+  bslds.reserve(result.jobs.size());
+  double wait_sum = 0.0, bsld_sum = 0.0, response_sum = 0.0;
+  for (const JobOutcome& j : result.jobs) {
+    const double w = j.wait();
+    const double b = j.bounded_slowdown(tau);
+    waits.push_back(w);
+    bslds.push_back(b);
+    wait_sum += w;
+    bsld_sum += b;
+    response_sum += j.response();
+  }
+  std::sort(waits.begin(), waits.end());
+  std::sort(bslds.begin(), bslds.end());
+  const double n = static_cast<double>(result.jobs.size());
+  s.wait_mean = wait_sum / n;
+  s.wait_p95 = quantile_sorted(waits, 0.95);
+  s.wait_max = waits.back();
+  s.bsld_mean = bsld_sum / n;
+  s.bsld_p95 = quantile_sorted(bslds, 0.95);
+  s.bsld_max = bslds.back();
+  s.response_mean = response_sum / n;
+  return s;
+}
+
+json::Value batch_report(const JobStream& stream, const MachineSpec& machine,
+                         double tau, const std::vector<FleetResult>& runs,
+                         bool include_jobs) {
+  json::Object root;
+  root.set("schema", "bbsim.batch.v1");
+
+  json::Object stream_obj;
+  stream_obj.set("name", stream.name);
+  stream_obj.set("seed", static_cast<std::size_t>(stream.seed));
+  stream_obj.set("jobs", stream.jobs.size());
+  root.set("stream", json::Value(std::move(stream_obj)));
+
+  json::Object machine_obj;
+  machine_obj.set("nodes", machine.nodes);
+  machine_obj.set("bb_capacity_bytes", machine.bb_bytes);
+  machine_obj.set("bb_granule_bytes", machine.bb_granule);
+  root.set("machine", json::Value(std::move(machine_obj)));
+  root.set("tau", tau);
+
+  json::Array runs_arr;
+  for (const FleetResult& run : runs) {
+    const FleetSummary s = summarize(run, machine, tau);
+    json::Object r;
+    r.set("policy", to_string(run.policy));
+    r.set("makespan", run.makespan);
+
+    json::Object sum;
+    sum.set("jobs", s.jobs);
+    json::Object wait;
+    wait.set("mean", s.wait_mean);
+    wait.set("p95", s.wait_p95);
+    wait.set("max", s.wait_max);
+    sum.set("wait_seconds", json::Value(std::move(wait)));
+    json::Object bsld;
+    bsld.set("mean", s.bsld_mean);
+    bsld.set("p95", s.bsld_p95);
+    bsld.set("max", s.bsld_max);
+    sum.set("bounded_slowdown", json::Value(std::move(bsld)));
+    sum.set("response_mean_seconds", s.response_mean);
+    sum.set("node_utilization", s.node_utilization);
+    sum.set("bb_utilization", s.bb_utilization);
+    sum.set("bb_internal_fragmentation", s.bb_internal_fragmentation);
+    sum.set("bb_blocked_fraction", s.bb_blocked_fraction);
+    sum.set("mean_queue_depth", s.mean_queue_depth);
+    sum.set("backfilled_jobs", s.backfilled_jobs);
+    sum.set("killed_jobs", s.killed_jobs);
+    r.set("summary", json::Value(std::move(sum)));
+
+    if (include_jobs) {
+      json::Array jobs;
+      for (const JobOutcome& j : run.jobs) {
+        json::Object o;
+        o.set("id", j.id);
+        o.set("name", j.name);
+        o.set("submit", j.submit);
+        o.set("nodes", j.nodes);
+        o.set("bb_bytes", j.bb_bytes);
+        o.set("bb_alloc", j.bb_alloc);
+        o.set("start", j.start);
+        o.set("end", j.end);
+        o.set("wait", j.wait());
+        o.set("bounded_slowdown", j.bounded_slowdown(tau));
+        o.set("backfilled", j.backfilled);
+        o.set("killed", j.killed);
+        if (j.reserved_start >= 0) o.set("reserved_start", j.reserved_start);
+        jobs.push_back(json::Value(std::move(o)));
+      }
+      r.set("jobs", json::Value(std::move(jobs)));
+    }
+    if (!run.metrics.is_null()) r.set("metrics", run.metrics);
+    if (!run.audit.is_null()) r.set("audit", run.audit);
+    runs_arr.push_back(json::Value(std::move(r)));
+  }
+  root.set("runs", json::Value(std::move(runs_arr)));
+
+  if (runs.size() >= 2) {
+    json::Object comparison;
+    json::Object means;
+    std::string best;
+    double best_mean = 0.0;
+    for (const FleetResult& run : runs) {
+      const FleetSummary s = summarize(run, machine, tau);
+      means.set(to_string(run.policy), s.bsld_mean);
+      if (best.empty() || s.bsld_mean < best_mean) {
+        best = to_string(run.policy);
+        best_mean = s.bsld_mean;
+      }
+    }
+    comparison.set("mean_bounded_slowdown", json::Value(std::move(means)));
+    comparison.set("best_policy", best);
+    root.set("comparison", json::Value(std::move(comparison)));
+  }
+  return json::Value(std::move(root));
+}
+
+}  // namespace bbsim::batch

@@ -1,0 +1,66 @@
+/// \file
+/// bbsim::batch -- fleet accounting: per-policy summaries and the
+/// `bbsim.batch.v1` report.
+///
+/// The metrics vocabulary of the multi-tenant layer (docs/batch.md defines
+/// each precisely):
+///
+///   wait              start - submit
+///   response          end - submit
+///   bounded slowdown  max(1, (wait + runtime) / max(runtime, tau)),
+///                     tau = 10 s by default -- the standard floor that
+///                     keeps second-long jobs from dominating the mean
+///   node/BB utilization    time-weighted busy fraction over [0, makespan]
+///   BB internal fragmentation   (allocated - requested) byte-seconds over
+///                     allocated byte-seconds (granule rounding waste)
+///   bb_blocked_fraction    fraction of the makespan the queue head fit on
+///                     nodes but was blocked by the BB dimension alone
+///
+/// Report layout (deterministic: fixed key order, runs in input order):
+///   { "schema": "bbsim.batch.v1",
+///     "stream": {"name","seed","jobs"},
+///     "machine": {"nodes","bb_capacity_bytes","bb_granule_bytes"},
+///     "tau": ...,
+///     "runs": [ { "policy", "makespan", "summary": {...},
+///                 "jobs"?: [...], "metrics"?, "audit"? } ],
+///     "comparison": { "mean_bounded_slowdown": {policy: value, ...},
+///                     "best_policy": ... } }    // when >= 2 runs
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batch/job.hpp"
+#include "batch/scheduler.hpp"
+#include "json/json.hpp"
+
+namespace bbsim::batch {
+
+/// Exact (not histogram-approximated) distribution summary of one run.
+struct FleetSummary {
+  std::size_t jobs = 0;
+  double makespan = 0.0;
+  double wait_mean = 0.0, wait_p95 = 0.0, wait_max = 0.0;
+  double bsld_mean = 0.0, bsld_p95 = 0.0, bsld_max = 0.0;
+  double response_mean = 0.0;
+  double node_utilization = 0.0;
+  double bb_utilization = 0.0;
+  double bb_internal_fragmentation = 0.0;
+  double bb_blocked_fraction = 0.0;
+  double mean_queue_depth = 0.0;
+  std::size_t backfilled_jobs = 0;
+  std::size_t killed_jobs = 0;
+};
+
+/// Compute the summary of one finished run.
+FleetSummary summarize(const FleetResult& result, const MachineSpec& machine,
+                       double tau);
+
+/// Build the bbsim.batch.v1 report over one or more policy runs of the
+/// same stream. `include_jobs` embeds the per-job records (id, start, end,
+/// wait, bounded_slowdown, bb_alloc, backfilled, killed) in each run.
+json::Value batch_report(const JobStream& stream, const MachineSpec& machine,
+                         double tau, const std::vector<FleetResult>& runs,
+                         bool include_jobs = false);
+
+}  // namespace bbsim::batch

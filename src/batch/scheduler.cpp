@@ -1,0 +1,615 @@
+#include "batch/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bbsim::batch {
+
+using util::ConfigError;
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::Fcfs: return "fcfs";
+    case Policy::Easy: return "easy";
+    case Policy::Conservative: return "conservative";
+    case Policy::PlanBased: return "plan";
+  }
+  return "fcfs";
+}
+
+Policy policy_from_string(const std::string& text) {
+  if (text == "fcfs") return Policy::Fcfs;
+  if (text == "easy") return Policy::Easy;
+  if (text == "conservative") return Policy::Conservative;
+  if (text == "plan" || text == "plan_based") return Policy::PlanBased;
+  throw ConfigError("unknown policy '" + text + "' (expected fcfs|easy|conservative|plan)");
+}
+
+double MachineSpec::bb_alloc(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  if (bb_granule <= 0) return bytes;
+  return std::ceil(bytes / bb_granule - kEps) * bb_granule;
+}
+
+double JobOutcome::bounded_slowdown(double tau) const {
+  const double denom = std::max(runtime, tau);
+  if (denom <= 0) return 1.0;
+  return std::max(1.0, (wait() + runtime) / denom);
+}
+
+double FleetResult::node_utilization(const MachineSpec& machine) const {
+  if (makespan <= 0 || machine.nodes < 1) return 0.0;
+  return node_seconds / (static_cast<double>(machine.nodes) * makespan);
+}
+
+double FleetResult::bb_utilization(const MachineSpec& machine) const {
+  if (makespan <= 0 || machine.bb_bytes <= 0) return 0.0;
+  return bb_byte_seconds / (machine.bb_bytes * makespan);
+}
+
+double FleetResult::bb_internal_fragmentation() const {
+  if (bb_byte_seconds <= 0) return 0.0;
+  return (bb_byte_seconds - bb_req_byte_seconds) / bb_byte_seconds;
+}
+
+double FleetResult::bb_blocked_fraction() const {
+  if (makespan <= 0) return 0.0;
+  return bb_blocked_seconds / makespan;
+}
+
+namespace {
+
+/// Step-function availability profile over [t0, inf): free nodes and free
+/// BB bytes per segment. Segment i spans [times[i], times[i+1]); the last
+/// segment extends to infinity. Reservations subtract over a window.
+class Profile {
+ public:
+  Profile(double t0, int nodes, double bb)
+      : bb_eps_(std::max(kEps, bb * 1e-12)),
+        times_{t0},
+        free_nodes_{nodes},
+        free_bb_{bb} {}
+
+  /// Earliest t >= t_min such that `nodes`/`bb` are free over the whole
+  /// window [t, t + duration). Returns infinity only if the request never
+  /// fits (a job larger than the machine -- excluded by validation).
+  double earliest_start(double t_min, double duration, int nodes, double bb) const {
+    double t = std::max(t_min, times_.front());
+    std::size_t i = segment_at(t);
+    for (;;) {
+      const double end = t + duration;
+      std::size_t j = i;
+      bool ok = true;
+      for (;;) {
+        if (free_nodes_[j] < nodes || free_bb_[j] < bb - bb_eps_) {
+          ok = false;
+          break;
+        }
+        if (j + 1 >= times_.size() || times_[j + 1] >= end - kEps) break;
+        ++j;
+      }
+      if (ok) return t;
+      if (j + 1 >= times_.size()) return kInf;
+      t = times_[j + 1];
+      i = j + 1;
+    }
+  }
+
+  /// Subtract a reservation over [start, start + duration).
+  void commit(double start, double duration, int nodes, double bb) {
+    if (duration <= 0) return;
+    const std::size_t first = split_at(start);
+    const std::size_t last = split_at(start + duration);  // first unaffected
+    for (std::size_t i = first; i < last; ++i) {
+      free_nodes_[i] -= nodes;
+      free_bb_[i] -= bb;
+    }
+  }
+
+ private:
+  std::size_t segment_at(double t) const {
+    std::size_t i = times_.size();
+    while (i > 0 && times_[i - 1] > t + kEps) --i;
+    return i > 0 ? i - 1 : 0;
+  }
+
+  /// Ensure a breakpoint exists at `t`; returns its segment index.
+  std::size_t split_at(double t) {
+    const std::size_t i = segment_at(t);
+    if (std::abs(times_[i] - t) <= kEps) return i;
+    // t falls inside segment i: split it.
+    times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(i) + 1, t);
+    free_nodes_.insert(free_nodes_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       free_nodes_[i]);
+    free_bb_.insert(free_bb_.begin() + static_cast<std::ptrdiff_t>(i) + 1, free_bb_[i]);
+    return i + 1;
+  }
+
+  /// BB quantities reach 1e12+ bytes, where double rounding error dwarfs
+  /// any absolute epsilon: fit comparisons must use a relative tolerance.
+  double bb_eps_;
+  std::vector<double> times_;
+  std::vector<int> free_nodes_;
+  std::vector<double> free_bb_;
+};
+
+/// The fleet simulation: one policy, one stream, one machine.
+class FleetSim {
+ public:
+  FleetSim(const MachineSpec& machine, const JobStream& stream,
+           const SchedulerConfig& config)
+      : machine_(machine), stream_(stream), config_(config) {}
+
+  FleetResult run();
+
+ private:
+  // ------------------------------------------------------------ helpers
+  const Job& job(std::size_t idx) const { return stream_.jobs[idx]; }
+  double alloc(std::size_t idx) const { return alloc_[idx]; }
+  double exec_runtime(std::size_t idx) const { return exec_runtime_[idx]; }
+  double end_estimate(std::size_t idx) const {
+    return outcomes_[idx].start + job(idx).walltime_estimate;
+  }
+  /// Fit tolerance for BB byte quantities. Pools reach 1e12+ bytes, where
+  /// one double ulp is ~1e-4: an absolute 1e-9 epsilon would make a job
+  /// whose reservation equals the whole free pool "never fit" on rounding
+  /// noise alone (a deadlock, since the machine can free no more).
+  double bb_eps() const { return std::max(kEps, machine_.bb_bytes * 1e-12); }
+  bool fits_now(std::size_t idx) const {
+    return job(idx).nodes <= free_nodes_ && alloc(idx) <= free_bb_ + bb_eps();
+  }
+
+  void start_job(std::size_t idx, bool backfilled);
+  void promise(std::size_t idx, double start) {
+    if (outcomes_[idx].reserved_start < 0) outcomes_[idx].reserved_start = start;
+  }
+
+  // ------------------------------------------------- per-policy passes
+  void schedule_pass();
+  void pass_fcfs();
+  void pass_easy();
+  void pass_profile(Policy policy);  ///< conservative + plan-based
+  /// Build the availability profile of the running jobs (estimates).
+  Profile running_profile() const;
+  /// Place `order` onto a copy of the running profile; returns the total
+  /// estimated bounded slowdown, filling `starts` (parallel to `order`).
+  double plan_cost(const std::vector<std::size_t>& order,
+                   std::vector<double>* starts) const;
+
+  // ----------------------------------------------------- observability
+  void integrate_to(double t);
+  void sample();
+  void audit_ledger();
+  void audit_outcome(const JobOutcome& out);
+
+  const MachineSpec& machine_;
+  const JobStream& stream_;
+  const SchedulerConfig& config_;
+
+  FleetResult result_;
+  std::vector<JobOutcome> outcomes_;   ///< by stream index
+  std::vector<double> alloc_;          ///< granule-rounded BB per job
+  std::vector<double> exec_runtime_;   ///< min(actual, estimate)
+  std::deque<std::size_t> queue_;      ///< waiting, arrival order
+  std::vector<std::size_t> running_;   ///< running stream indices
+  double now_ = 0.0;
+  int free_nodes_ = 0;
+  double free_bb_ = 0.0;
+  std::size_t next_arrival_ = 0;
+
+  std::unique_ptr<stats::MetricsRegistry> metrics_;
+  std::unique_ptr<trace::TimelineRecorder> timeline_;
+  trace::TrackId track_free_nodes_ = 0;
+  trace::TrackId track_bb_used_ = 0;
+  std::unique_ptr<audit::Auditor> auditor_;
+};
+
+void FleetSim::start_job(std::size_t idx, bool backfilled) {
+  JobOutcome& out = outcomes_[idx];
+  out.start = now_;
+  out.runtime = exec_runtime(idx);
+  out.end = now_ + out.runtime;
+  out.killed = job(idx).walltime_actual > job(idx).walltime_estimate + kEps;
+  out.backfilled = backfilled;
+  free_nodes_ -= job(idx).nodes;
+  free_bb_ -= alloc(idx);
+  running_.push_back(idx);
+  if (backfilled) ++result_.backfilled_jobs;
+  if (out.killed) ++result_.killed_jobs;
+  if (metrics_) {
+    metrics_->counter("batch.jobs_started").add();
+    if (backfilled) metrics_->counter("batch.jobs_backfilled").add();
+    if (out.killed) metrics_->counter("batch.jobs_killed").add();
+  }
+}
+
+void FleetSim::pass_fcfs() {
+  while (!queue_.empty() && fits_now(queue_.front())) {
+    start_job(queue_.front(), false);
+    queue_.pop_front();
+  }
+}
+
+void FleetSim::pass_easy() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (!queue_.empty() && fits_now(queue_.front())) {
+      start_job(queue_.front(), false);
+      queue_.pop_front();
+      progress = true;
+    }
+    if (queue_.empty()) return;
+
+    // Head blocked: find the shadow time -- the earliest instant the
+    // running jobs' *estimated* completions free both of its dimensions.
+    const std::size_t head = queue_.front();
+    std::vector<std::size_t> by_end(running_);
+    std::sort(by_end.begin(), by_end.end(), [&](std::size_t a, std::size_t b) {
+      if (end_estimate(a) != end_estimate(b)) return end_estimate(a) < end_estimate(b);
+      return job(a).id < job(b).id;
+    });
+    double shadow = kInf;
+    int nodes_at_shadow = free_nodes_;
+    double bb_at_shadow = free_bb_;
+    {
+      int na = free_nodes_;
+      double ba = free_bb_;
+      for (std::size_t k = 0; k < by_end.size(); ++k) {
+        na += job(by_end[k]).nodes;
+        ba += alloc(by_end[k]);
+        if (na >= job(head).nodes && ba >= alloc(head) - bb_eps()) {
+          shadow = end_estimate(by_end[k]);
+          // Fold in later completions at the same instant: they free more
+          // resources at the shadow without moving it.
+          for (std::size_t m = k + 1;
+               m < by_end.size() && end_estimate(by_end[m]) <= shadow + kEps; ++m) {
+            na += job(by_end[m]).nodes;
+            ba += alloc(by_end[m]);
+          }
+          nodes_at_shadow = na;
+          bb_at_shadow = ba;
+          break;
+        }
+      }
+    }
+    promise(head, shadow);
+
+    // Resources a backfill may take without touching the head's claim:
+    // min(free now, free at the shadow after the head is placed).
+    const int spare_nodes =
+        std::min(free_nodes_, nodes_at_shadow - job(head).nodes);
+    const double spare_bb = std::min(free_bb_, bb_at_shadow - alloc(head));
+
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      const std::size_t cand = *it;
+      if (!fits_now(cand)) continue;
+      const bool ends_before_shadow = now_ + job(cand).walltime_estimate <= shadow + kEps;
+      const bool inside_spare =
+          job(cand).nodes <= spare_nodes && alloc(cand) <= spare_bb + bb_eps();
+      if (ends_before_shadow || inside_spare) {
+        start_job(cand, true);
+        queue_.erase(it);
+        progress = true;
+        break;  // resources changed: recompute the shadow
+      }
+    }
+  }
+}
+
+Profile FleetSim::running_profile() const {
+  Profile prof(now_, machine_.nodes, machine_.bb_bytes);
+  for (const std::size_t r : running_) {
+    // Reserve until the *estimated* end: the sound bound under
+    // kill-at-estimate (the job cannot run longer).
+    prof.commit(now_, end_estimate(r) - now_, job(r).nodes, alloc(r));
+  }
+  return prof;
+}
+
+double FleetSim::plan_cost(const std::vector<std::size_t>& order,
+                           std::vector<double>* starts) const {
+  Profile prof = running_profile();
+  double total = 0.0;
+  starts->clear();
+  starts->reserve(order.size());
+  for (const std::size_t idx : order) {
+    const double est = job(idx).walltime_estimate;
+    const double s = prof.earliest_start(now_, est, job(idx).nodes, alloc(idx));
+    prof.commit(s, est, job(idx).nodes, alloc(idx));
+    starts->push_back(s);
+    const double denom = std::max(est, config_.tau);
+    total += std::max(1.0, (s - job(idx).submit + est) / denom);
+  }
+  return total;
+}
+
+void FleetSim::pass_profile(Policy policy) {
+  if (queue_.empty()) return;
+
+  std::vector<std::size_t> order(queue_.begin(), queue_.end());
+  if (policy == Policy::PlanBased && order.size() > 1) {
+    // Candidate orderings: arrival, shortest-estimate, smallest area,
+    // smallest BB ask. Cheapest total estimated bounded slowdown wins;
+    // ties keep the earlier (more arrival-faithful) candidate.
+    std::vector<std::vector<std::size_t>> candidates;
+    candidates.push_back(order);
+    auto sorted_by = [&](auto key) {
+      std::vector<std::size_t> c(order);
+      std::stable_sort(c.begin(), c.end(),
+                       [&](std::size_t a, std::size_t b) { return key(a) < key(b); });
+      return c;
+    };
+    candidates.push_back(
+        sorted_by([&](std::size_t i) { return job(i).walltime_estimate; }));
+    candidates.push_back(sorted_by(
+        [&](std::size_t i) { return job(i).nodes * job(i).walltime_estimate; }));
+    candidates.push_back(sorted_by([&](std::size_t i) { return alloc(i); }));
+
+    double best_cost = kInf;
+    std::vector<double> starts;
+    for (const std::vector<std::size_t>& cand : candidates) {
+      const double cost = plan_cost(cand, &starts);
+      if (cost < best_cost - kEps) {
+        best_cost = cost;
+        order = cand;
+      }
+    }
+  }
+
+  // Conservative placement of the chosen order: every queued job gets a
+  // reservation; the ones whose reservation is "now" start.
+  Profile prof = running_profile();
+  std::vector<std::size_t> started;
+  bool someone_waits = false;
+  for (const std::size_t idx : order) {
+    const double est = job(idx).walltime_estimate;
+    const double s = prof.earliest_start(now_, est, job(idx).nodes, alloc(idx));
+    prof.commit(s, est, job(idx).nodes, alloc(idx));
+    // Plan-based re-orders the queue on every pass, so its tentative starts
+    // are not promises; only conservative's reservations are binding.
+    if (policy == Policy::Conservative) promise(idx, s);
+    if (s <= now_ + kEps) {
+      // Backfilled = an earlier-queued job is (or stays) blocked ahead.
+      start_job(idx, someone_waits);
+      started.push_back(idx);
+    } else {
+      someone_waits = true;
+    }
+  }
+  for (const std::size_t idx : started) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), idx));
+  }
+}
+
+void FleetSim::schedule_pass() {
+  switch (config_.policy) {
+    case Policy::Fcfs: pass_fcfs(); return;
+    case Policy::Easy: pass_easy(); return;
+    case Policy::Conservative: pass_profile(Policy::Conservative); return;
+    case Policy::PlanBased: pass_profile(Policy::PlanBased); return;
+  }
+}
+
+void FleetSim::integrate_to(double t) {
+  const double dt = t - now_;
+  if (dt <= 0) return;
+  const int used_nodes = machine_.nodes - free_nodes_;
+  const double used_bb = machine_.bb_bytes - free_bb_;
+  result_.node_seconds += used_nodes * dt;
+  result_.bb_byte_seconds += used_bb * dt;
+  double req = 0.0;
+  for (const std::size_t r : running_) req += job(r).bb_bytes;
+  result_.bb_req_byte_seconds += req * dt;
+  result_.queue_job_seconds += static_cast<double>(queue_.size()) * dt;
+  if (!queue_.empty()) {
+    const std::size_t head = queue_.front();
+    if (job(head).nodes <= free_nodes_ && alloc(head) > free_bb_ + bb_eps()) {
+      result_.bb_blocked_seconds += dt;
+    }
+  }
+}
+
+void FleetSim::sample() {
+  if (metrics_) {
+    metrics_->series("batch.queue_depth").sample(now_, static_cast<double>(queue_.size()));
+    metrics_->series("batch.free_nodes").sample(now_, static_cast<double>(free_nodes_));
+    metrics_->series("batch.bb_used_bytes").sample(now_, machine_.bb_bytes - free_bb_);
+  }
+  if (timeline_) {
+    timeline_->counter_sample(track_free_nodes_, now_, static_cast<double>(free_nodes_));
+    timeline_->counter_sample(track_bb_used_, now_, machine_.bb_bytes - free_bb_);
+  }
+}
+
+void FleetSim::audit_ledger() {
+  if (!auditor_) return;
+  // Re-derive the reservation ledger from the running set and compare
+  // against the scheduler's own free counters.
+  int nodes_ledger = 0;
+  double bb_ledger = 0.0;
+  for (const std::size_t r : running_) {
+    nodes_ledger += job(r).nodes;
+    bb_ledger += alloc(r);
+  }
+  if (nodes_ledger != machine_.nodes - free_nodes_) {
+    auditor_->report(audit::Code::kReservationImbalance, now_, "nodes",
+                     "node ledger " + std::to_string(nodes_ledger) +
+                         " != accounted " + std::to_string(machine_.nodes - free_nodes_));
+  }
+  if (std::abs(bb_ledger - (machine_.bb_bytes - free_bb_)) > 1.0) {
+    auditor_->report(audit::Code::kReservationImbalance, now_, "bb",
+                     "BB ledger " + std::to_string(bb_ledger) + " != accounted " +
+                         std::to_string(machine_.bb_bytes - free_bb_));
+  }
+  if (free_bb_ < -1.0 || free_nodes_ < 0) {
+    auditor_->report(audit::Code::kCapacityExceeded, now_, "machine",
+                     "reservations exceed machine capacity (free nodes " +
+                         std::to_string(free_nodes_) + ", free BB " +
+                         std::to_string(free_bb_) + ")");
+  }
+}
+
+void FleetSim::audit_outcome(const JobOutcome& out) {
+  if (!auditor_) return;
+  if (out.start < out.submit - kEps || out.end < out.start - kEps) {
+    auditor_->report(audit::Code::kJobLifecycle, out.end, out.name,
+                     "disordered times: submit " + std::to_string(out.submit) +
+                         ", start " + std::to_string(out.start) + ", end " +
+                         std::to_string(out.end));
+  }
+  if (out.runtime < 0 || std::abs(out.end - out.start - out.runtime) > kEps) {
+    auditor_->report(audit::Code::kJobLifecycle, out.end, out.name,
+                     "runtime does not match start/end");
+  }
+}
+
+FleetResult FleetSim::run() {
+  const std::size_t n = stream_.jobs.size();
+  outcomes_.resize(n);
+  alloc_.resize(n);
+  exec_runtime_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Job& j = stream_.jobs[i];
+    if (j.walltime_actual <= 0) {
+      throw ConfigError("job '" + j.name +
+                        "': walltime_actual unresolved (run resolve_payloads first)");
+    }
+    if (j.nodes > machine_.nodes) {
+      throw ConfigError("job '" + j.name + "' can never run: " +
+                        std::to_string(j.nodes) + " nodes > machine");
+    }
+    alloc_[i] = machine_.bb_alloc(j.bb_bytes);
+    if (alloc_[i] > machine_.bb_bytes + bb_eps()) {
+      throw ConfigError("job '" + j.name +
+                        "' can never run: BB request (after granule rounding) "
+                        "exceeds the machine");
+    }
+    exec_runtime_[i] = std::min(j.walltime_actual, j.walltime_estimate);
+    JobOutcome& out = outcomes_[i];
+    out.id = j.id;
+    out.name = j.name;
+    out.submit = j.submit;
+    out.nodes = j.nodes;
+    out.bb_bytes = j.bb_bytes;
+    out.bb_alloc = alloc_[i];
+    out.estimate = j.walltime_estimate;
+  }
+
+  result_.policy = config_.policy;
+  free_nodes_ = machine_.nodes;
+  free_bb_ = machine_.bb_bytes;
+
+  if (config_.collect_metrics) metrics_ = std::make_unique<stats::MetricsRegistry>();
+  if (config_.collect_timeline) {
+    timeline_ = std::make_unique<trace::TimelineRecorder>();
+    timeline_->set_host_names({"machine"});
+    timeline_->set_wait_spans(true);
+    track_free_nodes_ = timeline_->counter_track("batch.free_nodes", "nodes");
+    track_bb_used_ = timeline_->counter_track("batch.bb_used_bytes", "bytes");
+  }
+  if (config_.audit) {
+    auditor_ = std::make_unique<audit::Auditor>();
+    if (metrics_) auditor_->set_metrics(metrics_.get());
+  }
+
+  while (next_arrival_ < n || !running_.empty()) {
+    double t_next = kInf;
+    if (next_arrival_ < n) t_next = stream_.jobs[next_arrival_].submit;
+    for (const std::size_t r : running_) t_next = std::min(t_next, outcomes_[r].end);
+
+    integrate_to(t_next);
+    now_ = t_next;
+
+    // Completions first (resources free before new work is considered),
+    // in (end, id) order for determinism.
+    std::vector<std::size_t> done;
+    for (const std::size_t r : running_) {
+      if (outcomes_[r].end <= now_ + kEps) done.push_back(r);
+    }
+    std::sort(done.begin(), done.end(),
+              [&](std::size_t a, std::size_t b) { return job(a).id < job(b).id; });
+    for (const std::size_t r : done) {
+      running_.erase(std::find(running_.begin(), running_.end(), r));
+      free_nodes_ += job(r).nodes;
+      result_.makespan = std::max(result_.makespan, outcomes_[r].end);
+      if (metrics_) {
+        metrics_->histogram("batch.wait_seconds").record(outcomes_[r].wait());
+        metrics_->histogram("batch.bounded_slowdown")
+            .record(outcomes_[r].bounded_slowdown(config_.tau));
+      }
+      audit_outcome(outcomes_[r]);
+    }
+    if (!done.empty()) {
+      // Resync the free pool from the reservation ledger instead of adding
+      // the freed bytes back incrementally: repeated += / -= of 1e12-scale
+      // doubles accumulates drift across thousands of events, and a pool
+      // that drifts a hair below a full-machine reservation deadlocks the
+      // queue. One fresh summation has bounded, non-accumulating error.
+      double reserved = 0.0;
+      for (const std::size_t r : running_) reserved += alloc(r);
+      free_bb_ = machine_.bb_bytes - reserved;
+    }
+
+    while (next_arrival_ < n && stream_.jobs[next_arrival_].submit <= now_ + kEps) {
+      queue_.push_back(next_arrival_);
+      ++next_arrival_;
+    }
+
+    schedule_pass();
+    audit_ledger();
+    sample();
+  }
+
+  if (auditor_ && !queue_.empty()) {
+    auditor_->report(audit::Code::kJobLifecycle, audit::kPostRun, "queue",
+                     std::to_string(queue_.size()) + " jobs never started");
+  }
+
+  result_.jobs = std::move(outcomes_);
+  std::sort(result_.jobs.begin(), result_.jobs.end(),
+            [](const JobOutcome& a, const JobOutcome& b) { return a.id < b.id; });
+  if (timeline_) {
+    for (const JobOutcome& out : result_.jobs) {
+      trace::TaskSpan span;
+      span.name = out.name;
+      span.type = "job";
+      span.host = 0;
+      span.cores = out.nodes;
+      span.t_ready = out.submit;
+      span.t_start = out.start;
+      span.t_reads_done = out.start;
+      span.t_compute_done = out.end;
+      span.t_end = out.end;
+      timeline_->add_task(span);
+    }
+    result_.timeline =
+        std::make_shared<const trace::Timeline>(timeline_->finish());
+  }
+  if (metrics_) result_.metrics = metrics_->to_json();
+  if (auditor_) {
+    result_.audit = auditor_->to_json();
+    result_.audit_violations = auditor_->total();
+  }
+  return result_;
+}
+
+}  // namespace
+
+FleetResult run_scheduler(const MachineSpec& machine, const JobStream& stream,
+                          const SchedulerConfig& config) {
+  if (machine.nodes < 1) throw ConfigError("machine: nodes must be >= 1");
+  if (machine.bb_bytes < 0) throw ConfigError("machine: negative BB capacity");
+  return FleetSim(machine, stream, config).run();
+}
+
+}  // namespace bbsim::batch

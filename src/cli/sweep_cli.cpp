@@ -4,6 +4,9 @@
 #include <filesystem>
 #include <set>
 
+#include "batch/payload.hpp"
+#include "batch/report.hpp"
+#include "cli/batch_cli.hpp"
 #include "cli/runner.hpp"
 #include "exec/placement.hpp"
 #include "sweep/report.hpp"
@@ -140,6 +143,51 @@ CliOptions options_from_settings(const json::Object& settings) {
   return parse_cli(argv);
 }
 
+/// True when this run dispatches to the batch fleet simulator instead of a
+/// single-workflow bbsim_run ("tool": "batch" in the spec's base or on an
+/// axis). Only "batch" is recognised; other values are an error.
+bool is_batch_run(const json::Object& settings) {
+  const json::Value* tool = settings.find("tool");
+  if (tool == nullptr) return false;
+  if (!tool->is_string() || tool->as_string() != "batch") {
+    throw ConfigError("sweep spec: unknown \"tool\" value " + tool->dump() +
+                      " (only \"batch\" is supported)");
+  }
+  return true;
+}
+
+/// Per-run file outputs collide across a sweep, exactly as for bbsim_run.
+const std::set<std::string>& batch_forbidden_keys() {
+  static const std::set<std::string> keys = {"report-out", "report-jobs",
+                                             "jobs-out",   "timeline-out",
+                                             "audit-out",  "quiet",
+                                             "help"};
+  return keys;
+}
+
+/// Translate one batch run's settings into a bbsim_batch argv and parse it
+/// with parse_batch_cli -- the batch sweep schema *is* the bbsim_batch flag
+/// set, minus the per-run file outputs.
+BatchCliOptions batch_options_from_settings(const json::Object& settings) {
+  std::vector<std::string> argv;
+  for (const auto& [key, value] : settings) {
+    if (key == "tool") continue;      // the dispatch switch itself
+    if (key == "metrics") continue;   // sweep-level switch, handled below
+    if (key == "timeline") continue;  // per-run switch, handled by the caller
+    if (batch_forbidden_keys().count(key) > 0) {
+      throw ConfigError("sweep spec: '" + key +
+                        "' is not allowed inside a batch sweep");
+    }
+    if (value.is_bool()) {
+      if (value.as_bool()) argv.push_back("--" + key);
+    } else {
+      argv.push_back("--" + key);
+      argv.push_back(sweep::settings_value_to_string(value));
+    }
+  }
+  return parse_batch_cli(argv);
+}
+
 /// Export one finished run's timeline into --timeline-dir (no-op when the
 /// run did not record one).
 void write_run_timeline(exec::Result& result, const std::string& run_name,
@@ -154,9 +202,58 @@ void write_run_timeline(exec::Result& result, const std::string& run_name,
   result.timeline.reset();  // exported; don't hold every timeline in memory
 }
 
+/// Execute one "tool": "batch" run: the whole fleet simulation becomes one
+/// sweep data point. The fleet makespan lands in Result::makespan and the
+/// full single-policy bbsim.batch.v1 report rides in Result::metrics, so
+/// the sweep report carries every fleet metric per run.
+exec::Result execute_batch_run(const sweep::ExpandedRun& run, bool collect_metrics,
+                               bool force_audit, const std::string& timeline_dir) {
+  const BatchCliOptions opt = batch_options_from_settings(run.settings);
+  const std::vector<batch::Policy> policies = resolve_policies(opt.policy);
+  if (policies.size() != 1) {
+    throw ConfigError("sweep spec: a batch run needs a single policy -- put "
+                      "\"policy\" on an axis instead of using \"all\"");
+  }
+  batch::MachineSpec machine;
+  machine.nodes = opt.nodes;
+  machine.bb_bytes = opt.bb_capacity;
+  machine.bb_granule = opt.bb_granule;
+
+  batch::JobStream stream;
+  if (!opt.jobs_path.empty()) {
+    stream = batch::load_jobs_file(opt.jobs_path);
+    batch::validate_stream(stream, machine.nodes, machine.bb_bytes);
+  } else {
+    stream = batch::make_stream(stream_config_from(opt));
+  }
+  batch::resolve_payloads(stream);
+
+  batch::SchedulerConfig cfg;
+  cfg.policy = policies.front();
+  cfg.tau = opt.tau;
+  cfg.collect_metrics = collect_metrics;
+  cfg.collect_timeline = wants_timeline(run.settings);
+  cfg.audit = opt.audit || force_audit;
+
+  batch::FleetResult fleet = batch::run_scheduler(machine, stream, cfg);
+  exec::Result result;
+  result.makespan = fleet.makespan;
+  result.workflow_span = fleet.makespan;
+  result.audit = fleet.audit;
+  result.audit_violations = fleet.audit_violations;
+  result.timeline = fleet.timeline;
+  result.metrics = batch::batch_report(stream, machine, opt.tau,
+                                       {std::move(fleet)}, false);
+  write_run_timeline(result, run.name, timeline_dir);
+  return result;
+}
+
 /// Execute one expanded run on a fully isolated simulation stack.
 exec::Result execute_run(const sweep::ExpandedRun& run, bool collect_metrics,
                          bool force_audit, const std::string& timeline_dir) {
+  if (is_batch_run(run.settings)) {
+    return execute_batch_run(run, collect_metrics, force_audit, timeline_dir);
+  }
   const CliOptions opt = options_from_settings(run.settings);
   wf::Workflow workflow = resolve_workflow(opt);
   if (opt.cluster) workflow = wf::cluster_chains(workflow).workflow;

@@ -631,6 +631,9 @@ Result Simulation::collect_result() {
   r.demoted_writes = demoted_writes_;
   r.skipped_stage_files = skipped_stage_files_;
   r.evicted_files = evicted_files_;
+  if (const storage::StorageService* bb_svc = storage_.burst_buffer()) {
+    r.bb_peak_bytes = bb_svc->peak_used_bytes();
+  }
 
   const flow::Network& net = fabric_.flows().network();
   for (std::size_t s = 0; s < fabric_.spec().storage.size(); ++s) {

@@ -117,6 +117,9 @@ struct Result {
   double stage_out_duration = 0.0;
   /// Staged input files evicted from the BB to make room (bb_eviction).
   std::size_t evicted_files = 0;
+  /// Peak burst-buffer occupancy over the run in bytes (0 when the platform
+  /// has no BB). The batch layer audits per-job reservations against this.
+  double bb_peak_bytes = 0.0;
   /// Snapshot of the metrics registry (ExecutionConfig::collect_metrics);
   /// null when metrics were not collected.
   json::Value metrics;

@@ -25,6 +25,29 @@ void Histogram::record(double value) {
   ++buckets_[bucket_index(value)];
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the wanted sample (0-based, continuous) within the sorted data.
+  const double rank = q * static_cast<double>(count_ - 1);
+  double below = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (in_bucket == 0.0) continue;
+    if (below + in_bucket > rank) {
+      // Interpolate within the bucket; clamp the edges to the observed
+      // min/max so the result never leaves the recorded range.
+      const double lo = std::max(bucket_lower_bound(i), min_);
+      const double hi = std::min(i + 1 < kBuckets ? bucket_lower_bound(i + 1) : max_, max_);
+      const double frac = (rank - below) / in_bucket;
+      return lo + (std::max(hi, lo) - lo) * frac;
+    }
+    below += in_bucket;
+  }
+  return max_;
+}
+
 TimeSeries::TimeSeries(std::size_t max_samples)
     : max_samples_(std::max<std::size_t>(2, max_samples)) {
   samples_.reserve(max_samples_);

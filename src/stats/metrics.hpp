@@ -142,6 +142,12 @@ class Histogram {
   }
   const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
 
+  /// Approximate q-quantile (q in [0, 1]) from the bucket counts. Exact at
+  /// the recorded min/max; within a bucket the value is interpolated
+  /// linearly between the bucket edges, so the error is bounded by the 2x
+  /// bucket width. Returns 0 for an empty histogram.
+  double quantile(double q) const;
+
   /// Index of the bucket `value` falls in.
   static std::size_t bucket_index(double value);
   /// Lower edge of bucket `index` (bucket 0's edge is 0: the underflow

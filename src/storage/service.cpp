@@ -125,6 +125,7 @@ void StorageService::reserve_capacity(const FileRef& file) {
                       std::to_string(cap) + " bytes)");
   }
   used_bytes_ += delta;
+  if (used_bytes_ > peak_used_bytes_) peak_used_bytes_ = used_bytes_;
   BBSIM_AUDIT_HOOK(if (observer_ != nullptr) {
     observer_->on_occupancy_change(*this, file.name, delta, used_bytes_);
   });

@@ -123,6 +123,10 @@ class StorageService {
   /// Drop a replica (no simulated cost; deletion is metadata-only here).
   void erase_file(const std::string& file_name);
   double used_bytes() const { return used_bytes_; }
+  /// High-water mark of used_bytes() over the service's lifetime (includes
+  /// in-flight write reservations). Available even when metrics are off;
+  /// the batch layer reports it as per-job BB peak occupancy.
+  double peak_used_bytes() const { return peak_used_bytes_; }
   /// Sum of all replica sizes. Equals used_bytes() whenever no write is in
   /// flight (writes reserve capacity before their replica appears); the
   /// auditor checks the two agree at end of run (allocation/release
@@ -199,6 +203,7 @@ class StorageService {
   const platform::StorageSpec& spec_;
   std::map<std::string, Replica> replicas_;
   double used_bytes_ = 0.0;
+  double peak_used_bytes_ = 0.0;
   PerturbFn perturb_;
   StorageObserver* observer_ = nullptr;
   stats::Gauge* occupancy_gauge_ = nullptr;

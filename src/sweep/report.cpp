@@ -6,6 +6,26 @@ namespace bbsim::sweep {
 
 namespace {
 
+/// A "tool": "batch" run carries a bbsim.batch.v1 report in its metrics;
+/// lift its policy + fleet summary to the run level so campaign-scale
+/// consumers need not dig through the embedded document.
+void lift_batch_summary(const json::Value& metrics, json::Object& run) {
+  if (!metrics.is_object()) return;
+  if (metrics.get_string("schema", "") != "bbsim.batch.v1") return;
+  const json::Value* runs = metrics.as_object().find("runs");
+  if (runs == nullptr || !runs->is_array() || runs->as_array().empty()) return;
+  const json::Value& first = runs->as_array().front();
+  if (!first.is_object()) return;
+  json::Object batch;
+  if (const json::Value* policy = first.as_object().find("policy")) {
+    batch.set("policy", *policy);
+  }
+  if (const json::Value* summary = first.as_object().find("summary")) {
+    batch.set("summary", *summary);
+  }
+  run.set("batch", json::Value(std::move(batch)));
+}
+
 json::Value run_to_json(const RunOutcome& outcome, bool include_timings) {
   json::Object run;
   run.set("name", outcome.name);
@@ -31,6 +51,7 @@ json::Value run_to_json(const RunOutcome& outcome, bool include_timings) {
       storage.push_back(json::Value(std::move(service)));
     }
     run.set("storage", json::Value(std::move(storage)));
+    lift_batch_summary(r.metrics, run);
     if (!r.metrics.is_null()) run.set("metrics", r.metrics);
     if (!r.audit.is_null()) run.set("audit_violations", r.audit_violations);
   }

@@ -139,6 +139,8 @@ void TimelineRecorder::set_host_names(std::vector<std::string> names) {
   timeline_.host_names = std::move(names);
 }
 
+void TimelineRecorder::set_wait_spans(bool on) { timeline_.wait_spans = on; }
+
 Timeline TimelineRecorder::finish() {
   // Close whatever is still open at its last recorded instant (an aborted
   // or crashed run must still export a loadable timeline).
@@ -155,10 +157,16 @@ Timeline TimelineRecorder::finish() {
                    [](const CounterTrack& a, const CounterTrack& b) {
                      return a.name < b.name;
                    });
+  // With wait spans on, a task occupies its lane from t_ready (the wait
+  // span's start), so sorting and packing both use that earlier edge.
+  const bool waits = timeline_.wait_spans;
+  const auto span_begin = [waits](const TaskSpan& t) {
+    return waits ? std::min(t.t_ready, t.t_start) : t.t_start;
+  };
   std::stable_sort(timeline_.tasks.begin(), timeline_.tasks.end(),
-                   [](const TaskSpan& a, const TaskSpan& b) {
+                   [&](const TaskSpan& a, const TaskSpan& b) {
                      if (a.host != b.host) return a.host < b.host;
-                     if (a.t_start != b.t_start) return a.t_start < b.t_start;
+                     if (span_begin(a) != span_begin(b)) return span_begin(a) < span_begin(b);
                      return a.name < b.name;
                    });
 
@@ -171,7 +179,7 @@ Timeline TimelineRecorder::finish() {
       current_host = t.host;
       host_lanes = LaneAllocator{};
     }
-    t.lane = host_lanes.place(t.t_start, t.t_end);
+    t.lane = host_lanes.place(span_begin(t), t.t_end);
   }
   LaneAllocator flow_lanes;
   for (FlowSpan& f : timeline_.flows) {
@@ -226,6 +234,16 @@ json::Value Timeline::to_perfetto() const {
 
   // ------------------------------------------------------------ task spans
   for (const TaskSpan& t : tasks) {
+    if (wait_spans && t.t_start > t.t_ready) {
+      // Queue delay: ready but not yet started. Emitted before the task
+      // span so the lane's events stay in timestamp order; [t_ready,
+      // t_start) abuts the task span without overlapping it.
+      json::Object wargs;
+      wargs.set("t_ready", t.t_ready);
+      events.push_back(complete_event("wait " + t.name, "wait", t.host + 1,
+                                      t.lane, t.t_ready, t.t_start,
+                                      std::move(wargs)));
+    }
     json::Object args;
     args.set("cores", t.cores);
     args.set("bytes_read", t.bytes_read);

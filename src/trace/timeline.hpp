@@ -96,6 +96,13 @@ struct Timeline {
   std::vector<TaskSpan> tasks;          ///< sorted by (host, t_start, name)
   std::vector<FlowSpan> flows;          ///< in begin order
   std::vector<CounterTrack> counters;   ///< sorted by name
+  /// When set (TimelineRecorder::set_wait_spans), each task whose t_ready
+  /// precedes t_start additionally exports a "wait" span over
+  /// [t_ready, t_start) on its lane, and lanes are packed over
+  /// [t_ready, t_end] so the wait is visible. Off by default: the classic
+  /// layout (and its golden exports) is unchanged. The batch layer turns
+  /// this on so queue delay shows up per job.
+  bool wait_spans = false;
 
   /// Chrome trace-event JSON ("traceEvents" array of "X"/"C"/"M" events,
   /// timestamps in microseconds). Deterministic for identical runs. Layout:
@@ -137,6 +144,9 @@ class TimelineRecorder {
   // ---------------------------------------------------------------- tasks
   void add_task(TaskSpan span);
   void set_host_names(std::vector<std::string> names);
+  /// Export queue-wait spans and pack lanes from t_ready (see
+  /// Timeline::wait_spans). Call before finish().
+  void set_wait_spans(bool on);
 
   // ---------------------------------------------------------- inspection
   std::size_t task_count() const { return timeline_.tasks.size(); }

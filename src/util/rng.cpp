@@ -70,6 +70,19 @@ double Rng::exponential(double mean) {
   return d(engine_);
 }
 
+double Rng::weibull(double shape, double scale) {
+  if (shape <= 0) throw InvariantError("weibull: shape must be positive");
+  if (scale <= 0) throw InvariantError("weibull: scale must be positive");
+  std::weibull_distribution<double> d(shape, scale);
+  return d(engine_);
+}
+
+double Rng::weibull_mean(double shape, double mean) {
+  if (mean <= 0) throw InvariantError("weibull_mean: mean must be positive");
+  if (shape <= 0) throw InvariantError("weibull_mean: shape must be positive");
+  return weibull(shape, mean / std::tgamma(1.0 + 1.0 / shape));
+}
+
 bool Rng::chance(double probability) {
   if (probability <= 0) return false;
   if (probability >= 1) return true;

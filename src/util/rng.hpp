@@ -49,6 +49,15 @@ class Rng {
   /// Exponential draw with the given mean (= 1/lambda).
   double exponential(double mean);
 
+  /// Weibull draw with the given shape k and scale lambda (inverse-CDF
+  /// sampling). k < 1 gives a heavy tail (bursty interarrivals), k = 1 is
+  /// exponential, k > 1 concentrates around the scale.
+  double weibull(double shape, double scale);
+
+  /// Weibull draw parameterised by the *target* mean instead of the scale
+  /// (the scale is mean / Gamma(1 + 1/shape), so E[X] = mean exactly).
+  double weibull_mean(double shape, double mean);
+
   /// Bernoulli draw.
   bool chance(double probability);
 

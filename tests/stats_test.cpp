@@ -131,6 +131,44 @@ TEST(Histogram, RecordKeepsExactSummary) {
   EXPECT_EQ(h.buckets()[Histogram::bucket_index(8.0)], 1u);
 }
 
+TEST(Histogram, QuantileEndpointsAreExact) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int v = 1; v <= 100; ++v) h.record(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);    // exact recorded min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);  // exact recorded max
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 100.0);  // clamped
+}
+
+TEST(Histogram, QuantileIsBucketAccurate) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.record(static_cast<double>(v));
+  // Power-of-two buckets: the interpolated quantile is within one bucket
+  // width (a factor of 2) of the exact order statistic.
+  for (const double q : {0.25, 0.5, 0.9, 0.95, 0.99}) {
+    const double exact = 1.0 + q * 999.0;
+    const double approx = h.quantile(q);
+    EXPECT_GE(approx, exact / 2.0) << "q=" << q;
+    EXPECT_LE(approx, exact * 2.0) << "q=" << q;
+  }
+  // Monotone in q.
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Histogram, QuantileOfSingleValueIsThatValue) {
+  Histogram h;
+  h.record(42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+}
+
 // ---------------------------------------------------------------- Registry
 
 TEST(MetricsRegistry, ReferencesAreStableAcrossInserts) {

@@ -1,0 +1,3 @@
+#include "cli/batch_cli.hpp"
+
+int main(int argc, char** argv) { return bbsim::cli::batch_main_impl(argc, argv); }

@@ -1,22 +1,39 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_flow_solver.json against the checked-in baseline.
+"""Compare a fresh bench JSON against the checked-in baseline.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.20]
                                  [--relative]
 
-For every tier present in BOTH files, `solves_per_second` in CURRENT must be
-at least (1 - threshold) x the BASELINE value. Tiers only present on one side
-are reported but do not fail the check (CI measures a subset of the
-checked-in tiers). Divergence fields are also validated: the incremental
-solver must still agree with the full re-solve and the oracle to 1e-6.
+Supports two bench schemas; both files must carry the SAME schema, and the
+schema selects the gate:
 
-With --relative, the absolute solves_per_second comparison is skipped:
-absolute throughput measured on shared CI runners is not comparable to a
-baseline captured on different hardware. Instead the gate uses
-hardware-insensitive quantities only -- divergence, and `speedup_vs_full`
-(incremental vs full re-solve, both measured back-to-back on the SAME
-machine within the run), which must stay within --speedup-threshold of the
-baseline's speedup and never drop below --min-speedup.
+bbsim.bench.flow_solver.v1 (BENCH_flow_solver.json)
+  For every tier present in BOTH files, `solves_per_second` in CURRENT must
+  be at least (1 - threshold) x the BASELINE value. Tiers only present on
+  one side are reported but do not fail the check (CI measures a subset of
+  the checked-in tiers). Divergence fields are also validated: the
+  incremental solver must still agree with the full re-solve and the oracle
+  to 1e-6.
+
+  With --relative, the absolute solves_per_second comparison is skipped:
+  absolute throughput measured on shared CI runners is not comparable to a
+  baseline captured on different hardware. Instead the gate uses
+  hardware-insensitive quantities only -- divergence, and `speedup_vs_full`
+  (incremental vs full re-solve, both measured back-to-back on the SAME
+  machine within the run), which must stay within --speedup-threshold of
+  the baseline's speedup and never drop below --min-speedup.
+
+bbsim.bench.batch.v1 (BENCH_batch.json)
+  Hardware-insensitive gates, always applied:
+    - `schedule_hash` (combined and per-policy) must match the baseline
+      exactly: the batch scheduler is deterministic, so any hash drift
+      means scheduling behaviour changed and the baseline must be
+      re-recorded deliberately.
+    - `fcfs_over_easy_slowdown` must stay >= max(--min-ratio, baseline
+      ratio x (1 - --ratio-threshold)): EASY must keep beating FCFS on
+      mean bounded slowdown under BB contention.
+  Without --relative, `jobs_per_second` is additionally gated against the
+  baseline with --threshold, like solves_per_second above.
 
 Exit status: 0 = pass, 1 = regression or divergence, 2 = bad input.
 """
@@ -26,18 +43,19 @@ import json
 import sys
 
 DIVERGENCE_TOL = 1e-6
-SCHEMA = "bbsim.bench.flow_solver.v1"
+SCHEMAS = ("bbsim.bench.flow_solver.v1", "bbsim.bench.batch.v1")
 
 
-def load_tiers(path):
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, ValueError) as exc:
         print(f"error: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
-    if doc.get("schema") != SCHEMA:
-        print(f"error: {path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}",
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        print(f"error: {path}: schema is {schema!r}, want one of {SCHEMAS}",
               file=sys.stderr)
         sys.exit(2)
     tiers = {}
@@ -46,29 +64,22 @@ def load_tiers(path):
     if not tiers:
         print(f"error: {path}: no tiers", file=sys.stderr)
         sys.exit(2)
-    return tiers
+    return schema, tiers
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="allowed fractional throughput drop (default 0.20)")
-    parser.add_argument("--relative", action="store_true",
-                        help="skip the absolute solves/s comparison (different "
-                             "hardware); gate on divergence and speedup_vs_full")
-    parser.add_argument("--speedup-threshold", type=float, default=0.50,
-                        help="with --relative: allowed fractional drop in "
-                             "speedup_vs_full versus baseline (default 0.50)")
-    parser.add_argument("--min-speedup", type=float, default=5.0,
-                        help="with --relative: absolute floor on "
-                             "speedup_vs_full (default 5.0)")
-    args = parser.parse_args()
+def gate_throughput(label, key, base_tier, cur_tier, threshold):
+    """Absolute throughput floor; returns True when the tier regressed."""
+    base_tp = base_tier[key]
+    cur_tp = cur_tier[key]
+    floor = base_tp * (1.0 - threshold)
+    ratio = cur_tp / base_tp if base_tp > 0 else float("inf")
+    verdict = "ok" if cur_tp >= floor else "FAIL"
+    print(f"tier {label}: {verdict} {key} {cur_tp:,.0f} vs baseline "
+          f"{base_tp:,.0f} ({ratio:.2f}x, floor {floor:,.0f})")
+    return cur_tp < floor
 
-    baseline = load_tiers(args.baseline)
-    current = load_tiers(args.current)
 
+def check_flow_solver(baseline, current, args):
     failed = False
     for label in sorted(set(baseline) | set(current)):
         if label not in current:
@@ -101,16 +112,97 @@ def main():
         if label not in baseline:
             print(f"tier {label}: only in current -- no baseline to compare")
             continue
-
-        base_tp = baseline[label]["solves_per_second"]
-        cur_tp = cur["solves_per_second"]
-        floor = base_tp * (1.0 - args.threshold)
-        ratio = cur_tp / base_tp if base_tp > 0 else float("inf")
-        verdict = "ok" if cur_tp >= floor else "FAIL"
-        print(f"tier {label}: {verdict} solves/s {cur_tp:,.0f} vs baseline "
-              f"{base_tp:,.0f} ({ratio:.2f}x, floor {floor:,.0f})")
-        if cur_tp < floor:
+        if gate_throughput(label, "solves_per_second",
+                           baseline[label], cur, args.threshold):
             failed = True
+    return failed
+
+
+def check_batch(baseline, current, args):
+    failed = False
+    for label in sorted(set(baseline) | set(current)):
+        if label not in current:
+            print(f"tier {label}: only in baseline -- skipped")
+            continue
+        cur = current[label]
+        if label not in baseline:
+            print(f"tier {label}: only in current -- no baseline to compare")
+            continue
+        base = baseline[label]
+
+        # Determinism: schedules must be bit-identical to the baseline.
+        hashes = [("schedule_hash", base.get("schedule_hash"),
+                   cur.get("schedule_hash"))]
+        for policy, base_entry in base.get("policies", {}).items():
+            cur_entry = cur.get("policies", {}).get(policy, {})
+            hashes.append((f"policies.{policy}.schedule_hash",
+                           base_entry.get("schedule_hash"),
+                           cur_entry.get("schedule_hash")))
+        hash_failed = False
+        for key, base_hash, cur_hash in hashes:
+            if cur_hash != base_hash:
+                print(f"tier {label}: FAIL {key} {cur_hash} != "
+                      f"baseline {base_hash}")
+                hash_failed = True
+        if hash_failed:
+            failed = True
+        else:
+            print(f"tier {label}: ok schedule hashes match "
+                  f"({len(hashes)} checked)")
+
+        # Policy quality: EASY must keep beating FCFS on mean BSLD.
+        base_ratio = base.get("fcfs_over_easy_slowdown", 0.0)
+        cur_ratio = cur.get("fcfs_over_easy_slowdown", 0.0)
+        floor = max(args.min_ratio, base_ratio * (1.0 - args.ratio_threshold))
+        verdict = "ok" if cur_ratio >= floor else "FAIL"
+        print(f"tier {label}: {verdict} fcfs_over_easy_slowdown "
+              f"{cur_ratio:.2f}x vs baseline {base_ratio:.2f}x "
+              f"(floor {floor:.2f}x)")
+        if cur_ratio < floor:
+            failed = True
+
+        if not args.relative:
+            if gate_throughput(label, "jobs_per_second", base, cur,
+                               args.threshold):
+                failed = True
+    return failed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional throughput drop (default 0.20)")
+    parser.add_argument("--relative", action="store_true",
+                        help="skip absolute throughput comparisons (different "
+                             "hardware); gate on hardware-insensitive "
+                             "quantities only")
+    parser.add_argument("--speedup-threshold", type=float, default=0.50,
+                        help="flow_solver with --relative: allowed fractional "
+                             "drop in speedup_vs_full (default 0.50)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="flow_solver with --relative: absolute floor on "
+                             "speedup_vs_full (default 5.0)")
+    parser.add_argument("--ratio-threshold", type=float, default=0.50,
+                        help="batch: allowed fractional drop in "
+                             "fcfs_over_easy_slowdown (default 0.50)")
+    parser.add_argument("--min-ratio", type=float, default=1.0,
+                        help="batch: absolute floor on "
+                             "fcfs_over_easy_slowdown (default 1.0)")
+    args = parser.parse_args()
+
+    base_schema, baseline = load_doc(args.baseline)
+    cur_schema, current = load_doc(args.current)
+    if base_schema != cur_schema:
+        print(f"error: schema mismatch: baseline {base_schema!r} vs "
+              f"current {cur_schema!r}", file=sys.stderr)
+        sys.exit(2)
+
+    if base_schema == "bbsim.bench.batch.v1":
+        failed = check_batch(baseline, current, args)
+    else:
+        failed = check_flow_solver(baseline, current, args)
 
     if failed:
         print("bench regression check FAILED", file=sys.stderr)

@@ -114,16 +114,18 @@ void FlowManager::settle() {
   net_.for_each_flow([&](FlowId id, const FlowState& st) {
     const double rate = (st.rate == kUnlimited) ? 0.0 : st.rate;
     const double moved = std::min(st.remaining, rate * dt);
+    // res_busy_ doubles as the touched-marker: every branch that writes a
+    // resource sets it, and settle() resets it with res_bytes_ below.
     if (moved > 0.0) {
       for (const ResourceId r : st.spec.path) {
-        if (res_bytes_[r] == 0.0 && res_busy_[r] == 0) touched_.push_back(r);
+        if (res_busy_[r] == 0) touched_.push_back(r);
         res_bytes_[r] += moved;
         res_busy_[r] = 1;
       }
       net_.consume(id, moved);
     } else if (rate > 0.0 || st.rate == kUnlimited) {
       for (const ResourceId r : st.spec.path) {
-        if (res_bytes_[r] == 0.0 && res_busy_[r] == 0) touched_.push_back(r);
+        if (res_busy_[r] == 0) touched_.push_back(r);
         res_busy_[r] = 1;
       }
     }
@@ -206,7 +208,8 @@ void FlowManager::reschedule() {
   if (horizon == kUnlimited) return;  // everything starved (all-zero capacity)
   // Clamp sub-resolution horizons: if now + horizon does not advance the
   // clock, fire now and let the completion tolerance finish those flows.
-  if (engine_.now() + horizon == engine_.now()) horizon = 0.0;
+  // The exact == probes ulp behaviour on purpose; an epsilon would defeat it.
+  if (engine_.now() + horizon == engine_.now()) horizon = 0.0;  // NOLINT(bbsim-float-equality)
 
   wake_event_ = engine_.schedule_in(horizon, [this] { on_wake(); });
   wake_scheduled_ = true;
@@ -223,8 +226,10 @@ void FlowManager::on_wake() {
   net_.for_each_flow([this](FlowId id, const FlowState& st) {
     const bool finished =
         st.remaining <= completion_tolerance(st) || st.rate == kUnlimited ||
-        // Residual too small to ever advance the clock again.
-        (st.rate > 0.0 && engine_.now() + st.remaining / st.rate == engine_.now());
+        // Residual too small to ever advance the clock again (exact == is
+        // the point: it asks whether the addition is an ulp no-op).
+        (st.rate > 0.0 &&
+         engine_.now() + st.remaining / st.rate == engine_.now());  // NOLINT(bbsim-float-equality)
     if (finished) done_.push_back(id);
   });
 

@@ -41,7 +41,9 @@ void Network::set_capacity(ResourceId id, double capacity) {
   BBSIM_ASSERT(capacity >= 0 && !std::isnan(capacity),
                "set_capacity: " + capacity_violation(capacity));
   Resource& res = resource(id);
-  if (res.capacity == capacity) return;  // no-op changes leave the dirt alone
+  // Change detection between two *assigned* (never computed) values: exact
+  // comparison is the intent; no-op changes leave the dirt alone.
+  if (res.capacity == capacity) return;  // NOLINT(bbsim-float-equality)
   res.capacity = capacity;
   mark_resource_dirty(id);
 }
@@ -334,7 +336,11 @@ int Network::solve_closure() {
       if (cap_level < next_level) {
         next_level = cap_level;
         cap_binds = true;
-      } else if (cap_level == next_level && next_level != kUnlimited) {
+        // Exact tie detection on identically-computed levels: an epsilon
+        // here would change which flows freeze in a round, i.e. solver
+        // semantics; an ulp miss only defers the cap one round.
+      } else if (cap_level == next_level &&  // NOLINT(bbsim-float-equality)
+                 next_level != kUnlimited) {
         cap_binds = true;
       }
     }

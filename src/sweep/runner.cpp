@@ -38,7 +38,10 @@ struct SweepState {
 
 void execute_one(const RunSpec& spec, RunOutcome& out) {
   out.name = spec.name;
-  const auto t0 = std::chrono::steady_clock::now();
+  // Host wall time feeds RunOutcome::wall_seconds, which reaches a report
+  // only under the opt-in include_timings flag (sweep/report.hpp) -- the
+  // deterministic report surface never contains it.
+  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(bbsim-nondeterminism-source)
   try {
     if (!spec.body) throw util::ConfigError("run '" + spec.name + "' has no body");
     out.result = spec.body();
@@ -48,8 +51,9 @@ void execute_one(const RunSpec& spec, RunOutcome& out) {
   } catch (...) {
     out.error = "unknown exception";
   }
-  out.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)  // NOLINT(bbsim-nondeterminism-source)
+                         .count();
 }
 
 void worker_loop(SweepState& state, const SweepOptions& options) {

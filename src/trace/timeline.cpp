@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/sorted_view.hpp"
 
 namespace bbsim::trace {
 
@@ -143,8 +144,10 @@ void TimelineRecorder::set_wait_spans(bool on) { timeline_.wait_spans = on; }
 
 Timeline TimelineRecorder::finish() {
   // Close whatever is still open at its last recorded instant (an aborted
-  // or crashed run must still export a loadable timeline).
-  for (const auto& [_, index] : open_flows_) {
+  // or crashed run must still export a loadable timeline). Sorted walk:
+  // each entry touches a distinct span, but the export must not depend on
+  // hash order even incidentally.
+  for (const auto& [_, index] : util::sorted_items(open_flows_)) {
     FlowSpan& span = timeline_.flows[index];
     const double last =
         span.rates.empty() ? span.t_begin : span.rates.back().time;

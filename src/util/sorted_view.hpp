@@ -1,0 +1,60 @@
+/// \file
+/// bbsim -- deterministic iteration over unordered associative containers.
+///
+/// `std::unordered_map` / `std::unordered_set` iteration order is
+/// unspecified and varies across standard libraries, hash seeds and
+/// insertion histories, so a range-for over one inside any path that feeds
+/// serialized output (reports, timelines, metrics JSON) silently breaks the
+/// byte-identical-report guarantee the oracle/fuzz differential layer and
+/// the FNV-1a bench gates depend on. The `bbsim-unordered-iteration` static
+/// check (tools/tidy/) therefore bans direct walks; these helpers are the
+/// sanctioned escape: copy the keys (or key/value pairs) out, sort them,
+/// iterate the sorted copy.
+///
+///   for (const auto& [id, index] : util::sorted_items(open_flows)) ...
+///   for (const auto& key : util::sorted_keys(expected_size)) ...
+///
+/// Cost is O(n log n) plus one copy -- fine for finalization and report
+/// paths, which is exactly where determinism matters; hot paths should use
+/// ordered containers or index vectors instead.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bbsim::util {
+
+/// The container's keys, sorted ascending. Works for unordered maps and
+/// sets alike (for sets the elements are the keys).
+template <typename Container>
+std::vector<typename Container::key_type> sorted_keys(const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& entry : c) {
+    if constexpr (std::is_same_v<typename Container::key_type,
+                                 typename Container::value_type>) {
+      keys.push_back(entry);
+    } else {
+      keys.push_back(entry.first);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// The map's (key, mapped) pairs as plain copies, sorted by key ascending.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(m.size());
+  for (const auto& entry : m) items.emplace_back(entry.first, entry.second);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace bbsim::util

@@ -1,0 +1,37 @@
+// bbsim-tidy-fixture: as-path=src/storage/service_probe_wiring.cpp
+// Allowlist fixture for bbsim-unguarded-audit-hook: probe calls wrapped in
+// BBSIM_AUDIT_HOOK (including multi-line statement bodies) compile out
+// under -DBBSIM_AUDIT=OFF and are clean; observer *declarations* are not
+// calls.
+
+#include <string>
+
+namespace bbsim::storage {
+
+struct StorageService;
+
+struct StorageObserver {
+  virtual ~StorageObserver() = default;
+  virtual void on_occupancy_change(const StorageService& svc,
+                                   const std::string& file, double delta,
+                                   double used_after) = 0;
+  virtual void on_replica_erased(const StorageService& svc,
+                                 const std::string& file, double size) = 0;
+};
+
+#define BBSIM_AUDIT_HOOK(stmt) stmt
+
+struct StorageService {
+  void erase(const std::string& file, double size) {
+    used_ -= size;
+    BBSIM_AUDIT_HOOK(if (observer_ != nullptr) {
+      observer_->on_occupancy_change(*this, file, -size, used_);
+      observer_->on_replica_erased(*this, file, size);
+    });
+  }
+
+  double used_ = 0.0;
+  StorageObserver* observer_ = nullptr;
+};
+
+}  // namespace bbsim::storage

@@ -1,0 +1,29 @@
+// bbsim-tidy-fixture: as-path=src/flow/level_select_eps.cpp
+// Allowlist fixture for bbsim-float-equality: epsilon comparisons, integer
+// comparisons, comparisons against the assigned-only kUnlimited sentinel,
+// and a justified NOLINT are all clean.
+
+#include <cmath>
+#include <cstddef>
+
+namespace fixture {
+
+constexpr double kUnlimited = 1e300;
+constexpr double kEps = 1e-9;
+
+bool drained(double remaining) { return std::abs(remaining) <= kEps; }
+
+bool unconstrained(double rate_cap) {
+  // Sentinel doubles are only ever assigned, never computed, so exact
+  // comparison is the intended idiom (allowlisted by name).
+  return rate_cap == kUnlimited;
+}
+
+bool same_count(std::size_t a, std::size_t b) { return a == b; }
+
+bool exact_change_detect(double stored, double incoming) {
+  // Change detection between two assigned values, reviewed and waived:
+  return stored == incoming;  // NOLINT(bbsim-float-equality)
+}
+
+}  // namespace fixture

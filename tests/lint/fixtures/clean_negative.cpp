@@ -1,0 +1,50 @@
+// bbsim-tidy-fixture: as-path=src/flow/clean_widget.cpp
+// Negative fixture: idiomatic bbsim code placed in the strictest scope
+// (src/flow is covered by every check, including bbsim-float-equality)
+// must produce zero diagnostics from the full bbsim-* check set.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+constexpr double kEps = 1e-12;
+
+struct Resource {
+  std::string name;
+  double capacity = 0.0;
+  int busy = 0;
+};
+
+class Widget {
+ public:
+  void add(const std::string& name, double capacity) {
+    resources_.push_back(Resource{name, capacity, 0});
+  }
+
+  // std::map iterates in key order: deterministic, never flagged.
+  double total(const std::map<std::string, double>& by_name) const {
+    double sum = 0.0;
+    for (const auto& entry : by_name) sum += entry.second;
+    return sum;
+  }
+
+  bool saturated(double used, double capacity) const {
+    return used >= capacity - kEps;
+  }
+
+  std::vector<std::string> names_sorted() const {
+    std::vector<std::string> names;
+    names.reserve(resources_.size());
+    for (const Resource& r : resources_) names.push_back(r.name);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+ private:
+  std::vector<Resource> resources_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// bbsim-tidy-fixture: as-path=src/trace/profiler.cpp
+// Allowlist fixture for bbsim-nondeterminism-source: the wall-clock
+// profiler is the one sanctioned nondeterministic report section, so the
+// same clock reads that flag elsewhere are clean here (path allowlist).
+
+#include <chrono>
+
+namespace fixture {
+
+double self_time() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Simulated virtual time is always fine: it comes from the engine, not the
+// host.
+double virtual_now(double engine_now) { return engine_now; }
+
+}  // namespace fixture

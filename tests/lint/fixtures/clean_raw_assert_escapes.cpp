@@ -1,0 +1,37 @@
+// bbsim-tidy-fixture: as-path=src/exec/placement_checked.cpp
+// Allowlist fixture for bbsim-raw-assert: the project assertion macros,
+// static_assert, same-named member functions and a justified NOLINT are
+// all clean.
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#define BBSIM_ASSERT(cond, msg) \
+  do {                          \
+    if (!(cond)) throw std::runtime_error(msg); \
+  } while (false)
+
+namespace fixture {
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider required");
+
+// A member function named abort() is domain vocabulary, not the libc kill
+// switch (FlowManager::abort aborts a *flow*).
+struct Transfer {
+  bool abort(int id) { return id >= 0; }
+};
+
+int checked_div(int a, int b) {
+  BBSIM_ASSERT(b != 0, "division by zero");
+  return a / b;
+}
+
+bool cancel(Transfer& t, int id) { return t.abort(id); }
+
+void last_resort(bool ok) {
+  // Handler of last resort in a noexcept teardown path, reviewed:
+  if (!ok) std::abort();  // NOLINT(bbsim-raw-assert)
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// bbsim-tidy-fixture: as-path=src/flow/level_select.cpp
+// Flagging fixture for bbsim-float-equality: exact ==/!= between
+// floating-point expressions in solver/scheduler code is the PR 7
+// epsilon-deadlock defect class and must be diagnosed.
+
+namespace fixture {
+
+bool levels_tie(double cap_level, double next_level) {
+  return cap_level == next_level;  // CHECK: bbsim-float-equality
+}
+
+bool drained(double remaining) {
+  return remaining == 0.0;  // CHECK: bbsim-float-equality
+}
+
+bool rate_changed(double before, double after) {
+  if (before != after) {  // CHECK: bbsim-float-equality
+    return true;
+  }
+  return false;
+}
+
+bool literal_lhs(double x) {
+  return 1.5e-9 == x;  // CHECK: bbsim-float-equality
+}
+
+}  // namespace fixture

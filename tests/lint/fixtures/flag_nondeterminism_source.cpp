@@ -1,0 +1,38 @@
+// bbsim-tidy-fixture: as-path=src/exec/scheduler_state.cpp
+// Flagging fixture for bbsim-nondeterminism-source: wall clocks, libc
+// randomness, random_device and environment reads anywhere outside the
+// sanctioned profiler/bench files must be diagnosed.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+using Clock = std::chrono::steady_clock;
+
+double wall_now() {
+  const auto t0 = std::chrono::steady_clock::now();  // CHECK: bbsim-nondeterminism-source
+  const auto t1 = std::chrono::system_clock::now();  // CHECK: bbsim-nondeterminism-source
+  const auto t2 = Clock::now();  // CHECK: bbsim-nondeterminism-source
+  (void)t1;
+  return std::chrono::duration<double>(t2 - t0).count();
+}
+
+int libc_entropy() {
+  int x = rand();  // CHECK: bbsim-nondeterminism-source
+  x += static_cast<int>(time(nullptr));  // CHECK: bbsim-nondeterminism-source
+  return x;
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // CHECK: bbsim-nondeterminism-source
+  return rd();
+}
+
+const char* env_read() {
+  return std::getenv("BBSIM_SEED");  // CHECK: bbsim-nondeterminism-source
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// bbsim-tidy-fixture: as-path=src/exec/placement_guard.cpp
+// Flagging fixture for bbsim-raw-assert: raw assert()/abort() in library
+// code bypass the BBSIM_ASSERT / BBSIM_AUDIT_CHECK error discipline
+// (file:line context, audit collection) and must be diagnosed.
+
+#include <cassert>
+#include <cstdlib>
+
+namespace fixture {
+
+int checked_div(int a, int b) {
+  assert(b != 0);  // CHECK: bbsim-raw-assert
+  return a / b;
+}
+
+void die_on_bad_state(bool ok) {
+  if (!ok) {
+    abort();  // CHECK: bbsim-raw-assert
+  }
+}
+
+void die_qualified(bool ok) {
+  if (!ok) {
+    std::abort();  // CHECK: bbsim-raw-assert
+  }
+}
+
+}  // namespace fixture

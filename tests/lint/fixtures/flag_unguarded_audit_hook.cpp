@@ -1,0 +1,40 @@
+// bbsim-tidy-fixture: as-path=src/sim/engine_probe_wiring.cpp
+// Flagging fixture for bbsim-unguarded-audit-hook: audit observer probe
+// calls outside BBSIM_AUDIT_HOOK survive -DBBSIM_AUDIT=OFF builds, which
+// defeats the compile-out guarantee, and must be diagnosed.
+
+namespace bbsim::sim {
+
+using EventId = unsigned long long;
+using Time = double;
+
+struct EngineObserver {
+  virtual ~EngineObserver() = default;
+  virtual void on_scheduled(EventId id, Time now, Time when) = 0;
+  virtual void on_executed(EventId id, Time when) = 0;
+  virtual void on_cancelled(EventId id) = 0;
+};
+
+#define BBSIM_AUDIT_HOOK(stmt) stmt
+
+class Engine {
+ public:
+  void schedule(EventId id, Time now, Time when) {
+    if (observer_ != nullptr) {
+      observer_->on_scheduled(id, now, when);  // CHECK: bbsim-unguarded-audit-hook
+    }
+  }
+
+  void execute(EventId id, Time when) {
+    if (observer_ != nullptr) observer_->on_executed(id, when);  // CHECK: bbsim-unguarded-audit-hook
+  }
+
+  void cancel(EventId id) {
+    BBSIM_AUDIT_HOOK(if (observer_ != nullptr) observer_->on_cancelled(id));
+  }
+
+ private:
+  EngineObserver* observer_ = nullptr;
+};
+
+}  // namespace bbsim::sim

@@ -1,0 +1,53 @@
+// bbsim-tidy-fixture: as-path=src/report/summary.cpp
+// Flagging fixture for bbsim-unordered-iteration: direct walks over
+// unordered containers in a (virtual) report path must be diagnosed,
+// whether by range-for or by explicit iterator.
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using Index = std::unordered_map<std::string, std::size_t>;
+
+struct Summary {
+  std::unordered_map<std::string, double> totals;
+  std::unordered_set<int> seen;
+  Index by_name;
+
+  double sum_direct() const {
+    double sum = 0.0;
+    for (const auto& entry : totals) {  // CHECK: bbsim-unordered-iteration
+      sum += entry.second;
+    }
+    return sum;
+  }
+
+  int count_direct() const {
+    int n = 0;
+    for (const int id : seen) {  // CHECK: bbsim-unordered-iteration
+      n += id;
+    }
+    return n;
+  }
+
+  std::size_t walk_alias() const {
+    std::size_t sum = 0;
+    for (const auto& entry : by_name) {  // CHECK: bbsim-unordered-iteration
+      sum += entry.second;
+    }
+    return sum;
+  }
+
+  double iterator_walk() const {
+    double sum = 0.0;
+    for (auto it = totals.begin(); it != totals.end(); ++it) {  // CHECK: bbsim-unordered-iteration
+      sum += it->second;
+    }
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+//===--- BbsimTidyModule.cpp - bbsim clang-tidy plugin entry point --------===//
+//
+// Registers the bbsim-* determinism and simulation-invariant checks as a
+// clang-tidy plugin module. Load with
+//
+//   clang-tidy -load /path/to/bbsim_tidy.so -checks='-*,bbsim-*' ...
+//
+// The checks are grounded in real bbsim defect classes; docs/
+// static-analysis.md carries the catalog and rationale, and
+// tools/tidy/bbsim_tidy.py is the portable mirror used where Clang dev
+// headers are unavailable. tests/lint/ fixtures pin both implementations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "FloatEqualityCheck.h"
+#include "NondeterminismSourceCheck.h"
+#include "RawAssertCheck.h"
+#include "UnguardedAuditHookCheck.h"
+#include "UnorderedIterationCheck.h"
+
+namespace bbsim_tidy {
+
+class BbsimTidyModule : public clang::tidy::ClangTidyModule {
+public:
+  void addCheckFactories(
+      clang::tidy::ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<UnorderedIterationCheck>(
+        "bbsim-unordered-iteration");
+    CheckFactories.registerCheck<NondeterminismSourceCheck>(
+        "bbsim-nondeterminism-source");
+    CheckFactories.registerCheck<RawAssertCheck>("bbsim-raw-assert");
+    CheckFactories.registerCheck<FloatEqualityCheck>("bbsim-float-equality");
+    CheckFactories.registerCheck<UnguardedAuditHookCheck>(
+        "bbsim-unguarded-audit-hook");
+  }
+};
+
+} // namespace bbsim_tidy
+
+namespace clang::tidy {
+
+// Register the module with clang-tidy's global registry so -load picks the
+// checks up.
+static ClangTidyModuleRegistry::Add<bbsim_tidy::BbsimTidyModule>
+    X("bbsim-module", "bbsim determinism and simulation-invariant checks.");
+
+// Anchor symbol so the shared object is not dead-stripped.
+volatile int BbsimTidyModuleAnchorSource = 0;
+
+} // namespace clang::tidy

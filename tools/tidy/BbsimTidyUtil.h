@@ -1,0 +1,45 @@
+//===--- BbsimTidyUtil.h - shared helpers for the bbsim-* checks ----------===//
+//
+// Shared helpers for the bbsim clang-tidy checks: path scoping/allowlisting
+// and macro-guard detection. Kept header-only so every check stays a single
+// .cpp. The defaults here mirror tools/tidy/bbsim_tidy.py -- change both
+// together (docs/static-analysis.md documents the pairing).
+//
+//===----------------------------------------------------------------------===//
+#ifndef BBSIM_TIDY_BBSIMTIDYUTIL_H
+#define BBSIM_TIDY_BBSIMTIDYUTIL_H
+
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/Lexer.h"
+#include "llvm/Support/Regex.h"
+
+namespace bbsim_tidy {
+
+/// True when `Loc`'s (expansion) file path matches `Re`. Paths are matched
+/// with regex *search* semantics, as in the Python mirror; absolute build
+/// paths still match `(^|/)src/...` style patterns.
+inline bool pathMatches(const llvm::Regex &Re, const clang::SourceManager &SM,
+                        clang::SourceLocation Loc) {
+  if (Loc.isInvalid())
+    return false;
+  llvm::StringRef Path = SM.getFilename(SM.getExpansionLoc(Loc));
+  return !Path.empty() && Re.match(Path);
+}
+
+/// True when `Loc` lies (at any macro-nesting level) inside an expansion of
+/// the macro named `MacroName`.
+inline bool insideMacro(clang::SourceLocation Loc,
+                        const clang::SourceManager &SM,
+                        const clang::LangOptions &LangOpts,
+                        llvm::StringRef MacroName) {
+  while (Loc.isMacroID()) {
+    if (clang::Lexer::getImmediateMacroName(Loc, SM, LangOpts) == MacroName)
+      return true;
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+  return false;
+}
+
+} // namespace bbsim_tidy
+
+#endif // BBSIM_TIDY_BBSIMTIDYUTIL_H

@@ -1,0 +1,72 @@
+//===--- FloatEqualityCheck.cpp - bbsim-float-equality --------------------===//
+
+#include "FloatEqualityCheck.h"
+
+#include "BbsimTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace bbsim_tidy {
+
+FloatEqualityCheck::FloatEqualityCheck(llvm::StringRef Name,
+                                       clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      FilesRegex(Options.get("FilesRegex", "(^|/)src/(flow|batch)/")),
+      AllowedConstantsList(
+          Options.get("AllowedConstants", "kUnlimited;kPostRun;kNoEstimate")),
+      Files(FilesRegex) {
+  llvm::SmallVector<llvm::StringRef, 8> Names;
+  llvm::StringRef(AllowedConstantsList).split(Names, ';', -1, false);
+  for (llvm::StringRef N : Names)
+    AllowedConstants.insert(N.trim());
+}
+
+void FloatEqualityCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "FilesRegex", FilesRegex);
+  Options.store(Opts, "AllowedConstants", AllowedConstantsList);
+}
+
+void FloatEqualityCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("==", "!="),
+                     hasEitherOperand(ignoringImpCasts(
+                         expr(hasType(realFloatingPointType())))))
+          .bind("cmp"),
+      this);
+}
+
+static llvm::StringRef sentinelName(const clang::Expr *E) {
+  E = E->IgnoreParenImpCasts();
+  if (const auto *Ref = llvm::dyn_cast<clang::DeclRefExpr>(E))
+    return Ref->getDecl()->getName();
+  if (const auto *Member = llvm::dyn_cast<clang::MemberExpr>(E))
+    return Member->getMemberDecl()->getName();
+  return llvm::StringRef();
+}
+
+void FloatEqualityCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cmp = Result.Nodes.getNodeAs<clang::BinaryOperator>("cmp");
+  if (Cmp == nullptr)
+    return;
+  const clang::SourceManager &SM = *Result.SourceManager;
+  const clang::SourceLocation Loc = Cmp->getOperatorLoc();
+  if (!pathMatches(Files, SM, Loc))
+    return;
+  const llvm::StringRef L = sentinelName(Cmp->getLHS());
+  const llvm::StringRef R = sentinelName(Cmp->getRHS());
+  if ((!L.empty() && AllowedConstants.contains(L)) ||
+      (!R.empty() && AllowedConstants.contains(R)))
+    return;
+  diag(SM.getExpansionLoc(Loc),
+       "exact floating-point '%0' in scheduler/solver code; compare "
+       "against an epsilon or a named sentinel")
+      << clang::BinaryOperator::getOpcodeStr(Cmp->getOpcode());
+}
+
+} // namespace bbsim_tidy

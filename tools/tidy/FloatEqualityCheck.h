@@ -1,0 +1,49 @@
+//===--- FloatEqualityCheck.h - bbsim-float-equality ----------------------===//
+//
+// Flags exact ==/!= between floating-point expressions in solver and
+// scheduler arithmetic (src/flow, src/batch): the PR 7 BB-deadlock bugs in
+// the plan-based/backfilling schedulers were exactly this defect class
+// (absolute-epsilon comparisons that silently never fire at fleet scale).
+// Comparisons against named sentinel constants that are only ever assigned
+// -- never computed -- (kUnlimited and friends) are the intended idiom and
+// are allowlisted by name; anything else needs an epsilon or a NOLINT with
+// a recorded justification.
+//
+// Options:
+//   FilesRegex        paths the check applies to (default: src/flow|batch)
+//   AllowedConstants  semicolon-separated sentinel names whose exact
+//                     comparison is sanctioned
+//
+//===----------------------------------------------------------------------===//
+#ifndef BBSIM_TIDY_FLOATEQUALITYCHECK_H
+#define BBSIM_TIDY_FLOATEQUALITYCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/StringSet.h"
+#include "llvm/Support/Regex.h"
+
+namespace bbsim_tidy {
+
+class FloatEqualityCheck : public clang::tidy::ClangTidyCheck {
+public:
+  FloatEqualityCheck(llvm::StringRef Name,
+                     clang::tidy::ClangTidyContext *Context);
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+private:
+  const std::string FilesRegex;
+  const std::string AllowedConstantsList;
+  llvm::Regex Files;
+  llvm::StringSet<> AllowedConstants;
+};
+
+} // namespace bbsim_tidy
+
+#endif // BBSIM_TIDY_FLOATEQUALITYCHECK_H

@@ -1,0 +1,75 @@
+//===--- NondeterminismSourceCheck.cpp - bbsim-nondeterminism-source ------===//
+
+#include "NondeterminismSourceCheck.h"
+
+#include "BbsimTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace bbsim_tidy {
+
+NondeterminismSourceCheck::NondeterminismSourceCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFilesRegex(Options.get(
+          "AllowedFilesRegex",
+          "(^|/)(src/trace/profiler\\.(hpp|cpp)$|bench/|tests/)")),
+      AllowedFiles(AllowedFilesRegex) {}
+
+void NondeterminismSourceCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+}
+
+void NondeterminismSourceCheck::registerMatchers(MatchFinder *Finder) {
+  // Free functions from libc / <cstdlib> / <ctime>.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::time", "::std::time", "::rand", "::std::rand",
+                              "::srand", "::std::srand", "::getenv",
+                              "::std::getenv"))))
+          .bind("call"),
+      this);
+  // Wall clocks: static member now(). high_resolution_clock is a typedef of
+  // one of the other two in every mainstream stdlib, so naming all three is
+  // belt and braces.
+  Finder->addMatcher(
+      callExpr(callee(cxxMethodDecl(
+                   hasName("now"),
+                   ofClass(hasAnyName("::std::chrono::system_clock",
+                                      "::std::chrono::steady_clock",
+                                      "::std::chrono::high_resolution_clock")))))
+          .bind("call"),
+      this);
+  // Hardware entropy.
+  Finder->addMatcher(
+      varDecl(hasType(cxxRecordDecl(hasName("::std::random_device"))))
+          .bind("rd"),
+      this);
+}
+
+void NondeterminismSourceCheck::check(const MatchFinder::MatchResult &Result) {
+  clang::SourceLocation Loc;
+  llvm::StringRef What;
+  if (const auto *Call = Result.Nodes.getNodeAs<clang::CallExpr>("call")) {
+    Loc = Call->getBeginLoc();
+    What = "host clock/entropy/environment call";
+  } else if (const auto *RD = Result.Nodes.getNodeAs<clang::VarDecl>("rd")) {
+    Loc = RD->getLocation();
+    What = "std::random_device";
+  } else {
+    return;
+  }
+
+  const clang::SourceManager &SM = *Result.SourceManager;
+  if (pathMatches(AllowedFiles, SM, Loc))
+    return;
+  diag(SM.getExpansionLoc(Loc),
+       "%0 is a nondeterminism source; only the src/trace profiler and "
+       "bench harnesses may read host state")
+      << What;
+}
+
+} // namespace bbsim_tidy

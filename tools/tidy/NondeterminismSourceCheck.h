@@ -1,0 +1,40 @@
+//===--- NondeterminismSourceCheck.h - bbsim-nondeterminism-source --------===//
+//
+// Flags reads of host state that would leak nondeterminism into simulation
+// results: wall clocks (std::chrono::{system,steady,high_resolution}_clock
+// ::now), libc time()/rand()/srand(), std::random_device, and getenv. The
+// wall-clock self-profiler (src/trace/profiler.*) is the only sanctioned
+// nondeterministic report section; bench/ harnesses measure host time by
+// design and tests/ may use clocks for timeouts, so those paths are
+// allowlisted. Everything else must derive time from the simulation engine
+// and randomness from seeded util::rng.
+//
+// Options:
+//   AllowedFilesRegex  paths where host-state reads are sanctioned
+//
+//===----------------------------------------------------------------------===//
+#ifndef BBSIM_TIDY_NONDETERMINISMSOURCECHECK_H
+#define BBSIM_TIDY_NONDETERMINISMSOURCECHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace bbsim_tidy {
+
+class NondeterminismSourceCheck : public clang::tidy::ClangTidyCheck {
+public:
+  NondeterminismSourceCheck(llvm::StringRef Name,
+                            clang::tidy::ClangTidyContext *Context);
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string AllowedFilesRegex;
+  llvm::Regex AllowedFiles;
+};
+
+} // namespace bbsim_tidy
+
+#endif // BBSIM_TIDY_NONDETERMINISMSOURCECHECK_H

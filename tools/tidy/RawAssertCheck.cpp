@@ -1,0 +1,83 @@
+//===--- RawAssertCheck.cpp - bbsim-raw-assert ----------------------------===//
+
+#include "RawAssertCheck.h"
+
+#include "BbsimTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+
+using namespace clang::ast_matchers;
+
+namespace bbsim_tidy {
+
+namespace {
+
+class AssertPPCallbacks : public clang::PPCallbacks {
+public:
+  AssertPPCallbacks(RawAssertCheck *Check, const clang::SourceManager &SM)
+      : Check(Check), SM(SM) {}
+
+  void MacroExpands(const clang::Token &MacroNameTok,
+                    const clang::MacroDefinition &,
+                    clang::SourceRange Range,
+                    const clang::MacroArgs *) override {
+    const clang::IdentifierInfo *II = MacroNameTok.getIdentifierInfo();
+    if (II != nullptr && II->getName() == "assert")
+      Check->flagAssert(Range.getBegin(), SM);
+  }
+
+private:
+  RawAssertCheck *Check;
+  const clang::SourceManager &SM;
+};
+
+} // namespace
+
+RawAssertCheck::RawAssertCheck(llvm::StringRef Name,
+                               clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      FilesRegex(Options.get("FilesRegex", "(^|/)src/")), Files(FilesRegex) {}
+
+void RawAssertCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "FilesRegex", FilesRegex);
+}
+
+void RawAssertCheck::registerPPCallbacks(const clang::SourceManager &SM,
+                                         clang::Preprocessor *PP,
+                                         clang::Preprocessor *) {
+  PP->addPPCallbacks(std::make_unique<AssertPPCallbacks>(this, SM));
+}
+
+void RawAssertCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::abort", "::std::abort"))))
+          .bind("abort"),
+      this);
+}
+
+void RawAssertCheck::flagAssert(clang::SourceLocation Loc,
+                                const clang::SourceManager &SM) {
+  if (!pathMatches(Files, SM, Loc))
+    return;
+  diag(SM.getExpansionLoc(Loc),
+       "raw 'assert()' in library code; use BBSIM_ASSERT (hard invariant) "
+       "or BBSIM_AUDIT_CHECK (recorded violation) from util/error.hpp");
+}
+
+void RawAssertCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<clang::CallExpr>("abort");
+  if (Call == nullptr)
+    return;
+  const clang::SourceManager &SM = *Result.SourceManager;
+  const clang::SourceLocation Loc = Call->getBeginLoc();
+  if (!pathMatches(Files, SM, Loc))
+    return;
+  diag(SM.getExpansionLoc(Loc),
+       "raw 'abort()' in library code; use BBSIM_ASSERT (hard invariant) "
+       "or BBSIM_AUDIT_CHECK (recorded violation) from util/error.hpp");
+}
+
+} // namespace bbsim_tidy

@@ -1,0 +1,44 @@
+//===--- RawAssertCheck.h - bbsim-raw-assert ------------------------------===//
+//
+// Flags raw assert() macro expansions and abort()/std::abort() calls in
+// library code (src/). bbsim invariants must go through BBSIM_ASSERT (hard
+// failure with file:line context, catchable as util::InvariantError) or
+// BBSIM_AUDIT_CHECK (recorded into the audit sink without stopping the
+// run) from util/error.hpp; raw asserts vanish under NDEBUG and raw aborts
+// skip both the error taxonomy and the audit trail. tools/ mains and
+// bench/ harnesses are out of scope.
+//
+// Options:
+//   FilesRegex  paths the check applies to (default: src/)
+//
+//===----------------------------------------------------------------------===//
+#ifndef BBSIM_TIDY_RAWASSERTCHECK_H
+#define BBSIM_TIDY_RAWASSERTCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace bbsim_tidy {
+
+class RawAssertCheck : public clang::tidy::ClangTidyCheck {
+public:
+  RawAssertCheck(llvm::StringRef Name, clang::tidy::ClangTidyContext *Context);
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void registerPPCallbacks(const clang::SourceManager &SM,
+                           clang::Preprocessor *PP,
+                           clang::Preprocessor *ModuleExpanderPP) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+  /// Called by the preprocessor hook for each assert() expansion.
+  void flagAssert(clang::SourceLocation Loc, const clang::SourceManager &SM);
+
+private:
+  const std::string FilesRegex;
+  llvm::Regex Files;
+};
+
+} // namespace bbsim_tidy
+
+#endif // BBSIM_TIDY_RAWASSERTCHECK_H

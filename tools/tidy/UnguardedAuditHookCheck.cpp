@@ -1,0 +1,56 @@
+//===--- UnguardedAuditHookCheck.cpp - bbsim-unguarded-audit-hook ---------===//
+
+#include "UnguardedAuditHookCheck.h"
+
+#include "BbsimTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace bbsim_tidy {
+
+UnguardedAuditHookCheck::UnguardedAuditHookCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      FilesRegex(Options.get("FilesRegex", "(^|/)src/")),
+      AllowedFilesRegex(Options.get("AllowedFilesRegex", "(^|/)src/audit/")),
+      ObserverClassRegex(Options.get(
+          "ObserverClassRegex", "(EngineObserver|StorageObserver)$")),
+      GuardMacro(Options.get("GuardMacro", "BBSIM_AUDIT_HOOK")),
+      Files(FilesRegex), AllowedFiles(AllowedFilesRegex) {}
+
+void UnguardedAuditHookCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "FilesRegex", FilesRegex);
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+  Options.store(Opts, "ObserverClassRegex", ObserverClassRegex);
+  Options.store(Opts, "GuardMacro", GuardMacro);
+}
+
+void UnguardedAuditHookCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(
+                            ofClass(cxxRecordDecl(
+                                matchesName(ObserverClassRegex))))))
+          .bind("probe"),
+      this);
+}
+
+void UnguardedAuditHookCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("probe");
+  if (Call == nullptr)
+    return;
+  const clang::SourceManager &SM = *Result.SourceManager;
+  const clang::SourceLocation Loc = Call->getBeginLoc();
+  if (!pathMatches(Files, SM, Loc) || pathMatches(AllowedFiles, SM, Loc))
+    return;
+  if (insideMacro(Loc, SM, getLangOpts(), GuardMacro))
+    return;
+  diag(SM.getExpansionLoc(Loc),
+       "audit observer call outside %0; it would survive "
+       "-DBBSIM_AUDIT=OFF builds")
+      << GuardMacro;
+}
+
+} // namespace bbsim_tidy

@@ -1,0 +1,49 @@
+//===--- UnguardedAuditHookCheck.h - bbsim-unguarded-audit-hook -----------===//
+//
+// Flags direct calls to audit observer interfaces (sim::EngineObserver,
+// storage::StorageObserver) that are not wrapped in BBSIM_AUDIT_HOOK. The
+// macro is what makes -DBBSIM_AUDIT=OFF compile the probes out entirely;
+// an unwrapped call survives that configuration and silently re-introduces
+// audit overhead (and an ODR-visible dependency) into release builds.
+// src/audit/ implements the observers and may call them directly.
+//
+// Options:
+//   FilesRegex          paths the check applies to (default: src/)
+//   AllowedFilesRegex   paths exempt from the check (default: src/audit/)
+//   ObserverClassRegex  qualified-name regex of the observer interfaces
+//   GuardMacro          the wrapper macro name (default: BBSIM_AUDIT_HOOK)
+//
+//===----------------------------------------------------------------------===//
+#ifndef BBSIM_TIDY_UNGUARDEDAUDITHOOKCHECK_H
+#define BBSIM_TIDY_UNGUARDEDAUDITHOOKCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace bbsim_tidy {
+
+class UnguardedAuditHookCheck : public clang::tidy::ClangTidyCheck {
+public:
+  UnguardedAuditHookCheck(llvm::StringRef Name,
+                          clang::tidy::ClangTidyContext *Context);
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+private:
+  const std::string FilesRegex;
+  const std::string AllowedFilesRegex;
+  const std::string ObserverClassRegex;
+  const std::string GuardMacro;
+  llvm::Regex Files;
+  llvm::Regex AllowedFiles;
+};
+
+} // namespace bbsim_tidy
+
+#endif // BBSIM_TIDY_UNGUARDEDAUDITHOOKCHECK_H

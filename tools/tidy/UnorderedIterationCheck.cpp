@@ -1,0 +1,64 @@
+//===--- UnorderedIterationCheck.cpp - bbsim-unordered-iteration ----------===//
+
+#include "UnorderedIterationCheck.h"
+
+#include "BbsimTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace bbsim_tidy {
+
+UnorderedIterationCheck::UnorderedIterationCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFilesRegex(Options.get("AllowedFilesRegex",
+                                    "(^|/)src/util/sorted_view\\.hpp$")),
+      AllowedFiles(AllowedFilesRegex) {}
+
+void UnorderedIterationCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+}
+
+void UnorderedIterationCheck::registerMatchers(MatchFinder *Finder) {
+  const auto UnorderedDecl = classTemplateSpecializationDecl(
+      hasAnyName("::std::unordered_map", "::std::unordered_set",
+                 "::std::unordered_multimap", "::std::unordered_multiset"));
+  const auto UnorderedType = qualType(hasUnqualifiedDesugaredType(
+      recordType(hasDeclaration(UnorderedDecl))));
+
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(UnorderedType)).bind("range")))
+          .bind("loop"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                        on(expr(hasType(UnorderedType))))
+          .bind("begin"),
+      this);
+}
+
+void UnorderedIterationCheck::check(const MatchFinder::MatchResult &Result) {
+  clang::SourceLocation Loc;
+  if (const auto *Loop =
+          Result.Nodes.getNodeAs<clang::CXXForRangeStmt>("loop"))
+    Loc = Loop->getForLoc();
+  else if (const auto *Begin =
+               Result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("begin"))
+    Loc = Begin->getBeginLoc();
+  else
+    return;
+
+  const clang::SourceManager &SM = *Result.SourceManager;
+  if (pathMatches(AllowedFiles, SM, Loc))
+    return;
+  diag(SM.getExpansionLoc(Loc),
+       "iteration order over an unordered container is unspecified and "
+       "breaks report determinism; iterate util::sorted_keys()/"
+       "sorted_items() instead");
+}
+
+} // namespace bbsim_tidy

@@ -1,0 +1,44 @@
+//===--- UnorderedIterationCheck.h - bbsim-unordered-iteration ------------===//
+//
+// Flags range-for loops and explicit begin()/cbegin() iterator walks over
+// std::unordered_{map,set,multimap,multiset}: iteration order is
+// unspecified, so any such walk that feeds serialized output silently
+// breaks bbsim's byte-identical-report guarantee. The sanctioned escape is
+// util::sorted_keys()/sorted_items() (src/util/sorted_view.hpp, whose own
+// implementation is the one allowlisted walk), or NOLINT with a recorded
+// justification for provably order-independent folds.
+//
+// Options:
+//   AllowedFilesRegex  paths where direct walks are sanctioned
+//                      (default: the sorted_view.hpp wrapper itself)
+//
+//===----------------------------------------------------------------------===//
+#ifndef BBSIM_TIDY_UNORDEREDITERATIONCHECK_H
+#define BBSIM_TIDY_UNORDEREDITERATIONCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace bbsim_tidy {
+
+class UnorderedIterationCheck : public clang::tidy::ClangTidyCheck {
+public:
+  UnorderedIterationCheck(llvm::StringRef Name,
+                          clang::tidy::ClangTidyContext *Context);
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+private:
+  const std::string AllowedFilesRegex;
+  llvm::Regex AllowedFiles;
+};
+
+} // namespace bbsim_tidy
+
+#endif // BBSIM_TIDY_UNORDEREDITERATIONCHECK_H

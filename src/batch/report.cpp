@@ -109,6 +109,16 @@ json::Value batch_report(const JobStream& stream, const MachineSpec& machine,
     sum.set("mean_queue_depth", s.mean_queue_depth);
     sum.set("backfilled_jobs", s.backfilled_jobs);
     sum.set("killed_jobs", s.killed_jobs);
+    if (run.faults_enabled) {
+      // Present whenever the outage process was armed -- even all-zero --
+      // so fault-sweep consumers need not special-case quiet runs.
+      json::Object outages;
+      outages.set("node_outages", run.node_outages);
+      outages.set("resubmitted_jobs", run.resubmitted_jobs);
+      outages.set("lost_node_seconds", run.lost_node_seconds);
+      outages.set("down_node_seconds", run.down_node_seconds);
+      sum.set("outages", json::Value(std::move(outages)));
+    }
     r.set("summary", json::Value(std::move(sum)));
 
     if (include_jobs) {
@@ -128,6 +138,10 @@ json::Value batch_report(const JobStream& stream, const MachineSpec& machine,
         o.set("backfilled", j.backfilled);
         o.set("killed", j.killed);
         if (j.reserved_start >= 0) o.set("reserved_start", j.reserved_start);
+        if (j.resubmits > 0) {
+          o.set("resubmits", j.resubmits);
+          o.set("lost_node_seconds", j.lost_node_seconds);
+        }
         jobs.push_back(json::Value(std::move(o)));
       }
       r.set("jobs", json::Value(std::move(jobs)));

@@ -206,10 +206,27 @@ class FleetSim {
   double free_bb_ = 0.0;
   std::size_t next_arrival_ = 0;
 
+  // ------------------------------------------------------- node outages
+  /// One active outage: `node` is out until `repair_end`. Sorted insertion
+  /// is not needed -- the vector stays tiny (bounded by machine nodes).
+  struct Outage {
+    std::size_t node = 0;
+    double repair_end = 0.0;
+  };
+  int down_nodes() const { return static_cast<int>(down_.size()); }
+  /// Next crash time for `node` measured from `from`; kInf past the horizon.
+  double sample_crash(std::size_t node, double from);
+  /// Process repairs then crashes due at now_ (kill-and-resubmit).
+  void apply_outages();
+  std::unique_ptr<resil::FaultModel> fault_model_;  ///< null = faults off
+  std::vector<double> next_crash_;  ///< per node; kInf while down / past horizon
+  std::vector<Outage> down_;        ///< active outages
+
   std::unique_ptr<stats::MetricsRegistry> metrics_;
   std::unique_ptr<trace::TimelineRecorder> timeline_;
   trace::TrackId track_free_nodes_ = 0;
   trace::TrackId track_bb_used_ = 0;
+  trace::TrackId track_down_nodes_ = 0;
   std::unique_ptr<audit::Auditor> auditor_;
 };
 
@@ -232,6 +249,66 @@ void FleetSim::start_job(std::size_t idx, bool backfilled) {
   }
 }
 
+double FleetSim::sample_crash(std::size_t node, double from) {
+  const double at = from + fault_model_->next_node_gap(node);
+  const resil::FaultSpec& spec = fault_model_->spec();
+  if (spec.horizon > 0.0 && at > spec.horizon) return kInf;
+  return at;
+}
+
+void FleetSim::apply_outages() {
+  if (!fault_model_) return;
+  // Repairs first: a node repaired at the same instant another crashes is
+  // available to absorb the loss. Repairs sweep in outage order, crashes in
+  // node-index order -- both fixed, so the run is deterministic.
+  for (std::size_t i = 0; i < down_.size();) {
+    if (down_[i].repair_end <= now_ + kEps) {
+      const std::size_t node = down_[i].node;
+      down_.erase(down_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++free_nodes_;
+      next_crash_[node] = sample_crash(node, now_);
+    } else {
+      ++i;
+    }
+  }
+  for (std::size_t node = 0; node < next_crash_.size(); ++node) {
+    if (next_crash_[node] > now_ + kEps) continue;
+    next_crash_[node] = kInf;  // re-armed when the repair fires
+    down_.push_back({node, now_ + config_.faults.node_repair});
+    ++result_.node_outages;
+    if (metrics_) metrics_->counter("batch.node_outages").add();
+    if (free_nodes_ > 0) {
+      --free_nodes_;  // the crash landed on an idle node
+      continue;
+    }
+    // Every node is busy: the crash lands on a running job. Kill the most
+    // recently started one (least sunk work; ties break to the highest id)
+    // and resubmit it at the queue tail -- the batch-system response to
+    // node loss when the application cannot survive it.
+    std::size_t victim = running_.front();
+    for (const std::size_t r : running_) {
+      const double rs = outcomes_[r].start;
+      const double vs = outcomes_[victim].start;
+      if (rs > vs + kEps || (std::abs(rs - vs) <= kEps && job(r).id > job(victim).id)) {
+        victim = r;
+      }
+    }
+    running_.erase(std::find(running_.begin(), running_.end(), victim));
+    const double lost = (now_ - outcomes_[victim].start) * job(victim).nodes;
+    outcomes_[victim].resubmits += 1;
+    outcomes_[victim].lost_node_seconds += lost;
+    result_.lost_node_seconds += lost;
+    ++result_.resubmitted_jobs;
+    free_nodes_ += job(victim).nodes - 1;  // its nodes free up; one is now down
+    // Resync the BB pool from the ledger (same drift defense as completions).
+    double reserved = 0.0;
+    for (const std::size_t r : running_) reserved += alloc(r);
+    free_bb_ = machine_.bb_bytes - reserved;
+    queue_.push_back(victim);
+    if (metrics_) metrics_->counter("batch.jobs_resubmitted").add();
+  }
+}
+
 void FleetSim::pass_fcfs() {
   while (!queue_.empty() && fits_now(queue_.front())) {
     start_job(queue_.front(), false);
@@ -251,12 +328,30 @@ void FleetSim::pass_easy() {
     if (queue_.empty()) return;
 
     // Head blocked: find the shadow time -- the earliest instant the
-    // running jobs' *estimated* completions free both of its dimensions.
+    // running jobs' *estimated* completions (and, under faults, down-node
+    // repairs, which release a node exactly like a completion) free both of
+    // its dimensions.
     const std::size_t head = queue_.front();
-    std::vector<std::size_t> by_end(running_);
-    std::sort(by_end.begin(), by_end.end(), [&](std::size_t a, std::size_t b) {
-      if (end_estimate(a) != end_estimate(b)) return end_estimate(a) < end_estimate(b);
-      return job(a).id < job(b).id;
+    struct Release {
+      double end = 0.0;
+      int nodes = 0;
+      double bb = 0.0;
+      bool phantom = false;  ///< a repair, not a job completion
+      std::size_t id = 0;    ///< job id, or node index for phantoms
+    };
+    std::vector<Release> releases;
+    releases.reserve(running_.size() + down_.size());
+    for (const std::size_t r : running_) {
+      releases.push_back({end_estimate(r), job(r).nodes, alloc(r), false, job(r).id});
+    }
+    for (const Outage& o : down_) {
+      releases.push_back({o.repair_end, 1, 0.0, true, o.node});
+    }
+    std::sort(releases.begin(), releases.end(), [](const Release& a, const Release& b) {
+      // Exact compare: a strict-weak-order tie-break, not a tolerance test.
+      if (a.end != b.end) return a.end < b.end;  // NOLINT(bbsim-float-equality)
+      if (a.phantom != b.phantom) return !a.phantom;
+      return a.id < b.id;
     });
     double shadow = kInf;
     int nodes_at_shadow = free_nodes_;
@@ -264,17 +359,17 @@ void FleetSim::pass_easy() {
     {
       int na = free_nodes_;
       double ba = free_bb_;
-      for (std::size_t k = 0; k < by_end.size(); ++k) {
-        na += job(by_end[k]).nodes;
-        ba += alloc(by_end[k]);
+      for (std::size_t k = 0; k < releases.size(); ++k) {
+        na += releases[k].nodes;
+        ba += releases[k].bb;
         if (na >= job(head).nodes && ba >= alloc(head) - bb_eps()) {
-          shadow = end_estimate(by_end[k]);
+          shadow = releases[k].end;
           // Fold in later completions at the same instant: they free more
           // resources at the shadow without moving it.
           for (std::size_t m = k + 1;
-               m < by_end.size() && end_estimate(by_end[m]) <= shadow + kEps; ++m) {
-            na += job(by_end[m]).nodes;
-            ba += alloc(by_end[m]);
+               m < releases.size() && releases[m].end <= shadow + kEps; ++m) {
+            na += releases[m].nodes;
+            ba += releases[m].bb;
           }
           nodes_at_shadow = na;
           bb_at_shadow = ba;
@@ -312,6 +407,10 @@ Profile FleetSim::running_profile() const {
     // Reserve until the *estimated* end: the sound bound under
     // kill-at-estimate (the job cannot run longer).
     prof.commit(now_, end_estimate(r) - now_, job(r).nodes, alloc(r));
+  }
+  for (const Outage& o : down_) {
+    // A down node is a one-node phantom job that "completes" at its repair.
+    prof.commit(now_, o.repair_end - now_, 1, 0.0);
   }
   return prof;
 }
@@ -403,9 +502,12 @@ void FleetSim::schedule_pass() {
 void FleetSim::integrate_to(double t) {
   const double dt = t - now_;
   if (dt <= 0) return;
-  const int used_nodes = machine_.nodes - free_nodes_;
+  // Down nodes are neither free nor serving a job: they count toward
+  // neither utilization nor the free pool.
+  const int used_nodes = machine_.nodes - free_nodes_ - down_nodes();
   const double used_bb = machine_.bb_bytes - free_bb_;
   result_.node_seconds += used_nodes * dt;
+  result_.down_node_seconds += static_cast<double>(down_nodes()) * dt;
   result_.bb_byte_seconds += used_bb * dt;
   double req = 0.0;
   for (const std::size_t r : running_) req += job(r).bb_bytes;
@@ -424,10 +526,16 @@ void FleetSim::sample() {
     metrics_->series("batch.queue_depth").sample(now_, static_cast<double>(queue_.size()));
     metrics_->series("batch.free_nodes").sample(now_, static_cast<double>(free_nodes_));
     metrics_->series("batch.bb_used_bytes").sample(now_, machine_.bb_bytes - free_bb_);
+    if (fault_model_) {
+      metrics_->series("batch.down_nodes").sample(now_, static_cast<double>(down_nodes()));
+    }
   }
   if (timeline_) {
     timeline_->counter_sample(track_free_nodes_, now_, static_cast<double>(free_nodes_));
     timeline_->counter_sample(track_bb_used_, now_, machine_.bb_bytes - free_bb_);
+    if (fault_model_) {
+      timeline_->counter_sample(track_down_nodes_, now_, static_cast<double>(down_nodes()));
+    }
   }
 }
 
@@ -441,10 +549,11 @@ void FleetSim::audit_ledger() {
     nodes_ledger += job(r).nodes;
     bb_ledger += alloc(r);
   }
-  if (nodes_ledger != machine_.nodes - free_nodes_) {
+  const int accounted = machine_.nodes - free_nodes_ - down_nodes();
+  if (nodes_ledger != accounted) {
     auditor_->report(audit::Code::kReservationImbalance, now_, "nodes",
                      "node ledger " + std::to_string(nodes_ledger) +
-                         " != accounted " + std::to_string(machine_.nodes - free_nodes_));
+                         " != accounted " + std::to_string(accounted));
   }
   if (std::abs(bb_ledger - (machine_.bb_bytes - free_bb_)) > 1.0) {
     auditor_->report(audit::Code::kReservationImbalance, now_, "bb",
@@ -509,6 +618,16 @@ FleetResult FleetSim::run() {
   free_nodes_ = machine_.nodes;
   free_bb_ = machine_.bb_bytes;
 
+  if (config_.faults.node_mtbf > 0.0) {
+    result_.faults_enabled = true;
+    fault_model_ = std::make_unique<resil::FaultModel>(
+        config_.faults, static_cast<std::size_t>(machine_.nodes));
+    next_crash_.resize(static_cast<std::size_t>(machine_.nodes));
+    for (std::size_t node = 0; node < next_crash_.size(); ++node) {
+      next_crash_[node] = sample_crash(node, 0.0);
+    }
+  }
+
   if (config_.collect_metrics) metrics_ = std::make_unique<stats::MetricsRegistry>();
   if (config_.collect_timeline) {
     timeline_ = std::make_unique<trace::TimelineRecorder>();
@@ -516,16 +635,27 @@ FleetResult FleetSim::run() {
     timeline_->set_wait_spans(true);
     track_free_nodes_ = timeline_->counter_track("batch.free_nodes", "nodes");
     track_bb_used_ = timeline_->counter_track("batch.bb_used_bytes", "bytes");
+    if (fault_model_) {
+      track_down_nodes_ = timeline_->counter_track("batch.down_nodes", "nodes");
+    }
   }
   if (config_.audit) {
     auditor_ = std::make_unique<audit::Auditor>();
     if (metrics_) auditor_->set_metrics(metrics_.get());
   }
 
-  while (next_arrival_ < n || !running_.empty()) {
+  // Under faults a kill can empty the running set while jobs still wait on
+  // a repair -- the queue-plus-outage clause keeps the loop alive until the
+  // repairs land and the queue drains.
+  while (next_arrival_ < n || !running_.empty() ||
+         (!queue_.empty() && !down_.empty())) {
     double t_next = kInf;
     if (next_arrival_ < n) t_next = stream_.jobs[next_arrival_].submit;
     for (const std::size_t r : running_) t_next = std::min(t_next, outcomes_[r].end);
+    for (const Outage& o : down_) t_next = std::min(t_next, o.repair_end);
+    if (fault_model_) {
+      for (const double c : next_crash_) t_next = std::min(t_next, c);
+    }
 
     integrate_to(t_next);
     now_ = t_next;
@@ -559,6 +689,8 @@ FleetResult FleetSim::run() {
       for (const std::size_t r : running_) reserved += alloc(r);
       free_bb_ = machine_.bb_bytes - reserved;
     }
+
+    apply_outages();
 
     while (next_arrival_ < n && stream_.jobs[next_arrival_].submit <= now_ + kEps) {
       queue_.push_back(next_arrival_);

@@ -41,6 +41,7 @@
 
 #include "audit/auditor.hpp"
 #include "batch/job.hpp"
+#include "resil/fault.hpp"
 #include "stats/metrics.hpp"
 #include "trace/timeline.hpp"
 
@@ -98,6 +99,15 @@ struct SchedulerConfig {
   /// (job_lifecycle). Violations land in FleetResult::audit
   /// (schema bbsim.audit.v1), never thrown.
   bool audit = false;
+  /// Node-outage process (only the node_* / seed / horizon keys of the spec
+  /// are meaningful at fleet scale). Each machine node carries its own
+  /// seeded crash stream; an outage takes one node down for node_repair
+  /// seconds. If every node is busy when the crash lands, the most recently
+  /// started running job is killed and resubmitted to the queue tail
+  /// (kill-and-resubmit, the standard batch-system response to node loss).
+  /// Disabled (the default) leaves every FleetResult bitwise-identical to a
+  /// build without this feature.
+  resil::FaultSpec faults;
 };
 
 /// What happened to one job.
@@ -121,6 +131,13 @@ struct JobOutcome {
   /// estimates, start <= reserved_start is an invariant for both.
   /// PlanBased leaves this at -1 (its tentative starts are re-negotiated).
   double reserved_start = -1.0;
+  /// Times this job was killed by a node outage and re-queued. start/end/
+  /// runtime describe the final (successful) attempt; submit stays at the
+  /// original arrival, so wait() and slowdown absorb the lost attempts.
+  int resubmits = 0;
+  /// Node-seconds of work this job lost to outage kills across all failed
+  /// attempts: sum over kills of (kill_time - attempt_start) * nodes.
+  double lost_node_seconds = 0.0;
 
   double wait() const { return start - submit; }
   double response() const { return end - submit; }
@@ -143,6 +160,14 @@ struct FleetResult {
   double queue_job_seconds = 0.0;  ///< integral of queue depth over time
   std::size_t backfilled_jobs = 0;
   std::size_t killed_jobs = 0;
+
+  // Node-outage accounting (all zero unless SchedulerConfig::faults enables
+  // the outage process).
+  bool faults_enabled = false;       ///< the outage process was armed
+  std::size_t node_outages = 0;      ///< crash events that took a node down
+  std::size_t resubmitted_jobs = 0;  ///< outage kills (job re-queue events)
+  double lost_node_seconds = 0.0;    ///< work destroyed by outage kills
+  double down_node_seconds = 0.0;    ///< integral of down nodes over time
 
   /// Metrics snapshot (bbsim.metrics.v1); null unless collect_metrics.
   json::Value metrics;

@@ -5,6 +5,7 @@
 
 #include "batch/payload.hpp"
 #include "batch/report.hpp"
+#include "resil/fault.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -44,6 +45,12 @@ Scheduling:
   --policy P           fcfs | easy | conservative | plan | all
                        (default easy; all = compare every policy)
   --tau SECONDS        bounded-slowdown runtime floor (default 10)
+  --faults SPEC        seeded node-outage process, key=value pairs
+                       (node_mtbf / node_shape / node_repair / seed /
+                       horizon -- see bbsim_run --help). An outage takes
+                       one node down for node_repair seconds; on a full
+                       machine the youngest running job is killed and
+                       resubmitted. E.g. node_mtbf=3600,node_repair=120
 
 Output:
   --report-out FILE    write the bbsim.batch.v1 report (default: stdout)
@@ -100,6 +107,8 @@ BatchCliOptions parse_batch_cli(const std::vector<std::string>& args) {
       opt.policy = next_value(a);
     } else if (a == "--tau") {
       opt.tau = std::stod(next_value(a));
+    } else if (a == "--faults") {
+      opt.faults = next_value(a);
     } else if (a == "--report-out") {
       opt.report_path = next_value(a);
     } else if (a == "--report-jobs") {
@@ -128,7 +137,8 @@ BatchCliOptions parse_batch_cli(const std::vector<std::string>& args) {
   if (!opt.jobs_path.empty() && opt.gen_count != 0) {
     throw ConfigError("--jobs-file and --gen are mutually exclusive");
   }
-  resolve_policies(opt.policy);  // fail fast on a bad --policy value
+  resolve_policies(opt.policy);           // fail fast on a bad --policy value
+  (void)resil::FaultSpec::parse(opt.faults);  // and on a bad --faults spec
   return opt;
 }
 
@@ -200,6 +210,7 @@ int run_batch_cli(const BatchCliOptions& options) {
   cfg.collect_metrics = options.metrics;
   cfg.collect_timeline = !options.timeline_path.empty();
   cfg.audit = options.audit;
+  cfg.faults = resil::FaultSpec::parse(options.faults);
 
   std::vector<batch::FleetResult> runs;
   runs.reserve(policies.size());
@@ -253,6 +264,15 @@ int run_batch_cli(const BatchCliOptions& options) {
                    s.bsld_mean, 100.0 * s.node_utilization,
                    100.0 * s.bb_utilization,
                    100.0 * s.bb_internal_fragmentation, s.backfilled_jobs);
+    }
+    for (const batch::FleetResult& r : runs) {
+      if (!r.faults_enabled) continue;
+      std::fprintf(stderr,
+                   "%-14s outages %zu, resubmits %zu, lost %.1f node-s, "
+                   "down %.1f node-s\n",
+                   batch::to_string(r.policy), r.node_outages,
+                   r.resubmitted_jobs, r.lost_node_seconds,
+                   r.down_node_seconds);
     }
   }
 

@@ -35,6 +35,10 @@ struct BatchCliOptions {
   // Scheduling.
   std::string policy = "easy";   ///< --policy fcfs|easy|conservative|plan|all
   double tau = 10.0;             ///< --tau SECONDS (bounded-slowdown floor)
+  /// --faults SPEC: seeded node-outage process (node_mtbf / node_shape /
+  /// node_repair / seed / horizon keys of the resil spec). Empty = off,
+  /// keeping results bitwise-identical to a faultless build.
+  std::string faults;
 
   // Outputs.
   std::string report_path;    ///< --report-out FILE (bbsim.batch.v1)

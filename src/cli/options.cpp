@@ -1,6 +1,7 @@
 #include "cli/options.hpp"
 
 #include "exec/placement.hpp"
+#include "resil/fault.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -33,6 +34,20 @@ Execution:
   --stage-out                          drain BB-resident products to the PFS
   --evict                              LRU-evict staged inputs when BB is full
   --cluster                            merge linear task chains before running
+
+Resilience (failure injection + checkpoint/restart, schema bbsim.resil.v1):
+  --faults <SPEC>                      seeded fault processes as key=value
+                                       pairs: seed, node_mtbf / node_shape /
+                                       node_repair, bb_mtbf / bb_shape /
+                                       bb_degrade / bb_duration, pfs_mtbf /
+                                       pfs_shape / pfs_brownout /
+                                       pfs_duration, horizon. Example:
+                                       node_mtbf=3600,node_repair=60,seed=7
+  --checkpoint <SPEC>                  checkpoint-to-BB with async drain:
+                                       interval=<s> or bare "daly"
+                                       (Young/Daly tau from node_mtbf), plus
+                                       bytes=<B> | fraction=<0..1>,
+                                       restart=<s>, min_compute=<s>
 
 Emulation (stochastic "real machine" instead of the plain Table-I model):
   --testbed <cori-private|cori-striped|summit>
@@ -159,6 +174,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.evict = true;
     } else if (a == "--cluster") {
       opt.cluster = true;
+    } else if (a == "--faults") {
+      opt.faults = next_value(a);
+    } else if (a == "--checkpoint") {
+      opt.checkpoint = next_value(a);
     } else if (a == "--testbed") {
       opt.testbed_system = system_from(next_value(a));
     } else if (a == "--reps") {
@@ -204,6 +223,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     throw ConfigError("--audit-out requires --audit");
   }
   (void)make_policy(opt.policy);  // validate early
+  (void)resil::FaultSpec::parse(opt.faults);
+  (void)resil::CheckpointSpec::parse(opt.checkpoint);
   return opt;
 }
 

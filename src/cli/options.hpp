@@ -37,6 +37,12 @@ struct CliOptions {
   bool evict = false;
   bool cluster = false;  ///< merge linear task chains before running
 
+  // Resilience: raw --faults / --checkpoint specs (validated at parse time,
+  // re-parsed into the ExecutionConfig by the runner). Empty = disabled,
+  // leaving the engine bitwise-identical to a run without the resil layer.
+  std::string faults;
+  std::string checkpoint;
+
   // Emulated "real machine" mode.
   std::optional<testbed::System> testbed_system;
   int repetitions = 1;

@@ -8,6 +8,7 @@
 #include "json/json.hpp"
 #include "platform/platform_json.hpp"
 #include "platform/presets.hpp"
+#include "resil/fault.hpp"
 #include "testbed/characterize.hpp"
 #include "testbed/testbed.hpp"
 #include "util/error.hpp"
@@ -70,6 +71,8 @@ exec::ExecutionConfig execution_config(const CliOptions& options) {
   cfg.collect_timeline = !options.timeline_path.empty();
   cfg.profile = options.profile;
   cfg.audit = options.audit;
+  cfg.faults = resil::FaultSpec::parse(options.faults);
+  cfg.checkpoint = resil::CheckpointSpec::parse(options.checkpoint);
   if (options.cores > 0) cfg.force_cores = options.cores;
   return cfg;
 }
@@ -90,6 +93,30 @@ void write_task_csv(const std::string& path, const exec::Result& result) {
                util::format("%.4f", rec.lambda_io())});
   }
   t.write_csv(path);
+}
+
+void print_resil_summary(const exec::Result& result, double baseline) {
+  if (result.resil_stats == nullptr) return;
+  const resil::RunStats& st = *result.resil_stats;
+  std::printf("resilience      %d crash(es), %d kill(s), %d rollback(s), "
+              "%d checkpoint(s)\n",
+              st.node_crashes, st.tasks_killed, st.rollbacks,
+              st.checkpoints_taken);
+  std::printf("  wasted        %.1f core-s (lost %.1f + checkpoint %.1f + "
+              "rework %.1f)\n",
+              st.wasted_core_seconds(), st.lost_core_seconds,
+              st.checkpoint_core_seconds, st.rework_core_seconds);
+  if (st.checkpoint_bytes_written > 0) {
+    std::printf("  checkpoints   wrote %s, drained %s, discarded %s\n",
+                util::format_size(st.checkpoint_bytes_written).c_str(),
+                util::format_size(st.checkpoint_bytes_drained).c_str(),
+                util::format_size(st.checkpoint_bytes_discarded).c_str());
+  }
+  if (baseline > 0.0) {
+    std::printf("  failure-free  %s (inflation %.3fx)\n",
+                util::format_time(baseline).c_str(),
+                result.makespan / baseline);
+  }
 }
 
 void print_summary(const exec::Result& result, const CliOptions& options) {
@@ -186,10 +213,36 @@ int run_cli(const CliOptions& options) {
     std::fputs(testbed::characterization_report(all_results).c_str(), stdout);
   }
 
+  // Failure-free twin: with faults active, re-run the same configuration
+  // with the resil layer disabled to report makespan inflation against the
+  // undisturbed schedule.
+  double baseline_makespan = 0.0;
+  if (cfg.faults.enabled() && !options.testbed_system) {
+    exec::ExecutionConfig twin_cfg = cfg;
+    twin_cfg.faults = resil::FaultSpec{};
+    twin_cfg.checkpoint = resil::CheckpointSpec{};
+    twin_cfg.collect_metrics = false;
+    twin_cfg.collect_timeline = false;
+    twin_cfg.profile = false;
+    twin_cfg.audit = false;
+    exec::Simulation twin(resolve_platform(options), workflow, twin_cfg);
+    baseline_makespan = twin.run().makespan;
+  }
+
   print_summary(result, options);
+  if (!options.quiet) print_resil_summary(result, baseline_makespan);
   if (options.gantt) std::fputs(exec::render_gantt(result).c_str(), stdout);
   if (!options.trace_path.empty()) {
-    json::write_file(options.trace_path, result.to_json());
+    json::Value doc = result.to_json();
+    if (baseline_makespan > 0.0 && doc.contains("resil")) {
+      // Stamp the twin's makespan into the bbsim.resil.v1 section so the
+      // report is self-contained.
+      json::Object& res = doc.as_object()["resil"].as_object();
+      res.set("baseline_makespan", json::Value(baseline_makespan));
+      res.set("makespan_inflation",
+              json::Value(result.makespan / baseline_makespan));
+    }
+    json::write_file(options.trace_path, doc);
     if (!options.quiet) std::printf("[json] wrote %s\n", options.trace_path.c_str());
   }
   if (!options.csv_path.empty()) {

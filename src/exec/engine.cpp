@@ -1,6 +1,7 @@
 #include "exec/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "exec/validate.hpp"
@@ -16,6 +17,9 @@ using util::InvariantError;
 
 namespace {
 constexpr const char* kStageInType = "stage_in";
+/// Checkpoint files are "<task>.ckpt": outside the workflow's file set, so
+/// byte-conservation audits (which track declared files) ignore them.
+constexpr const char* kCkptSuffix = ".ckpt";
 }
 
 const char* to_string(SchedulerPolicy policy) {
@@ -195,6 +199,7 @@ void Simulation::prepare() {
       trace(TraceEventKind::TaskReady, name);
     }
   }
+  setup_resil();
   try_schedule();
 }
 
@@ -252,17 +257,20 @@ void Simulation::try_schedule() {
       if (st.pinned) {
         // Wait for the home host unless it can never fit the request.
         if (fabric_.spec().hosts[st.home_host].cores >= st.cores) {
-          if (free_cores_[st.home_host] >= st.cores) chosen = st.home_host;
+          if (host_available(st.home_host) && free_cores_[st.home_host] >= st.cores) {
+            chosen = st.home_host;
+          }
         } else {
           for (std::size_t h = 0; h < free_cores_.size(); ++h) {
-            if (free_cores_[h] >= st.cores) { chosen = h; break; }
+            if (host_available(h) && free_cores_[h] >= st.cores) { chosen = h; break; }
           }
         }
       } else {
         // Least-loaded host with room (ties -> lowest index).
         int best_free = -1;
         for (std::size_t h = 0; h < free_cores_.size(); ++h) {
-          if (free_cores_[h] >= st.cores && free_cores_[h] > best_free) {
+          if (host_available(h) && free_cores_[h] >= st.cores &&
+              free_cores_[h] > best_free) {
             best_free = free_cores_[h];
             chosen = h;
           }
@@ -291,6 +299,25 @@ void Simulation::start_task(TaskState& ts, std::size_t host) {
     run_stage_in(ts);
     return;
   }
+  if (resil_ != nullptr && ts.attempt > 0) {
+    trace(TraceEventKind::TaskRestart, ts.task->name,
+          util::format("attempt=%d", ts.attempt + 1));
+    const double delay = config_.checkpoint.restart_latency;
+    if (delay > 0.0) {
+      // Restart overhead: re-launch plus reading the checkpoint image back.
+      ts.event_pending = true;
+      ts.pending_event = fabric_.engine().schedule_in(delay, [this, &ts] {
+        ts.event_pending = false;
+        begin_reads(ts);
+      });
+      return;
+    }
+  }
+  begin_reads(ts);
+}
+
+void Simulation::begin_reads(TaskState& ts) {
+  ts.reading = true;
   for (const std::string& f : ts.task->inputs) ts.pending_reads.push_back(f);
   issue_reads(ts);
 }
@@ -416,14 +443,21 @@ void Simulation::issue_reads(TaskState& ts) {
     const storage::FileRef file{fname, workflow_.file(fname).size};
     ts.record.bytes_read += file.size;
     ++ts.inflight_io;
-    src->read(file, ts.host, [this, &ts] {
+    auto done = [this, &ts] {
       --ts.inflight_io;
       if (ts.pending_reads.empty() && ts.inflight_io == 0) {
         on_reads_done(ts);
       } else {
         issue_reads(ts);
       }
-    });
+    };
+    // read_cancellable() issues the exact event/flow sequence of read();
+    // keeping the handle just lets kill_task() abort the attempt's I/O.
+    if (resil_ != nullptr) {
+      ts.io_ops.push_back(src->read_cancellable(file, ts.host, std::move(done)));
+    } else {
+      src->read(file, ts.host, std::move(done));
+    }
   }
   if (ts.pending_reads.empty() && ts.inflight_io == 0 && ts.task->inputs.empty()) {
     on_reads_done(ts);
@@ -442,9 +476,113 @@ double Simulation::compute_duration(const TaskState& ts) const {
 
 void Simulation::on_reads_done(TaskState& ts) {
   ts.record.t_reads_done = fabric_.engine().now();
+  ts.reading = false;
   trace(TraceEventKind::ReadsDone, ts.task->name);
-  const double duration = compute_duration(ts);
-  fabric_.engine().schedule_in(duration, [this, &ts] { on_compute_done(ts); });
+  if (resil_ == nullptr) {
+    const double duration = compute_duration(ts);
+    fabric_.engine().schedule_in(duration, [this, &ts] { on_compute_done(ts); });
+    return;
+  }
+  ts.compute_total = compute_duration(ts);
+  // A restarted attempt resumes from its last durable (drained) checkpoint.
+  ts.compute_done = std::min(ts.ckpt_durable, ts.compute_total);
+  run_compute_segment(ts);
+}
+
+void Simulation::run_compute_segment(TaskState& ts) {
+  const double remaining = std::max(0.0, ts.compute_total - ts.compute_done);
+  const double tau = checkpoint_interval(ts);
+  const bool will_checkpoint = tau > 0.0 && remaining > tau;
+  const double seg = will_checkpoint ? tau : remaining;
+  ts.in_segment = true;
+  ts.segment_start = fabric_.engine().now();
+  ts.event_pending = true;
+  ts.pending_event =
+      fabric_.engine().schedule_in(seg, [this, &ts, will_checkpoint, seg] {
+        ts.event_pending = false;
+        ts.in_segment = false;
+        ts.compute_done += seg;
+        if (will_checkpoint) {
+          take_checkpoint(ts);
+        } else {
+          on_compute_done(ts);
+        }
+      });
+}
+
+double Simulation::checkpoint_bytes(const TaskState& ts) const {
+  const resil::CheckpointSpec& ck = config_.checkpoint;
+  if (ck.bytes > 0.0) return ck.bytes;
+  double base = 0.0;
+  for (const std::string& f : ts.task->outputs) base += workflow_.file(f).size;
+  if (base <= 0.0) {
+    for (const std::string& f : ts.task->inputs) base += workflow_.file(f).size;
+  }
+  return ck.fraction * base;
+}
+
+double Simulation::checkpoint_interval(const TaskState& ts) {
+  const resil::CheckpointSpec& ck = config_.checkpoint;
+  if (!ck.enabled()) return 0.0;
+  if (ts.task->type == kStageInType) return 0.0;
+  if (ts.compute_total < ck.min_compute) return 0.0;
+  const double bytes = checkpoint_bytes(ts);
+  if (bytes <= 0.0) return 0.0;
+  if (ck.mode == resil::CheckpointSpec::Mode::Interval) return ck.interval;
+  // Young/Daly optimum tau = sqrt(2 C M): estimate the checkpoint cost C
+  // from the checkpoint tier's nominal per-node disk write bandwidth.
+  const double mtbf = config_.faults.node_mtbf;
+  if (mtbf <= 0.0) return 0.0;  // no crash process: nothing to optimize for
+  const storage::StorageService* dst = storage_.burst_buffer();
+  if (dst == nullptr) dst = &storage_.pfs();
+  const double bw = dst->spec().disk.write_bw;
+  const double cost = bw > 0.0 && bw != platform::kUnlimited ? bytes / bw : 0.0;
+  if (cost <= 0.0) return 0.0;  // free checkpoints would fire continuously
+  return std::sqrt(2.0 * cost * mtbf);
+}
+
+void Simulation::take_checkpoint(TaskState& ts) {
+  resil::RunStats& stats = resil_->stats;
+  if (ts.drain_op != nullptr) {
+    // The previous image is superseded before it finished draining.
+    ts.drain_op->cancel();
+    ts.drain_op.reset();
+    stats.checkpoint_bytes_discarded += ts.ckpt_size;
+  }
+  const double bytes = checkpoint_bytes(ts);
+  const storage::FileRef file{ts.task->name + kCkptSuffix, bytes};
+  storage::StorageService* bb_svc = bb();
+  const bool to_bb = bb_svc != nullptr && bb_has_room(bytes);
+  storage::StorageService& dst = to_bb ? *bb_svc : storage_.pfs();
+  ts.ckpt_size = bytes;
+  ts.ckpt_write_start = fabric_.engine().now();
+  trace(TraceEventKind::Checkpoint, ts.task->name,
+        util::format("%s -> %s", file.name.c_str(), dst.name().c_str()));
+  bump("resil.checkpoints");
+  const double progress = ts.compute_done;
+  ts.ckpt_op = dst.write_cancellable(
+      file, ts.host, [this, &ts, progress, bytes, to_bb, file] {
+        ts.ckpt_op.reset();
+        resil::RunStats& s = resil_->stats;
+        ++s.checkpoints_taken;
+        s.checkpoint_bytes_written += bytes;
+        s.checkpoint_core_seconds +=
+            ts.cores * (fabric_.engine().now() - ts.ckpt_write_start);
+        if (to_bb) {
+          // Asynchronous drain: the image only protects against node loss
+          // once its PFS copy exists; compute resumes immediately.
+          ts.drain_op = storage_.transfer_cancellable(
+              file, *bb(), storage_.pfs(), ts.host, [this, &ts, progress, bytes] {
+                ts.drain_op.reset();
+                resil_->stats.checkpoint_bytes_drained += bytes;
+                ts.ckpt_durable = progress;
+                trace(TraceEventKind::CheckpointDrained, ts.task->name);
+              });
+        } else {
+          ts.ckpt_durable = progress;  // written straight to the PFS
+        }
+        run_compute_segment(ts);
+      });
 }
 
 void Simulation::on_compute_done(TaskState& ts) {
@@ -518,14 +656,19 @@ void Simulation::issue_writes(TaskState& ts) {
     trace(TraceEventKind::Write, ts.task->name,
           util::format("%s -> %s", fname.c_str(), dst.name().c_str()));
     ++ts.inflight_io;
-    dst.write(file, ts.host, [this, &ts] {
+    auto done = [this, &ts] {
       --ts.inflight_io;
       if (ts.pending_writes.empty() && ts.inflight_io == 0) {
         finish_task(ts);
       } else {
         issue_writes(ts);
       }
-    });
+    };
+    if (resil_ != nullptr) {
+      ts.io_ops.push_back(dst.write_cancellable(file, ts.host, std::move(done)));
+    } else {
+      dst.write(file, ts.host, std::move(done));
+    }
   }
 }
 
@@ -541,9 +684,19 @@ void Simulation::finish_task(TaskState& ts) {
   bump("exec.task_read_time", ts.record.read_time());
   bump("exec.task_compute_time", ts.record.compute_time());
   bump("exec.task_write_time", ts.record.write_time());
+  if (resil_ != nullptr) {
+    ts.io_ops.clear();  // all completed; drop the (inert) handles
+    cleanup_checkpoints(ts);
+    resil::TaskResil& tr = resil_->stats.tasks[ts.task->name];
+    tr.attempts = ts.attempt + 1;
+    if (tr.first_complete_time < 0.0) tr.first_complete_time = ts.record.t_end;
+  }
 
   for (const std::string& child : workflow_.children(ts.task->name)) {
     TaskState& cs = states_.at(child);
+    // A child that finished before this parent was rolled back keeps its
+    // result; re-completing the parent must not unblock it twice.
+    if (cs.done) continue;
     if (--cs.remaining_parents == 0) {
       cs.ready = true;
       cs.record.t_ready = fabric_.engine().now();
@@ -617,6 +770,333 @@ bool Simulation::try_evict(double bytes) {
   return bb_has_room(bytes);
 }
 
+// --------------------------------------------------------------- resilience
+
+bool Simulation::host_available(std::size_t host) const {
+  return resil_ == nullptr || resil_->host_up[host] != 0;
+}
+
+void Simulation::sample_hosts_down() {
+  if (resil_ == nullptr || !resil_->has_track || timeline_rec_ == nullptr) return;
+  double down = 0.0;
+  for (const char up : resil_->host_up) {
+    if (up == 0) down += 1.0;
+  }
+  timeline_rec_->counter_sample(resil_->hosts_down_track, fabric_.engine().now(),
+                                down);
+}
+
+void Simulation::setup_resil() {
+  if (!config_.faults.enabled() && !config_.checkpoint.enabled()) return;
+  resil_ = std::make_unique<ResilState>(config_.faults, fabric_.spec().hosts.size());
+  if (timeline_rec_ != nullptr) {
+    resil_->hosts_down_track =
+        timeline_rec_->counter_track("resil.hosts_down", "hosts");
+    resil_->has_track = true;
+    sample_hosts_down();
+  }
+  const resil::FaultSpec& spec = config_.faults;
+  const double now = fabric_.engine().now();
+  if (spec.node_mtbf > 0.0) {
+    for (std::size_t h = 0; h < resil_->host_up.size(); ++h) {
+      schedule_node_crash(h, now + resil_->model.next_node_gap(h));
+    }
+  }
+  if (spec.bb_mtbf > 0.0 && bb() != nullptr) {
+    schedule_bb_fault(now + resil_->model.next_bb_gap());
+  }
+  if (spec.pfs_mtbf > 0.0) schedule_pfs_fault(now + resil_->model.next_pfs_gap());
+}
+
+void Simulation::schedule_node_crash(std::size_t host, double at) {
+  const double horizon = config_.faults.horizon;
+  if (horizon > 0.0 && at > horizon) return;
+  fabric_.engine().schedule_at(at, [this, host] { on_node_crash(host); });
+}
+
+void Simulation::on_node_crash(std::size_t host) {
+  // Once the workflow is done nothing is left to disturb; stop feeding the
+  // event queue so the engine can drain.
+  if (tasks_remaining_ == 0) return;
+  ResilState& st = *resil_;
+  st.host_up[host] = 0;
+  ++st.stats.node_crashes;
+  bump("resil.node_crashes");
+  trace(TraceEventKind::NodeCrash, "", util::format("host=%zu", host));
+  sample_hosts_down();
+  // Running attempts on the host die. Stage-in pseudo-tasks model the
+  // platform's data-movement service, not node-bound work; they survive.
+  for (auto& [name, ts] : states_) {
+    if (ts.running && ts.host == host && ts.task->type != kStageInType) {
+      kill_task(ts, /*requeue=*/true);
+    }
+  }
+  // Node-local BB replicas on the host are gone. (A shared-BB appliance
+  // survives node crashes.)
+  storage::StorageService* bb_svc = bb();
+  if (bb_svc != nullptr && bb_svc->kind() == StorageKind::NodeLocalBB) {
+    for (const std::string& f : bb_svc->file_names()) {
+      const storage::StorageService::Replica* rep = bb_svc->replica(f);
+      if (rep == nullptr || rep->node != static_cast<int>(host)) continue;
+      bb_svc->erase_file(f);
+      ++st.stats.files_invalidated;
+      bump("resil.files_invalidated");
+      if (workflow_.has_file(f)) {
+        // Staged inputs and drained outputs keep a PFS master copy; only a
+        // BB-only intermediate forces lineage recovery.
+        if (!storage_.pfs().has_file(f)) on_file_lost(f);
+      } else if (f.size() > std::string(kCkptSuffix).size() &&
+                 f.rfind(kCkptSuffix) == f.size() - std::string(kCkptSuffix).size()) {
+        // A checkpoint image died with its node: a drain still reading it
+        // can never complete, and its progress is no longer recoverable
+        // from the BB (the PFS copy, if drained, still is).
+        const std::string owner = f.substr(0, f.size() - std::string(kCkptSuffix).size());
+        const auto it = states_.find(owner);
+        if (it != states_.end() && it->second.drain_op != nullptr) {
+          it->second.drain_op->cancel();
+          it->second.drain_op.reset();
+          st.stats.checkpoint_bytes_discarded += it->second.ckpt_size;
+        }
+      }
+    }
+  }
+  const double now = fabric_.engine().now();
+  fabric_.engine().schedule_at(now + config_.faults.node_repair,
+                               [this, host] { on_node_repair(host); });
+  try_schedule();
+}
+
+void Simulation::on_node_repair(std::size_t host) {
+  ResilState& st = *resil_;
+  if (st.host_up[host] != 0) return;
+  st.host_up[host] = 1;
+  ++st.stats.node_repairs;
+  trace(TraceEventKind::NodeRepair, "", util::format("host=%zu", host));
+  sample_hosts_down();
+  // The next crash gap is measured from the end of the repair window, so
+  // down-windows of one host never overlap.
+  if (tasks_remaining_ > 0 && config_.faults.node_mtbf > 0.0) {
+    schedule_node_crash(host,
+                        fabric_.engine().now() + st.model.next_node_gap(host));
+  }
+  try_schedule();
+}
+
+void Simulation::schedule_bb_fault(double at) {
+  const double horizon = config_.faults.horizon;
+  if (horizon > 0.0 && at > horizon) return;
+  fabric_.engine().schedule_at(at, [this] { on_bb_degrade(); });
+}
+
+void Simulation::on_bb_degrade() {
+  if (tasks_remaining_ == 0) return;
+  const resil::FaultSpec& spec = config_.faults;
+  ++resil_->stats.bb_degradations;
+  bump("resil.bb_degradations");
+  const std::size_t idx = bb()->storage_index();
+  fabric_.scale_storage_capacity(idx, spec.bb_degrade);
+  trace(TraceEventKind::BbDegraded, "",
+        util::format("scale=%.3f duration=%.1f", spec.bb_degrade, spec.bb_duration));
+  const double end = fabric_.engine().now() + spec.bb_duration;
+  fabric_.engine().schedule_at(end, [this, idx] {
+    // Restoring with factor 1.0 rescales from the spec nominal, so the
+    // capacities come back exactly (no compounding of float error).
+    fabric_.scale_storage_capacity(idx, 1.0);
+    trace(TraceEventKind::FaultCleared, "", "bb");
+    if (tasks_remaining_ > 0) {
+      schedule_bb_fault(fabric_.engine().now() + resil_->model.next_bb_gap());
+    }
+  });
+}
+
+void Simulation::schedule_pfs_fault(double at) {
+  const double horizon = config_.faults.horizon;
+  if (horizon > 0.0 && at > horizon) return;
+  fabric_.engine().schedule_at(at, [this] { on_pfs_brownout(); });
+}
+
+void Simulation::on_pfs_brownout() {
+  if (tasks_remaining_ == 0) return;
+  const resil::FaultSpec& spec = config_.faults;
+  ++resil_->stats.pfs_brownouts;
+  bump("resil.pfs_brownouts");
+  const std::size_t idx = storage_.pfs().storage_index();
+  fabric_.scale_storage_capacity(idx, spec.pfs_brownout);
+  trace(TraceEventKind::PfsBrownout, "",
+        util::format("scale=%.3f duration=%.1f", spec.pfs_brownout,
+                     spec.pfs_duration));
+  const double end = fabric_.engine().now() + spec.pfs_duration;
+  fabric_.engine().schedule_at(end, [this, idx] {
+    fabric_.scale_storage_capacity(idx, 1.0);
+    trace(TraceEventKind::FaultCleared, "", "pfs");
+    if (tasks_remaining_ > 0) {
+      schedule_pfs_fault(fabric_.engine().now() + resil_->model.next_pfs_gap());
+    }
+  });
+}
+
+void Simulation::kill_task(TaskState& ts, bool requeue) {
+  resil::RunStats& stats = resil_->stats;
+  const double now = fabric_.engine().now();
+  // Compute progress of this attempt at the moment of death; everything
+  // past the last durable checkpoint is lost work.
+  double progress = ts.compute_done;
+  if (ts.in_segment) progress += now - ts.segment_start;
+  const double lost =
+      ts.cores * std::max(0.0, progress - std::min(ts.ckpt_durable, progress));
+  stats.lost_core_seconds += lost;
+  ++stats.tasks_killed;
+  ++stats.restarts;
+  bump("resil.tasks_killed");
+  resil::TaskResil& tr = stats.tasks[ts.task->name];
+  ++tr.kills;
+  tr.lost_core_seconds += lost;
+  if (ts.event_pending) {
+    fabric_.engine().cancel(ts.pending_event);
+    ts.event_pending = false;
+  }
+  ts.in_segment = false;
+  for (const storage::IoHandle& op : ts.io_ops) op->cancel();
+  ts.io_ops.clear();
+  if (ts.ckpt_op != nullptr) {
+    ts.ckpt_op->cancel();  // rolls the capacity reservation back
+    ts.ckpt_op.reset();
+  }
+  if (ts.drain_op != nullptr) {
+    ts.drain_op->cancel();
+    ts.drain_op.reset();
+    stats.checkpoint_bytes_discarded += ts.ckpt_size;
+  }
+  ts.pending_reads.clear();
+  ts.pending_writes.clear();
+  ts.inflight_io = 0;
+  ts.reading = false;
+  ts.compute_done = 0.0;
+  // The record describes the final attempt only; the byte counters restart
+  // with it so the post-run conservation audit still balances.
+  ts.record.bytes_read = 0.0;
+  ts.record.bytes_written = 0.0;
+  free_cores_[ts.host] += ts.cores;
+  ts.running = false;
+  ++ts.attempt;
+  trace(TraceEventKind::TaskKilled, ts.task->name,
+        util::format("host=%zu attempt=%d", ts.host, ts.attempt));
+  if (requeue) {
+    ts.ready = true;
+    ts.record.t_ready = now;
+    enqueue_ready(ts.task->name);
+    trace(TraceEventKind::TaskReady, ts.task->name);
+  } else {
+    ts.ready = false;
+  }
+}
+
+void Simulation::rollback_task(TaskState& ts) {
+  resil::RunStats& stats = resil_->stats;
+  const double now = fabric_.engine().now();
+  ts.done = false;
+  ++tasks_remaining_;
+  ++stats.rollbacks;
+  ++stats.restarts;
+  bump("resil.rollbacks");
+  // The whole measured compute phase (checkpoint stalls included) will run
+  // again; its first execution becomes rework.
+  const double compute =
+      std::max(0.0, ts.record.t_compute_done - ts.record.t_reads_done);
+  stats.rework_core_seconds += ts.cores * compute;
+  resil::TaskResil& tr = stats.tasks[ts.task->name];
+  tr.rework_core_seconds += ts.cores * compute;
+  ++ts.attempt;
+  ts.ckpt_durable = 0.0;  // its checkpoints were deleted when it finished
+  ts.compute_done = 0.0;
+  ts.record.bytes_read = 0.0;
+  ts.record.bytes_written = 0.0;
+  trace(TraceEventKind::Rollback, ts.task->name,
+        util::format("attempt=%d", ts.attempt + 1));
+  // Non-done children must wait for the re-run; done children keep their
+  // results (their bytes were consumed before the crash).
+  for (const std::string& child : workflow_.children(ts.task->name)) {
+    TaskState& cs = states_.at(child);
+    if (cs.done) continue;
+    ++cs.remaining_parents;
+    if (cs.running) {
+      kill_task(cs, /*requeue=*/false);
+    } else if (cs.ready) {
+      const auto pos = std::find(ready_queue_.begin(), ready_queue_.end(), child);
+      if (pos != ready_queue_.end()) ready_queue_.erase(pos);
+    }
+    cs.ready = false;
+  }
+  // Ready again once every parent is done (a parent rolled back later will
+  // re-claim this task through its own children sweep above).
+  ts.remaining_parents = 0;
+  for (const std::string& parent : workflow_.parents(ts.task->name)) {
+    if (!states_.at(parent).done) ++ts.remaining_parents;
+  }
+  if (ts.remaining_parents == 0) {
+    ts.ready = true;
+    ts.record.t_ready = now;
+    enqueue_ready(ts.task->name);
+    trace(TraceEventKind::TaskReady, ts.task->name);
+  } else {
+    ts.ready = false;
+  }
+  // Inputs lost with the same crash must be re-produced too.
+  for (const std::string& f : ts.task->inputs) ensure_file_available(f);
+}
+
+void Simulation::ensure_file_available(const std::string& fname) {
+  if (!storage_.replicas_of(fname).empty()) return;
+  const auto producer = workflow_.producer(fname);
+  if (!producer) return;  // workflow inputs keep their PFS master copy
+  TaskState& ps = states_.at(*producer);
+  // Running or queued producers will (re)write the file when they execute.
+  if (ps.done) rollback_task(ps);
+}
+
+void Simulation::on_file_lost(const std::string& fname) {
+  // Consumers mid-read of the dead replica must retry against a re-produced
+  // copy; consumers past their read phase already hold the bytes in memory.
+  for (const std::string& consumer : workflow_.consumers(fname)) {
+    TaskState& cs = states_.at(consumer);
+    if (cs.running && cs.reading) kill_task(cs, /*requeue=*/true);
+  }
+  bool needed = false;
+  for (const std::string& consumer : workflow_.consumers(fname)) {
+    if (!states_.at(consumer).done) {
+      needed = true;
+      break;
+    }
+  }
+  if (!needed) return;  // every consumer already has its result
+  const auto producer = workflow_.producer(fname);
+  if (!producer) return;
+  TaskState& ps = states_.at(*producer);
+  if (ps.done) rollback_task(ps);
+}
+
+void Simulation::cleanup_checkpoints(TaskState& ts) {
+  resil::RunStats& stats = resil_->stats;
+  if (ts.drain_op != nullptr) {
+    ts.drain_op->cancel();
+    ts.drain_op.reset();
+    stats.checkpoint_bytes_discarded += ts.ckpt_size;
+  }
+  const std::string fname = ts.task->name + kCkptSuffix;
+  storage::StorageService* bb_svc = bb();
+  if (bb_svc != nullptr && bb_svc->has_file(fname)) {
+    stats.checkpoint_bytes_discarded += bb_svc->replica(fname)->size;
+    bb_svc->erase_file(fname);
+  }
+  storage::StorageService& pfs = storage_.pfs();
+  if (pfs.has_file(fname)) {
+    stats.checkpoint_bytes_discarded += pfs.replica(fname)->size;
+    pfs.erase_file(fname);
+  }
+  ts.ckpt_durable = 0.0;
+  ts.ckpt_size = 0.0;
+}
+
 Result Simulation::collect_result() {
   Result r;
   for (const auto& [name, st] : states_) {
@@ -688,6 +1168,7 @@ Result Simulation::collect_result() {
     r.timeline = std::make_shared<const trace::Timeline>(timeline_rec_->finish());
   }
   if (metrics_) r.metrics = metrics_->to_json();
+  if (resil_) r.resil_stats = std::make_shared<resil::RunStats>(resil_->stats);
   if (auditor_) {
     storage_probe_->finalize();
     audit_result(r, workflow_, fabric_.spec(), *auditor_);

@@ -35,6 +35,8 @@
 #include "exec/trace.hpp"
 #include "model/calibration.hpp"
 #include "platform/fabric.hpp"
+#include "resil/fault.hpp"
+#include "sim/engine.hpp"
 #include "stats/metrics.hpp"
 #include "storage/system.hpp"
 #include "trace/profiler.hpp"
@@ -107,6 +109,14 @@ struct ExecutionConfig {
   bool audit = false;
   /// Multiplier applied to every compute duration (testbed noise hook).
   std::function<double(const wf::Task&, std::size_t host)> compute_noise;
+  /// Failure injection: seeded node-crash / BB-degradation / PFS-brownout
+  /// arrival processes (src/resil). A disabled spec (the default) leaves
+  /// the run bitwise-identical to an engine without the resilience layer.
+  resil::FaultSpec faults;
+  /// Checkpoint-to-BB policy: how running tasks snapshot progress so a
+  /// crash rolls them back to their last *drained* checkpoint instead of
+  /// to zero. Meaningful on its own too (pure-overhead measurement).
+  resil::CheckpointSpec checkpoint;
 };
 
 /// One simulated execution of one workflow on one platform.
@@ -154,6 +164,21 @@ class Simulation {
     std::deque<std::string> pending_writes;
     std::size_t inflight_io = 0;
     TaskRecord record;
+    // Resilience bookkeeping (only touched when the resil layer is active).
+    int attempt = 0;                 ///< restarts so far (0 = first attempt)
+    bool event_pending = false;      ///< pending_event below is live
+    sim::EventId pending_event = 0;  ///< in-flight compute / restart event
+    bool reading = false;            ///< between dispatch and reads-done
+    bool in_segment = false;         ///< a compute segment is running
+    std::vector<storage::IoHandle> io_ops;  ///< cancellable in-flight I/O
+    storage::IoHandle ckpt_op;   ///< blocking checkpoint write in flight
+    storage::IoHandle drain_op;  ///< async checkpoint drain BB -> PFS
+    double compute_total = 0.0;  ///< full compute time of this attempt
+    double compute_done = 0.0;   ///< compute seconds already banked
+    double segment_start = 0.0;  ///< engine time the running segment began
+    double ckpt_durable = 0.0;   ///< progress recoverable from the PFS
+    double ckpt_size = 0.0;      ///< bytes of the last checkpoint written
+    double ckpt_write_start = 0.0;
   };
 
   wf::Workflow workflow_;
@@ -190,6 +215,21 @@ class Simulation {
   std::map<std::string, double> last_access_;  ///< file -> last read time (LRU)
   bool ran_ = false;
 
+  /// Live state of the failure injector / checkpoint machinery. Null unless
+  /// config.faults or config.checkpoint enabled it -- every resil branch in
+  /// the engine is gated on this pointer, so a disabled run replays the
+  /// exact event sequence of an engine without the layer.
+  struct ResilState {
+    ResilState(const resil::FaultSpec& spec, std::size_t host_count)
+        : model(spec, host_count), host_up(host_count, 1) {}
+    resil::FaultModel model;
+    resil::RunStats stats;
+    std::vector<char> host_up;  ///< 0 while a host is crashed
+    trace::TrackId hosts_down_track = 0;
+    bool has_track = false;
+  };
+  std::unique_ptr<ResilState> resil_;
+
   // ------------------------------------------------------------- phases
   void prepare();                 ///< initial placement, pinning, readiness
   void try_schedule();            ///< drain the ready queue onto free cores
@@ -219,6 +259,44 @@ class Simulation {
   void run_stage_out();
   /// Evict LRU staged inputs until `bytes` fit (bb_eviction option).
   bool try_evict(double bytes);
+
+  // ------------------------------------------------ resilience (src/resil)
+  void setup_resil();  ///< create ResilState + seed the fault arrival events
+  void schedule_node_crash(std::size_t host, double at);
+  void on_node_crash(std::size_t host);
+  void on_node_repair(std::size_t host);
+  void schedule_bb_fault(double at);
+  void on_bb_degrade();
+  void schedule_pfs_fault(double at);
+  void on_pfs_brownout();
+  /// Abort a running attempt: cancel its compute event and in-flight I/O,
+  /// roll capacity reservations back, free its cores and account the lost
+  /// work. With `requeue` the task re-enters the ready queue immediately;
+  /// without, the caller re-wires its dependence edges first (rollback).
+  void kill_task(TaskState& ts, bool requeue);
+  /// Un-do a *completed* task whose output was lost with a crashed node:
+  /// it re-runs, non-done children wait for it again, and lost inputs of
+  /// its own are re-produced recursively.
+  void rollback_task(TaskState& ts);
+  /// Re-produce `fname` if no replica survives anywhere (lineage recovery).
+  void ensure_file_available(const std::string& fname);
+  /// A burst-buffer-only workflow file vanished with its node.
+  void on_file_lost(const std::string& fname);
+  bool host_available(std::size_t host) const;
+  /// Queue the task's input reads (start_task tail; split out so a restart
+  /// delay can precede it).
+  void begin_reads(TaskState& ts);
+  /// Schedule the next compute segment (the whole remainder when the task
+  /// does not checkpoint), then checkpoint or finish.
+  void run_compute_segment(TaskState& ts);
+  void take_checkpoint(TaskState& ts);
+  /// Checkpoint image size for this task (0 = never checkpoint).
+  double checkpoint_bytes(const TaskState& ts) const;
+  /// Seconds of compute between checkpoints (0 = no checkpointing).
+  double checkpoint_interval(const TaskState& ts);
+  /// Drop the task's checkpoint replicas and cancel its in-flight drain.
+  void cleanup_checkpoints(TaskState& ts);
+  void sample_hosts_down();
 
   // ------------------------------------------------------------ helpers
   int cores_for(const wf::Task& task) const;

@@ -1,5 +1,7 @@
 #include "exec/trace.hpp"
 
+#include "resil/fault.hpp"
+
 namespace bbsim::exec {
 
 const char* to_string(TraceEventKind kind) {
@@ -14,6 +16,16 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::StageSkipped: return "stage_skipped";
     case TraceEventKind::StageOut: return "stage_out";
     case TraceEventKind::Evict: return "evict";
+    case TraceEventKind::NodeCrash: return "node_crash";
+    case TraceEventKind::NodeRepair: return "node_repair";
+    case TraceEventKind::BbDegraded: return "bb_degraded";
+    case TraceEventKind::PfsBrownout: return "pfs_brownout";
+    case TraceEventKind::FaultCleared: return "fault_cleared";
+    case TraceEventKind::TaskKilled: return "task_killed";
+    case TraceEventKind::TaskRestart: return "task_restart";
+    case TraceEventKind::Rollback: return "rollback";
+    case TraceEventKind::Checkpoint: return "checkpoint";
+    case TraceEventKind::CheckpointDrained: return "checkpoint_drained";
   }
   return "?";
 }
@@ -106,6 +118,7 @@ json::Value Result::to_json() const {
   if (!metrics.is_null()) root.set("metrics", metrics);
   if (!audit.is_null()) root.set("audit", audit);
   if (!profile.is_null()) root.set("profile", profile);
+  if (resil_stats) root.set("resil", resil_stats->to_json());
   return json::Value(std::move(root));
 }
 

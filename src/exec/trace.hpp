@@ -15,6 +15,10 @@ namespace bbsim::trace {
 struct Timeline;
 }  // namespace bbsim::trace
 
+namespace bbsim::resil {
+struct RunStats;
+}  // namespace bbsim::resil
+
 namespace bbsim::exec {
 
 /// The closed set of event kinds the execution engine records. Serialised
@@ -31,6 +35,18 @@ enum class TraceEventKind {
   StageSkipped,  ///< staging skipped: BB full (detail: file)
   StageOut,      ///< one file drained BB -> PFS (detail: file)
   Evict,         ///< one staged input evicted from the BB (detail: file)
+  // Resilience events (src/resil; only emitted when faults/checkpointing
+  // are configured, so fault-free traces are unchanged).
+  NodeCrash,          ///< a host went down (detail: host)
+  NodeRepair,         ///< a host rejoined after repair (detail: host)
+  BbDegraded,         ///< BB bandwidth degradation window opened
+  PfsBrownout,        ///< PFS brownout window opened
+  FaultCleared,       ///< a BB/PFS window closed (detail: which)
+  TaskKilled,         ///< a running attempt was killed (detail: host, attempt)
+  TaskRestart,        ///< a restarted attempt was dispatched (detail: attempt)
+  Rollback,           ///< a completed task was un-done by lineage loss
+  Checkpoint,         ///< one checkpoint write issued (detail: file -> tier)
+  CheckpointDrained,  ///< an async checkpoint drain reached the PFS
 };
 
 /// Wire name of a kind ("task_ready", "task_start", ...).
@@ -43,6 +59,11 @@ inline constexpr TraceEventKind kAllTraceEventKinds[] = {
     TraceEventKind::Write,        TraceEventKind::TaskEnd,
     TraceEventKind::StageFile,    TraceEventKind::StageSkipped,
     TraceEventKind::StageOut,     TraceEventKind::Evict,
+    TraceEventKind::NodeCrash,    TraceEventKind::NodeRepair,
+    TraceEventKind::BbDegraded,   TraceEventKind::PfsBrownout,
+    TraceEventKind::FaultCleared, TraceEventKind::TaskKilled,
+    TraceEventKind::TaskRestart,  TraceEventKind::Rollback,
+    TraceEventKind::Checkpoint,   TraceEventKind::CheckpointDrained,
 };
 
 /// One line of the event trace.
@@ -137,6 +158,11 @@ struct Result {
   /// profiling was off. NON-DETERMINISTIC: carries a "nondeterministic"
   /// marker and must be excluded from golden comparisons.
   json::Value profile;
+  /// Resilience accounting, serialized into to_json() as the "resil"
+  /// section (schema bbsim.resil.v1); nullptr unless the run had the
+  /// resilience layer active (ExecutionConfig::faults / ::checkpoint).
+  /// Shared so Result stays copyable.
+  std::shared_ptr<const resil::RunStats> resil_stats;
 
   /// Mean observed duration of tasks of `type` (0 when none).
   double mean_duration(const std::string& type) const;

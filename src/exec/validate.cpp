@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "resil/fault.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -54,14 +55,30 @@ std::vector<ValidationIssue> validate_result(const Result& result,
   if (!issues.empty()) return issues;  // later checks assume complete records
 
   // --- precedence ---------------------------------------------------------
+  // Attempt-aware under the resil layer: when a crash rolled a parent back
+  // and re-ran it *after* a child had already consumed its output, the
+  // record's t_end describes the re-run. The child only had to start after
+  // the parent's FIRST completion, which the resil stats carry.
+  const auto parent_done_by = [&result](const std::string& name,
+                                        const TaskRecord& rec) {
+    if (result.resil_stats) {
+      const auto it = result.resil_stats->tasks.find(name);
+      if (it != result.resil_stats->tasks.end() &&
+          it->second.first_complete_time >= 0.0) {
+        return std::min(rec.t_end, it->second.first_complete_time);
+      }
+    }
+    return rec.t_end;
+  };
   for (const std::string& name : workflow.task_names()) {
     const TaskRecord& child = result.tasks.at(name);
     for (const std::string& p : workflow.parents(name)) {
       const TaskRecord& parent = result.tasks.at(p);
-      if (parent.t_end > child.t_start + 1e-9) {
+      const double done = parent_done_by(p, parent);
+      if (done > child.t_start + 1e-9) {
         complain(util::format("precedence violated: '%s' ended %.6f after "
                               "child '%s' started %.6f",
-                              p.c_str(), parent.t_end, name.c_str(), child.t_start),
+                              p.c_str(), done, name.c_str(), child.t_start),
                  IssueCode::kPrecedence);
       }
     }

@@ -33,15 +33,21 @@ FlowId FlowManager::start(FlowSpec spec, CompletionHandler on_complete) {
   return id;
 }
 
-bool FlowManager::abort(FlowId id) {
-  if (!net_.has_flow(id)) return false;
+bool FlowManager::abort(FlowId id) { return cancel(id).has_value(); }
+
+std::optional<double> FlowManager::cancel(FlowId id) {
+  if (!net_.has_flow(id)) return std::nullopt;
+  // Settle first so the bytes moved between the last event and now land in
+  // the per-resource ledger (and in this flow's progress) before removal.
   settle();
+  const FlowState& st = net_.flow(id);
+  const double moved = std::max(0.0, st.spec.volume - st.remaining);
   net_.remove_flow(id);
   handlers_.erase(id);
   if (timeline_ != nullptr) timeline_->flow_end(id, engine_.now(), false);
   flow_started_.erase(id);
   reschedule();
-  return true;
+  return moved;
 }
 
 void FlowManager::set_capacity(ResourceId id, double capacity) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,16 @@ class FlowManager {
   /// Abort an in-progress flow; its handler is never called.
   /// Returns false if the flow already completed.
   bool abort(FlowId id);
+
+  /// Cancel an in-flight transfer mid-flow: progress up to the current
+  /// simulated time is settled into the per-resource ledger (bytes_served /
+  /// busy_time), the unmoved remainder is discarded, and the completion
+  /// handler never fires. Returns the bytes that actually moved, or
+  /// std::nullopt when the flow is unknown or already completed (a no-op --
+  /// cancelling after the handler ran does not reopen anything). This is
+  /// the primitive the resilience layer uses to kill a crashed host's I/O
+  /// without losing the ledger's account of what already transferred.
+  std::optional<double> cancel(FlowId id);
 
   /// Change a resource capacity at the current simulated time (interference
   /// injection); progress is settled first, then rates are recomputed.

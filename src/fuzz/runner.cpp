@@ -7,12 +7,96 @@
 #include "fuzz/minimize.hpp"
 #include "json/json.hpp"
 #include "oracle/maxmin_ref.hpp"
+#include "resil/fault.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace bbsim::fuzz {
 
+namespace {
+
+/// The resil invariant battery (the oracle models no faults, so a faulty
+/// scenario cannot be diffed against it directly):
+///   1. the spec-stripped twin must agree with the oracle (plain diff);
+///   2. explicitly-empty specs must leave the twin's result byte-identical
+///      (the "faults disabled = bitwise-identical engine" guarantee);
+///   3. two faulty runs must produce byte-identical results (determinism);
+///   4. the faulty run must be audit-clean under the full invariant audit;
+///   5. accounting identities: every task has a record, restarts match
+///      attempts, drained checkpoint bytes never exceed written ones.
+RunOutcome run_resil_battery(const Scenario& scenario, const RunOptions& options) {
+  Scenario stripped = scenario;
+  stripped.config.fault_spec.clear();
+  stripped.config.checkpoint_spec.clear();
+  RunOutcome out = run_scenario(stripped, options);
+  if (out.diverged || !out.engine_error.empty()) return out;
+
+  auto fail = [&out](const char* field, const std::string& what, double engine,
+                     double reference) {
+    out.diverged = true;
+    out.divergences.push_back(oracle::Divergence{field, what, engine, reference});
+  };
+
+  try {
+    const auto run_once = [&scenario](const exec::ExecutionConfig& cfg) {
+      return exec::Simulation(scenario.platform, scenario.workflow, cfg).run();
+    };
+
+    const exec::Result base = run_once(stripped.exec_config());
+    exec::ExecutionConfig empty_cfg = stripped.exec_config();
+    empty_cfg.faults = resil::FaultSpec::parse("");
+    empty_cfg.checkpoint = resil::CheckpointSpec::parse("");
+    if (base.to_json().dump() != run_once(empty_cfg).to_json().dump()) {
+      fail("resil.identity", "empty specs changed the faultless result", 1.0, 0.0);
+    }
+
+    exec::ExecutionConfig faulty_cfg = scenario.exec_config();
+    faulty_cfg.audit = true;
+    const exec::Result f0 = run_once(faulty_cfg);
+    const exec::Result f1 = run_once(faulty_cfg);
+    if (f0.to_json().dump() != f1.to_json().dump()) {
+      fail("resil.determinism", "faulty run not reproducible", 1.0, 0.0);
+    }
+    if (f0.audit_violations != 0) {
+      fail("resil.audit", "audit violations under faults",
+           static_cast<double>(f0.audit_violations), 0.0);
+    }
+    if (f0.tasks.size() != scenario.workflow.task_count()) {
+      fail("resil.records", "task record count",
+           static_cast<double>(f0.tasks.size()),
+           static_cast<double>(scenario.workflow.task_count()));
+    }
+    if (f0.resil_stats != nullptr) {
+      const resil::RunStats& rs = *f0.resil_stats;
+      int extra_attempts = 0;
+      for (const auto& entry : rs.tasks) extra_attempts += entry.second.attempts - 1;
+      if (extra_attempts != rs.restarts) {
+        fail("resil.restarts", "restarts != sum(attempts - 1)",
+             static_cast<double>(rs.restarts), static_cast<double>(extra_attempts));
+      }
+      if (rs.checkpoint_bytes_drained > rs.checkpoint_bytes_written + 1e-6) {
+        fail("resil.drain", "drained more checkpoint bytes than written",
+             rs.checkpoint_bytes_drained, rs.checkpoint_bytes_written);
+      }
+      if (rs.wasted_core_seconds() < -1e-9) {
+        fail("resil.waste", "negative waste", rs.wasted_core_seconds(), 0.0);
+      }
+    }
+  } catch (const util::Error& e) {
+    out.engine_error = e.what();
+    fail("resil.exception", e.what(), 1.0, 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
 RunOutcome run_scenario(const Scenario& scenario, const RunOptions& options) {
+  if (!scenario.config.fault_spec.empty() ||
+      !scenario.config.checkpoint_spec.empty()) {
+    return run_resil_battery(scenario, options);
+  }
+
   RunOutcome out;
 
   exec::Result engine_result;
@@ -68,7 +152,8 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   for (int i = 0; i < options.iterations; ++i) {
     ++result.iterations_run;
     util::Rng iter_rng = root.fork(static_cast<std::uint64_t>(i));
-    Scenario scenario = sample_scenario(iter_rng);
+    Scenario scenario = options.resil_cocktail ? sample_resil_scenario(iter_rng)
+                                               : sample_scenario(iter_rng);
     scenario.label =
         util::format("seed=%llu iter=%d", static_cast<unsigned long long>(options.seed), i);
     RunOutcome outcome = run_scenario(scenario, options.run);

@@ -39,7 +39,9 @@ struct RunOutcome {
 
 /// Runs the scenario through both engines and diffs. Never throws on
 /// engine/reference errors (they are recorded); rethrows only internal
-/// harness failures.
+/// harness failures. Scenarios with an armed fault/checkpoint spec are
+/// dispatched to the resil invariant battery (the oracle models no faults):
+/// their divergences carry "resil.*" metric names.
 RunOutcome run_scenario(const Scenario& scenario, const RunOptions& options = {});
 
 /// One fuzz-found, minimized failure.
@@ -54,6 +56,13 @@ struct CampaignOptions {
   std::uint64_t seed = 42;
   int iterations = 100;
   RunOptions run;
+  /// Sample scenarios with a fault/checkpoint cocktail (sample_resil_scenario)
+  /// instead of plain ones -- bbsim_fuzz --mode resil. Each such scenario
+  /// runs the resil invariant battery: the spec-stripped twin must agree
+  /// with the oracle AND be bitwise-identical to a run with explicitly
+  /// empty specs; the faulty run must be deterministic, audit-clean, and
+  /// keep its accounting identities.
+  bool resil_cocktail = false;
   /// Stop after this many failures (each is minimized, which is slow).
   int max_failures = 1;
   /// Directory for minimized fuzzcase JSON files ("" = do not write).

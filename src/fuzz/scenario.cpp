@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iterator>
 
+#include "resil/fault.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "workflow/random_dag.hpp"
@@ -79,6 +80,8 @@ exec::ExecutionConfig Scenario::exec_config() const {
   cfg.force_cores = config.force_cores;
   cfg.locality_pinning = config.locality_pinning;
   cfg.collect_trace = false;
+  cfg.faults = resil::FaultSpec::parse(config.fault_spec);
+  cfg.checkpoint = resil::CheckpointSpec::parse(config.checkpoint_spec);
   return cfg;
 }
 
@@ -171,6 +174,10 @@ json::Value Scenario::to_json() const {
   cfg.set("stage_in_width", config.stage_in_width);
   cfg.set("force_cores", config.force_cores);
   cfg.set("locality_pinning", config.locality_pinning);
+  // Written only when armed so pre-resil corpus files stay byte-stable
+  // through a load/save round trip.
+  if (!config.fault_spec.empty()) cfg.set("faults", config.fault_spec);
+  if (!config.checkpoint_spec.empty()) cfg.set("checkpoint", config.checkpoint_spec);
   doc.set("config", json::Value(std::move(cfg)));
   return json::Value(std::move(doc));
 }
@@ -244,7 +251,11 @@ Scenario scenario_from_json(const json::Value& doc) {
   sc.config.stage_in_width = static_cast<int>(cfg.get_int("stage_in_width", 1));
   sc.config.force_cores = static_cast<int>(cfg.get_int("force_cores", 0));
   sc.config.locality_pinning = cfg.get_bool("locality_pinning", true);
+  sc.config.fault_spec = cfg.get_string("faults", "");
+  sc.config.checkpoint_spec = cfg.get_string("checkpoint", "");
   (void)make_placement(sc.config.placement_spec);  // validate early
+  (void)resil::FaultSpec::parse(sc.config.fault_spec);
+  (void)resil::CheckpointSpec::parse(sc.config.checkpoint_spec);
   return sc;
 }
 
@@ -357,6 +368,46 @@ Scenario sample_scenario(util::Rng& rng) {
   // Unpinned restricted-BB runs with >1 host can legitimately dead-end on
   // an unreadable replica; keep those scenarios feasible by construction.
   sc.config.locality_pinning = restricted_bb || rng.chance(0.5);
+  return sc;
+}
+
+Scenario sample_resil_scenario(util::Rng& rng) {
+  Scenario sc = sample_scenario(rng);
+  util::Rng frng = rng.fork("resil");
+
+  std::string faults =
+      util::format("seed=%llu", static_cast<unsigned long long>(
+                                    frng.uniform_int(1, 1000000)));
+  bool node_faults = false;
+  if (frng.chance(0.8)) {
+    node_faults = true;
+    faults += util::format(",node_mtbf=%.1f,node_repair=%.1f",
+                           frng.uniform(20.0, 300.0), frng.uniform(2.0, 30.0));
+  }
+  if (frng.chance(0.4)) {
+    faults += util::format(",bb_mtbf=%.1f,bb_degrade=%.2f,bb_duration=%.1f",
+                           frng.uniform(10.0, 120.0), frng.uniform(0.1, 0.9),
+                           frng.uniform(5.0, 60.0));
+  }
+  if (frng.chance(0.3)) {
+    faults += util::format(",pfs_mtbf=%.1f,pfs_brownout=%.2f,pfs_duration=%.1f",
+                           frng.uniform(10.0, 120.0), frng.uniform(0.1, 0.9),
+                           frng.uniform(5.0, 60.0));
+  }
+  // A finite horizon guarantees every faulty run terminates even when the
+  // crash/repair cycle is faster than the longest task.
+  faults += util::format(",horizon=%.1f", frng.uniform(40.0, 300.0));
+  sc.config.fault_spec = faults;
+
+  const std::int64_t ckpt = frng.uniform_int(0, 2);
+  if (ckpt == 1) {
+    sc.config.checkpoint_spec =
+        util::format("interval=%.1f,fraction=0.2,restart=%.1f",
+                     frng.uniform(2.0, 20.0), frng.uniform(0.0, 5.0));
+  } else if (ckpt == 2 && node_faults) {
+    // Daly needs a node MTBF to derive its interval from.
+    sc.config.checkpoint_spec = "daly,fraction=0.1";
+  }
   return sc;
 }
 

@@ -32,6 +32,13 @@ struct ScenarioConfig {
   int stage_in_width = 1;
   int force_cores = 0;
   bool locality_pinning = true;
+  /// Resilience specs in their CLI grammar (resil::FaultSpec::parse /
+  /// resil::CheckpointSpec::parse). Empty (the default, and what every
+  /// pre-resil corpus file deserializes to) = disabled. A scenario with
+  /// either spec armed is checked with the resil invariant battery instead
+  /// of the plain engine-vs-oracle diff (the oracle models no faults).
+  std::string fault_spec;
+  std::string checkpoint_spec;
 };
 
 /// A complete, self-contained differential test case.
@@ -69,5 +76,11 @@ Scenario scenario_from_file(const std::string& path);
 /// construction (task cores fit the largest host; restricted-BB scenarios
 /// keep locality pinning on).
 Scenario sample_scenario(util::Rng& rng);
+
+/// sample_scenario plus a random fault/checkpoint cocktail: node crashes
+/// (usually), BB degradation and PFS brownout windows (sometimes), and one
+/// of no / interval / Daly checkpointing. Every cocktail carries a finite
+/// horizon so faulty runs terminate.
+Scenario sample_resil_scenario(util::Rng& rng);
 
 }  // namespace bbsim::fuzz

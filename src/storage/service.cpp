@@ -11,31 +11,75 @@ using util::ConfigError;
 using util::InvariantError;
 using util::NotFoundError;
 
-void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done) {
-  // Shared state for the sub-flow countdown.
-  struct State {
-    std::size_t pending = 0;
-    Done done;
-  };
-  auto state = std::make_shared<State>();
-  state->done = std::move(done);
+void IoOp::finish() {
+  finished_ = true;
+  on_cancel_ = nullptr;
+  if (done_) {
+    Done cb = std::move(done_);
+    done_ = nullptr;
+    cb();
+  }
+}
 
-  auto start_data = [&fabric, plan = std::move(plan), state]() mutable {
-    auto launch_subflows = [&fabric, state](const IoPlan& p) {
+double IoOp::cancel() {
+  if (finished_ || cancelled_) return moved_;
+  cancelled_ = true;
+  done_ = nullptr;
+  if (latency_pending_) {
+    fabric_->engine().cancel(latency_event_);
+    latency_pending_ = false;
+  }
+  if (meta_pending_) {
+    fabric_->flows().abort(meta_flow_);
+    meta_pending_ = false;
+  }
+  // Flows that already completed were removed from the manager and their
+  // volumes credited to moved_; cancel() on them is a nullopt no-op, so the
+  // id list never needs pruning on the completion path.
+  for (const flow::FlowId id : data_flows_) {
+    if (const std::optional<double> partial = fabric_->flows().cancel(id)) {
+      moved_ += *partial;
+    }
+  }
+  pending_ = 0;
+  if (on_cancel_) {
+    Done cb = std::move(on_cancel_);
+    on_cancel_ = nullptr;
+    cb();
+  }
+  return moved_;
+}
+
+IoHandle execute_plan_cancellable(platform::Fabric& fabric, IoPlan plan, Done done,
+                                  Done on_cancel) {
+  auto op = std::make_shared<IoOp>();
+  op->fabric_ = &fabric;
+  op->done_ = std::move(done);
+  op->on_cancel_ = std::move(on_cancel);
+
+  const double latency = plan.latency;
+  auto start_data = [&fabric, plan = std::move(plan), op]() mutable {
+    op->latency_pending_ = false;
+    auto launch_subflows = [&fabric, op](const IoPlan& p) {
+      op->meta_pending_ = false;
       if (p.data.empty()) {
-        if (state->done) state->done();
+        op->finish();
         return;
       }
-      state->pending = p.data.size();
+      op->pending_ = p.data.size();
+      op->data_flows_.reserve(p.data.size());
       for (const SubFlow& sf : p.data) {
         flow::FlowSpec spec;
         spec.volume = sf.volume;
         spec.path = sf.path;
         spec.rate_cap = p.rate_cap;
         spec.label = p.label;  // empty (free) unless a timeline is recording
-        fabric.flows().start(std::move(spec), [state] {
-          if (--state->pending == 0 && state->done) state->done();
-        });
+        const double volume = sf.volume;
+        op->data_flows_.push_back(
+            fabric.flows().start(std::move(spec), [op, volume] {
+              op->moved_ += volume;
+              if (--op->pending_ == 0) op->finish();
+            }));
       }
     };
 
@@ -44,19 +88,26 @@ void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done) {
       meta.volume = plan.metadata_ops;
       meta.path = {plan.metadata_res};
       if (!plan.label.empty()) meta.label = plan.label + " [meta]";
-      fabric.flows().start(std::move(meta),
-                           [launch_subflows, plan]() { launch_subflows(plan); });
+      op->meta_pending_ = true;
+      op->meta_flow_ = fabric.flows().start(
+          std::move(meta), [launch_subflows, plan]() { launch_subflows(plan); });
     } else {
       launch_subflows(plan);
     }
   };
 
-  if (plan.latency > 0.0) {
-    fabric.engine().schedule_in(plan.latency, std::move(start_data));
-  } else {
-    // Still defer by a zero-delay event to keep run-to-completion semantics.
-    fabric.engine().schedule_in(0.0, std::move(start_data));
-  }
+  // A zero/negative latency still defers by a zero-delay event to keep
+  // run-to-completion semantics.
+  op->latency_pending_ = true;
+  op->latency_event_ =
+      fabric.engine().schedule_in(latency > 0.0 ? latency : 0.0, std::move(start_data));
+  return op;
+}
+
+void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done) {
+  // Same machinery, handle discarded: the op lives on inside its own event
+  // and flow callbacks until completion.
+  (void)execute_plan_cancellable(fabric, std::move(plan), std::move(done), nullptr);
 }
 
 StorageService::StorageService(platform::Fabric& fabric, std::size_t storage_idx)
@@ -80,6 +131,13 @@ double StorageService::replica_bytes() const {
   double sum = 0.0;
   for (const auto& [_, rep] : replicas_) sum += rep.size;
   return sum;
+}
+
+std::vector<std::string> StorageService::file_names() const {
+  std::vector<std::string> names;
+  names.reserve(replicas_.size());
+  for (const auto& [name, _] : replicas_) names.push_back(name);
+  return names;
 }
 
 void StorageService::set_metrics(stats::MetricsRegistry* metrics) {
@@ -212,18 +270,31 @@ IoPlan StorageService::plan_write(const FileRef& file, std::size_t host_idx) con
 }
 
 void StorageService::read(const FileRef& file, std::size_t host_idx, Done done) {
-  execute_plan(fabric_, plan_read(file, host_idx), std::move(done));
+  (void)read_cancellable(file, host_idx, std::move(done));
 }
 
 void StorageService::write(const FileRef& file, std::size_t host_idx, Done done) {
+  // The replica becomes visible only when the last byte lands.
+  (void)write_cancellable(file, host_idx, std::move(done));
+}
+
+IoHandle StorageService::read_cancellable(const FileRef& file, std::size_t host_idx,
+                                          Done done) {
+  return execute_plan_cancellable(fabric_, plan_read(file, host_idx), std::move(done),
+                                  nullptr);
+}
+
+IoHandle StorageService::write_cancellable(const FileRef& file, std::size_t host_idx,
+                                           Done done) {
   IoPlan plan = plan_write(file, host_idx);
   reserve_capacity(file);
-  // The replica becomes visible only when the last byte lands.
-  execute_plan(fabric_, std::move(plan),
-               [this, file, host_idx, done = std::move(done)] {
-                 install_replica(file, host_idx);
-                 if (done) done();
-               });
+  return execute_plan_cancellable(
+      fabric_, std::move(plan),
+      [this, file, host_idx, done = std::move(done)] {
+        install_replica(file, host_idx);
+        if (done) done();
+      },
+      [this, file] { abort_write_reservation(file); });
 }
 
 void StorageService::begin_external_write(const FileRef& file) {
@@ -235,6 +306,20 @@ void StorageService::complete_external_write(const FileRef& file, std::size_t ho
   // is created here (reserve_capacity already credited back the bytes of an
   // overwritten pre-existing replica).
   install_replica(file, host_idx);
+}
+
+void StorageService::abort_write_reservation(const FileRef& file) {
+  // Exact mirror of reserve_capacity(): the replica map is unchanged since
+  // the reservation (install_replica never ran for this write), so the same
+  // delta computation reverses it precisely.
+  double delta = file.size;
+  const auto it = replicas_.find(file.name);
+  if (it != replicas_.end()) delta -= it->second.size;
+  used_bytes_ -= delta;
+  BBSIM_AUDIT_HOOK(if (observer_ != nullptr) {
+    observer_->on_occupancy_change(*this, file.name, -delta, used_bytes_);
+  });
+  sample_occupancy();
 }
 
 }  // namespace bbsim::storage

@@ -13,14 +13,17 @@
 // capacity accounting and plan execution.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "flow/network.hpp"
 #include "platform/fabric.hpp"
+#include "sim/engine.hpp"
 #include "stats/metrics.hpp"
 
 namespace bbsim::trace {
@@ -68,8 +71,63 @@ struct IoPlan {
   std::string label;
 };
 
+/// An in-flight planned operation (latency event -> metadata flow -> data
+/// sub-flows). Returned by the *_cancellable entry points so the resilience
+/// layer can kill a crashed host's I/O mid-transfer. All state is engine
+/// time; there is no threading.
+class IoOp {
+ public:
+  /// Tear down whatever stage the operation is in: the pending latency
+  /// event is cancelled, the metadata flow aborted, and every data sub-flow
+  /// cancelled with its partial bytes settled into the flow ledger
+  /// (flow::FlowManager::cancel). The completion callback never fires; the
+  /// cancel hook (capacity-reservation rollback) fires exactly once.
+  /// Returns total data bytes that actually moved (completed sub-flows plus
+  /// settled partials). No-op returning moved() when already finished or
+  /// cancelled.
+  double cancel();
+
+  bool finished() const { return finished_; }
+  bool cancelled() const { return cancelled_; }
+  /// Data bytes moved so far (full sub-flow volumes at completion; partial
+  /// settled bytes after a cancel; not live-updated while flows run).
+  double moved() const { return moved_; }
+
+ private:
+  friend std::shared_ptr<IoOp> execute_plan_cancellable(platform::Fabric& fabric,
+                                                        IoPlan plan, Done done,
+                                                        Done on_cancel);
+  void finish();
+
+  platform::Fabric* fabric_ = nullptr;
+  sim::EventId latency_event_ = 0;
+  bool latency_pending_ = false;
+  flow::FlowId meta_flow_ = 0;
+  bool meta_pending_ = false;
+  std::vector<flow::FlowId> data_flows_;
+  std::size_t pending_ = 0;
+  bool finished_ = false;
+  bool cancelled_ = false;
+  double moved_ = 0.0;
+  Done done_;
+  Done on_cancel_;
+};
+
+/// Shared handle: the op stays alive while its scheduled event / flow
+/// callbacks reference it, so holders may drop the handle freely.
+using IoHandle = std::shared_ptr<IoOp>;
+
 /// Execute a plan on the fabric; `done` fires when every sub-flow finished.
 void execute_plan(platform::Fabric& fabric, IoPlan plan, Done done);
+
+/// As execute_plan, but returns a handle through which the operation can be
+/// cancelled mid-flight. `on_cancel` (may be null) fires once if and only if
+/// the op is cancelled before completion -- services use it to roll back
+/// capacity reservations. The event/flow sequence is identical to
+/// execute_plan (it is the same code path), so uncancelled runs are
+/// bitwise-identical either way.
+IoHandle execute_plan_cancellable(platform::Fabric& fabric, IoPlan plan, Done done,
+                                  Done on_cancel);
 
 class StorageService;
 
@@ -133,6 +191,10 @@ class StorageService {
   /// balance).
   double replica_bytes() const;
   std::size_t replica_count() const { return replicas_.size(); }
+  /// Names of every file stored here, in name order. A snapshot: safe to
+  /// erase_file() while iterating (the resil layer invalidates a crashed
+  /// node's replicas this way).
+  std::vector<std::string> file_names() const;
   /// Total capacity across storage nodes (kUnlimited for the PFS).
   double total_capacity() const;
 
@@ -149,6 +211,15 @@ class StorageService {
   /// visible when `done` fires. Capacity is reserved up front. Overwrites
   /// replace the previous replica.
   void write(const FileRef& file, std::size_t host_idx, Done done);
+
+  /// As read()/write(), returning a handle that can cancel the operation
+  /// mid-flight. A cancelled read just stops its flows; a cancelled write
+  /// additionally rolls back the up-front capacity reservation (the replica
+  /// never appears) and the completion callback never fires. The event/flow
+  /// sequence matches read()/write() exactly, so uncancelled runs are
+  /// bitwise-identical.
+  IoHandle read_cancellable(const FileRef& file, std::size_t host_idx, Done done);
+  IoHandle write_cancellable(const FileRef& file, std::size_t host_idx, Done done);
 
   // Plans exposed so StorageSystem can fuse read+write into one transfer.
   IoPlan plan_read(const FileRef& file, std::size_t host_idx) const;
@@ -179,6 +250,11 @@ class StorageService {
   /// replica when the last byte lands (without reserving again).
   void begin_external_write(const FileRef& file);
   void complete_external_write(const FileRef& file, std::size_t host_idx);
+  /// Roll back a reservation made by begin_external_write()/a cancellable
+  /// write whose data movement was cancelled before the replica appeared.
+  /// Must mirror the reservation exactly: the same delta that was added
+  /// (accounting for an overwritten pre-existing replica) is subtracted.
+  void abort_write_reservation(const FileRef& file);
 
  protected:
   /// Subclass hooks: route the data sub-flows. The base class fills in

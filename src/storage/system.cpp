@@ -81,6 +81,12 @@ StorageService* StorageSystem::best_source(const std::string& file_name,
 
 void StorageSystem::transfer(const FileRef& file, StorageService& from, StorageService& to,
                              std::size_t via_host, Done done) {
+  (void)transfer_cancellable(file, from, to, via_host, std::move(done));
+}
+
+IoHandle StorageSystem::transfer_cancellable(const FileRef& file, StorageService& from,
+                                             StorageService& to, std::size_t via_host,
+                                             Done done) {
   IoPlan read = from.plan_read(file, via_host);
   IoPlan write = to.plan_write(file, via_host);
 
@@ -129,11 +135,13 @@ void StorageSystem::transfer(const FileRef& file, StorageService& from, StorageS
   }
 
   to.begin_external_write(file);
-  execute_plan(fabric_, std::move(fused),
-               [&to, file, via_host, done = std::move(done)] {
-                 to.complete_external_write(file, via_host);
-                 if (done) done();
-               });
+  return execute_plan_cancellable(
+      fabric_, std::move(fused),
+      [&to, file, via_host, done = std::move(done)] {
+        to.complete_external_write(file, via_host);
+        if (done) done();
+      },
+      [&to, file] { to.abort_write_reservation(file); });
 }
 
 void StorageSystem::set_perturbation(const PerturbFn& fn) {

@@ -48,6 +48,13 @@ class StorageSystem {
   void transfer(const FileRef& file, StorageService& from, StorageService& to,
                 std::size_t via_host, Done done);
 
+  /// As transfer(), returning a handle that can cancel the copy mid-flight:
+  /// the destination's capacity reservation is rolled back, no destination
+  /// replica appears, and `done` never fires. The event/flow sequence
+  /// matches transfer() exactly, so uncancelled runs are bitwise-identical.
+  IoHandle transfer_cancellable(const FileRef& file, StorageService& from,
+                                StorageService& to, std::size_t via_host, Done done);
+
   /// Install the same perturbation hook on every service (testbed).
   void set_perturbation(const PerturbFn& fn);
 

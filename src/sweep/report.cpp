@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "resil/fault.hpp"
+
 namespace bbsim::sweep {
 
 namespace {
@@ -52,6 +54,18 @@ json::Value run_to_json(const RunOutcome& outcome, bool include_timings) {
     }
     run.set("storage", json::Value(std::move(storage)));
     lift_batch_summary(r.metrics, run);
+    if (r.resil_stats != nullptr) {
+      // Lift the headline waste numbers so fault-rate axes can be compared
+      // without digging through the embedded bbsim.resil.v1 document.
+      json::Object resil;
+      resil.set("node_crashes", static_cast<double>(r.resil_stats->node_crashes));
+      resil.set("tasks_killed", static_cast<double>(r.resil_stats->tasks_killed));
+      resil.set("rollbacks", static_cast<double>(r.resil_stats->rollbacks));
+      resil.set("checkpoints_taken",
+                static_cast<double>(r.resil_stats->checkpoints_taken));
+      resil.set("wasted_core_seconds", r.resil_stats->wasted_core_seconds());
+      run.set("resil", json::Value(std::move(resil)));
+    }
     if (!r.metrics.is_null()) run.set("metrics", r.metrics);
     if (!r.audit.is_null()) run.set("audit_violations", r.audit_violations);
   }

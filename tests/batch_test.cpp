@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "batch/report.hpp"
 #include "batch/scheduler.hpp"
 #include "cli/batch_cli.hpp"
+#include "resil/fault.hpp"
 #include "trace/timeline.hpp"
 #include "util/error.hpp"
 
@@ -453,6 +455,164 @@ TEST(BatchCli, ParsesSizesArrivalsAndPolicies) {
   EXPECT_DOUBLE_EQ(cfg.weibull_shape, 0.4);
   EXPECT_DOUBLE_EQ(cfg.load, 1.1);
   EXPECT_EQ(cfg.job_count, 50u);
+}
+
+// ------------------------------------------------------------ node outages
+
+TEST(BatchOutage, DisabledFaultsLeaveReportByteIdentical) {
+  SchedulerConfig off;
+  off.faults = resil::FaultSpec::parse("");
+  const FleetResult base = run_tiny(Policy::Easy);
+  const FleetResult with = run_tiny(Policy::Easy, off);
+  EXPECT_FALSE(base.faults_enabled);
+  EXPECT_FALSE(with.faults_enabled);
+  const JobStream s = tiny_stream();
+  EXPECT_EQ(batch::batch_report(s, tiny_machine(), 10.0, {base}, true).dump(),
+            batch::batch_report(s, tiny_machine(), 10.0, {with}, true).dump());
+}
+
+TEST(BatchOutage, ArmedButQuiescentProcessKeepsScheduleExact) {
+  // horizon ~0 arms the process but schedules no crash: everything must
+  // match the faultless run except the (all-zero) outage section.
+  SchedulerConfig cfg;
+  cfg.faults = resil::FaultSpec::parse("node_mtbf=100,horizon=1e-9");
+  const FleetResult base = run_tiny(Policy::Conservative);
+  const FleetResult with = run_tiny(Policy::Conservative, cfg);
+  EXPECT_TRUE(with.faults_enabled);
+  EXPECT_EQ(with.node_outages, 0u);
+  EXPECT_EQ(with.resubmitted_jobs, 0u);
+  EXPECT_DOUBLE_EQ(with.down_node_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(with.makespan, base.makespan);
+  ASSERT_EQ(with.jobs.size(), base.jobs.size());
+  for (std::size_t i = 0; i < base.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with.jobs[i].start, base.jobs[i].start);
+    EXPECT_DOUBLE_EQ(with.jobs[i].end, base.jobs[i].end);
+  }
+}
+
+TEST(BatchOutage, CrashKillsYoungestJobAndResubmitsIt) {
+  // One node, one 100 s job: any crash while it runs must kill it, hold
+  // the node down for node_repair, then rerun the job from scratch. Scan
+  // for a seed whose first crash lands mid-run and whose re-armed crash
+  // (sampled at the repair) falls past the horizon.
+  MachineSpec m;
+  m.nodes = 1;
+  m.bb_bytes = 0.0;
+  const double kRepair = 50.0;
+  std::uint64_t seed = 0;
+  double g0 = 0.0;
+  for (std::uint64_t s = 1; s < 500 && seed == 0; ++s) {
+    resil::FaultSpec probe;
+    probe.seed = s;
+    probe.node_mtbf = 60.0;
+    resil::FaultModel model(probe, 1);
+    const double a = model.next_node_gap(0);
+    const double b = model.next_node_gap(0);
+    // Crash in (40, 90); after repair at a+50 the next crash a+50+b must
+    // land beyond horizon=95 so exactly one outage fires.
+    if (a > 40.0 && a < 90.0 && b > 10.0) {
+      seed = s;
+      g0 = a;
+    }
+  }
+  ASSERT_NE(seed, 0u);
+
+  JobStream s;
+  s.name = "one";
+  s.jobs = {make_job(0, 0.0, 1, 100.0, 100.0, 0.0)};
+  batch::validate_stream(s);
+  SchedulerConfig cfg;
+  cfg.policy = Policy::Fcfs;
+  cfg.audit = true;
+  cfg.faults = resil::FaultSpec::parse(
+      "node_mtbf=60,node_repair=" + std::to_string(kRepair) +
+      ",horizon=95,seed=" + std::to_string(seed));
+  const FleetResult r = batch::run_scheduler(m, s, cfg);
+
+  EXPECT_EQ(r.audit_violations, 0u);
+  EXPECT_EQ(r.node_outages, 1u);
+  EXPECT_EQ(r.resubmitted_jobs, 1u);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  const batch::JobOutcome& j = r.jobs.front();
+  EXPECT_EQ(j.resubmits, 1);
+  // Lost work = one node held from the start to the crash.
+  EXPECT_NEAR(j.lost_node_seconds, g0, 1e-9);
+  EXPECT_NEAR(r.lost_node_seconds, g0, 1e-9);
+  // The rerun starts at the repair and runs to completion.
+  EXPECT_NEAR(j.start, g0 + kRepair, 1e-9);
+  EXPECT_NEAR(r.makespan, g0 + kRepair + 100.0, 1e-9);
+  EXPECT_NEAR(r.down_node_seconds, kRepair, 1e-9);
+  EXPECT_FALSE(j.killed);  // estimate kill is a different mechanism
+}
+
+TEST(BatchOutage, FaultSweepStaysAuditCleanAcrossPolicies) {
+  // Property sweep: every policy under a live outage process must stay
+  // audit-clean, finish every job, and keep its loss accounting additive.
+  batch::StreamConfig gen = contended_config(3.0);
+  gen.job_count = 60;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    gen.seed = 100 + seed;
+    const JobStream s = batch::make_stream(gen);
+    for (const Policy policy : batch::kAllPolicies) {
+      SchedulerConfig cfg;
+      cfg.policy = policy;
+      cfg.audit = true;
+      cfg.faults = resil::FaultSpec::parse(
+          "node_mtbf=5000,node_repair=400,horizon=40000,seed=" +
+          std::to_string(seed));
+      const FleetResult r = batch::run_scheduler(MachineSpec{16, 1e12, 0.0}, s, cfg);
+      EXPECT_EQ(r.audit_violations, 0u) << to_string(policy) << " seed " << seed;
+      ASSERT_EQ(r.jobs.size(), s.jobs.size());
+      int resubmits = 0;
+      double lost = 0.0;
+      for (const batch::JobOutcome& j : r.jobs) {
+        EXPECT_GE(j.start, j.submit);
+        EXPECT_GE(j.end, j.start);
+        resubmits += j.resubmits;
+        lost += j.lost_node_seconds;
+      }
+      EXPECT_EQ(static_cast<std::size_t>(resubmits), r.resubmitted_jobs);
+      EXPECT_NEAR(lost, r.lost_node_seconds, 1e-6);
+      EXPECT_GE(r.makespan, 0.0);
+    }
+  }
+}
+
+TEST(BatchOutage, FaultyRunIsDeterministic) {
+  const JobStream s = batch::make_stream(contended_config(3.0));
+  SchedulerConfig cfg;
+  cfg.policy = Policy::Easy;
+  cfg.faults =
+      resil::FaultSpec::parse("node_mtbf=3000,node_repair=300,seed=9,horizon=50000");
+  const MachineSpec m{16, 1e12, 0.0};
+  const FleetResult a = batch::run_scheduler(m, s, cfg);
+  const FleetResult b = batch::run_scheduler(m, s, cfg);
+  EXPECT_EQ(batch::batch_report(s, m, 10.0, {a}, true).dump(),
+            batch::batch_report(s, m, 10.0, {b}, true).dump());
+}
+
+TEST(BatchOutage, ReportCarriesOutageSectionOnlyWhenArmed) {
+  SchedulerConfig cfg;
+  cfg.faults = resil::FaultSpec::parse("node_mtbf=100,horizon=1e-9");
+  const FleetResult armed = run_tiny(Policy::Fcfs, cfg);
+  const FleetResult off = run_tiny(Policy::Fcfs);
+  const JobStream s = tiny_stream();
+  const std::string with =
+      batch::batch_report(s, tiny_machine(), 10.0, {armed}, false).dump();
+  const std::string without =
+      batch::batch_report(s, tiny_machine(), 10.0, {off}, false).dump();
+  EXPECT_NE(with.find("\"outages\""), std::string::npos);
+  EXPECT_EQ(without.find("\"outages\""), std::string::npos);
+}
+
+TEST(BatchCli, ParsesAndValidatesFaultsSpec) {
+  const cli::BatchCliOptions opt = cli::parse_batch_cli(
+      {"--gen", "5", "--faults", "node_mtbf=3600,node_repair=120,seed=3"});
+  EXPECT_EQ(opt.faults, "node_mtbf=3600,node_repair=120,seed=3");
+  const resil::FaultSpec spec = resil::FaultSpec::parse(opt.faults);
+  EXPECT_DOUBLE_EQ(spec.node_mtbf, 3600.0);
+  EXPECT_THROW(cli::parse_batch_cli({"--gen", "5", "--faults", "bogus=1"}),
+               ConfigError);
 }
 
 }  // namespace

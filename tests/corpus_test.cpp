@@ -9,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "exec/engine.hpp"
 #include "fuzz/runner.hpp"
 #include "fuzz/scenario.hpp"
 #include "json/json.hpp"
+#include "resil/fault.hpp"
 
 #ifndef BBSIM_CORPUS_DIR
 #error "BBSIM_CORPUS_DIR must point at tests/corpus (set by tests/CMakeLists.txt)"
@@ -66,6 +68,28 @@ TEST(Corpus, ReplayIsExactRoundTrip) {
     EXPECT_EQ(from_file.diverged, from_memory.diverged) << path;
     EXPECT_EQ(from_file.divergences.size(), from_memory.divergences.size()) << path;
   }
+}
+
+TEST(Corpus, ResilCasesActuallyExerciseTheInjector) {
+  // The resil corpus cases must genuinely fire the fault injector when run
+  // on the engine -- a case whose faults never trigger regression-tests
+  // nothing. (Plain corpus cases have no specs and are skipped.)
+  std::size_t armed = 0;
+  for (const std::string& path : corpus_files()) {
+    const fuzz::Scenario sc = fuzz::scenario_from_file(path);
+    if (sc.config.fault_spec.empty() && sc.config.checkpoint_spec.empty()) {
+      continue;
+    }
+    ++armed;
+    exec::Simulation sim(sc.platform, sc.workflow, sc.exec_config());
+    const exec::Result result = sim.run();
+    ASSERT_NE(result.resil_stats, nullptr) << path;
+    const resil::RunStats& rs = *result.resil_stats;
+    const int events = rs.node_crashes + rs.bb_degradations +
+                       rs.pfs_brownouts + rs.checkpoints_taken;
+    EXPECT_GT(events, 0) << path << ": armed specs but zero resil events";
+  }
+  EXPECT_GE(armed, 3u) << "expected the three minimized resil repros";
 }
 
 }  // namespace

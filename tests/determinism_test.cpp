@@ -1,9 +1,13 @@
 // Determinism regression tests: an identical seed + spec must serialize
 // byte-identical bbsim.run.v1 / bbsim.sweep.v1 reports across --jobs
 // 1/2/4 and across audit ON/OFF (audit-only fields stripped before the
-// byte compare -- the audit must observe, never perturb).
+// byte compare -- the audit must observe, never perturb). Runs with
+// --faults/--checkpoint armed must be just as reproducible: identical
+// bbsim.resil.v1 sections and FNV-1a schedule hashes across repeated
+// runs and across --jobs 1 vs 8 sweeps.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -95,6 +99,87 @@ TEST(Determinism, RunReportByteIdenticalAcrossInvocations) {
   const std::string first = run_report_dump(false);
   EXPECT_NE(first.find("\"schema\": \"bbsim.run.v1\""), std::string::npos);
   EXPECT_EQ(run_report_dump(false), first);
+}
+
+// ------------------------------------------------------------------ resil
+
+/// The fault/checkpoint cocktail the resil determinism tests pin: on
+/// swarp/cori-private with 2 pipelines it fires several crashes, kills and
+/// checkpoints, so the hashes below cover a genuinely disturbed schedule.
+constexpr const char* kFaults = "node_mtbf=40,node_repair=5,seed=9,horizon=400";
+constexpr const char* kCheckpoint = "interval=15,fraction=0.1,restart=2";
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// FNV-1a over the serialized per-task records (host, cores, full-precision
+/// start/end times): any schedule drift between two runs flips this hash
+/// even if headline numbers happen to agree.
+std::uint64_t schedule_hash(const json::Value& report) {
+  return fnv1a(report.at("tasks").dump());
+}
+
+std::string resil_run_report_dump() {
+  const std::string path = ::testing::TempDir() + "/bbsim_determinism_resil.json";
+  cli::CliOptions opt;
+  opt.quiet = true;
+  opt.pipelines = 2;
+  opt.trace_path = path;
+  opt.faults = kFaults;
+  opt.checkpoint = kCheckpoint;
+  EXPECT_EQ(cli::run_cli(opt), 0);
+  const std::string report = json::parse(slurp(path)).dump(2);
+  std::remove(path.c_str());
+  return report;
+}
+
+TEST(Determinism, ResilReportAndScheduleHashStableAcrossRuns) {
+  const std::string first = resil_run_report_dump();
+  // The run really was disturbed and carries the resil section.
+  EXPECT_NE(first.find("\"schema\": \"bbsim.resil.v1\""), std::string::npos);
+  EXPECT_NE(first.find("\"node_crashes\""), std::string::npos);
+  const std::string second = resil_run_report_dump();
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(schedule_hash(json::parse(second)),
+            schedule_hash(json::parse(first)));
+}
+
+sweep::SweepSpec resil_determinism_spec() {
+  return sweep::parse_sweep_spec(json::parse(R"({
+    "name": "resil-determinism",
+    "base": {"workflow": "swarp", "testbed": "cori-private", "pipelines": 2,
+             "faults": ")" + std::string(kFaults) + R"(",
+             "checkpoint": ")" + std::string(kCheckpoint) + R"("},
+    "axes": {"policy": ["all_pfs", "all_bb"],
+             "seed": [7, 8]},
+    "repetitions": 2
+  })"));
+}
+
+std::string resil_sweep_dump(int jobs) {
+  cli::SweepCliOptions opt;
+  opt.jobs = jobs;
+  opt.quiet = true;
+  return cli::run_sweep_to_json(resil_determinism_spec(), opt).dump(2);
+}
+
+TEST(Determinism, ResilSweepByteIdenticalAcrossJobs1And8) {
+  const std::string serial = resil_sweep_dump(/*jobs=*/1);
+  EXPECT_NE(serial.find("\"schema\": \"bbsim.sweep.v1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"ok\": true"), std::string::npos);
+  // Fault axes lift resil headline counters into every run record.
+  EXPECT_NE(serial.find("\"node_crashes\""), std::string::npos);
+  EXPECT_EQ(resil_sweep_dump(/*jobs=*/8), serial);
+}
+
+TEST(Determinism, ResilSweepStableAcrossInvocations) {
+  EXPECT_EQ(resil_sweep_dump(8), resil_sweep_dump(8));
 }
 
 #if defined(BBSIM_AUDIT_ENABLED)

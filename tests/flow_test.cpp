@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 
 #include "flow/manager.hpp"
 #include "flow/network.hpp"
@@ -248,6 +249,77 @@ TEST(FlowManager, AbortSuppressesCallback) {
   engine.run();
   EXPECT_FALSE(fired);
   EXPECT_EQ(fm.active_count(), 0u);
+}
+
+TEST(FlowManager, CancelMidTransferSettlesPartialBytes) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  bool fired = false;
+  const FlowId f = fm.start({1000.0, {r}}, [&] { fired = true; });
+  std::optional<double> moved;
+  engine.schedule_at(4.0, [&] { moved = fm.cancel(f); });
+  engine.run();
+  EXPECT_FALSE(fired);
+  ASSERT_TRUE(moved.has_value());
+  // 4 s at 100 B/s before the cancel.
+  EXPECT_NEAR(*moved, 400.0, 1e-6);
+  // The partial bytes are settled into the resource ledger, and the busy
+  // window covers only the time the flow actually ran.
+  EXPECT_NEAR(fm.network().resource(r).bytes_served, 400.0, 1e-6);
+  EXPECT_NEAR(fm.network().resource(r).busy_time, 4.0, 1e-9);
+  EXPECT_EQ(fm.active_count(), 0u);
+}
+
+TEST(FlowManager, CancelBeforeAnyProgressReturnsZero) {
+  // Cancel at the same instant the flow starts: known flow, zero bytes moved.
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  bool fired = false;
+  std::optional<double> moved;
+  engine.schedule_at(0.0, [&] {
+    const FlowId f = fm.start({1000.0, {r}}, [&] { fired = true; });
+    moved = fm.cancel(f);
+  });
+  engine.run();
+  EXPECT_FALSE(fired);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_DOUBLE_EQ(*moved, 0.0);
+  EXPECT_DOUBLE_EQ(fm.network().resource(r).bytes_served, 0.0);
+}
+
+TEST(FlowManager, CancelAfterFinishIsNoOp) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  bool fired = false;
+  const FlowId f = fm.start({100.0, {r}}, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+  // The flow completed and its handler ran; cancel must not find it.
+  EXPECT_FALSE(fm.cancel(f).has_value());
+  EXPECT_NEAR(fm.network().resource(r).bytes_served, 100.0, 1e-6);
+}
+
+TEST(FlowManager, CancelOfUnknownFlowIsNullopt) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  EXPECT_FALSE(fm.cancel(9876).has_value());
+}
+
+TEST(FlowManager, CancelFreesBandwidthForSurvivors) {
+  sim::Engine engine;
+  FlowManager fm(engine);
+  const ResourceId r = fm.network().add_resource("r", 100.0);
+  double survivor_done = -1;
+  const FlowId victim = fm.start({1000.0, {r}}, nullptr);
+  fm.start({1000.0, {r}}, [&] { survivor_done = engine.now(); });
+  engine.schedule_at(10.0, [&] { fm.cancel(victim); });
+  engine.run();
+  // Shared 50/50 for 10 s (500 B each), then the survivor gets the full
+  // 100 B/s: 500 remaining -> done at t = 15.
+  EXPECT_DOUBLE_EQ(survivor_done, 15.0);
 }
 
 TEST(FlowManager, CapacityChangeMidFlight) {

@@ -13,6 +13,7 @@
 #include "fuzz/runner.hpp"
 #include "fuzz/scenario.hpp"
 #include "json/json.hpp"
+#include "resil/fault.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -137,6 +138,86 @@ TEST(Campaign, PerturbedEngineIsCaughtAndMinimized) {
   const json::Value doc = json::parse(slurp(failure.written_path));
   EXPECT_EQ(doc.at("schema").as_string(), fuzz::kFuzzcaseSchema);
   std::remove(failure.written_path.c_str());
+}
+
+// ----------------------------------------------------------------- resil
+
+TEST(ResilFuzz, CocktailSamplerIsDeterministicAndArmed) {
+  util::Rng a(5), b(5);
+  const fuzz::Scenario sa = fuzz::sample_resil_scenario(a);
+  const fuzz::Scenario sb = fuzz::sample_resil_scenario(b);
+  EXPECT_EQ(sa.to_json().dump(2), sb.to_json().dump(2));
+  // Every cocktail pins a seed and a horizon (the termination guarantee),
+  // and both specs must parse under the resil grammar.
+  ASSERT_FALSE(sa.config.fault_spec.empty());
+  EXPECT_NE(sa.config.fault_spec.find("seed="), std::string::npos);
+  EXPECT_NE(sa.config.fault_spec.find("horizon="), std::string::npos);
+  EXPECT_NO_THROW((void)resil::FaultSpec::parse(sa.config.fault_spec));
+  EXPECT_NO_THROW((void)resil::CheckpointSpec::parse(sa.config.checkpoint_spec));
+}
+
+TEST(ResilFuzz, CocktailSometimesArmsEachIngredient) {
+  // Over a modest seed range the cocktail should hit node faults, tier
+  // windows and both checkpoint modes -- otherwise the fuzzer has a blind
+  // spot. Counted over forks of one root so the test stays deterministic.
+  int node = 0, bb = 0, pfs = 0, interval = 0, daly = 0;
+  util::Rng root(77);
+  for (int i = 0; i < 60; ++i) {
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    const fuzz::Scenario sc = fuzz::sample_resil_scenario(rng);
+    if (sc.config.fault_spec.find("node_mtbf=") != std::string::npos) ++node;
+    if (sc.config.fault_spec.find("bb_mtbf=") != std::string::npos) ++bb;
+    if (sc.config.fault_spec.find("pfs_mtbf=") != std::string::npos) ++pfs;
+    if (sc.config.checkpoint_spec.find("interval=") != std::string::npos)
+      ++interval;
+    if (sc.config.checkpoint_spec.find("daly") != std::string::npos) ++daly;
+  }
+  EXPECT_GT(node, 0);
+  EXPECT_GT(bb, 0);
+  EXPECT_GT(pfs, 0);
+  EXPECT_GT(interval, 0);
+  EXPECT_GT(daly, 0);
+}
+
+TEST(ResilFuzz, SpecsRoundTripAndStayAbsentWhenEmpty) {
+  // Plain scenarios must not grow "faults"/"checkpoint" keys: pre-resil
+  // corpus files stay byte-stable through load/save.
+  util::Rng plain_rng(9);
+  const fuzz::Scenario plain = fuzz::sample_scenario(plain_rng);
+  const std::string plain_doc = plain.to_json().dump(2);
+  EXPECT_EQ(plain_doc.find("\"faults\""), std::string::npos);
+  EXPECT_EQ(plain_doc.find("\"checkpoint\""), std::string::npos);
+
+  util::Rng armed_rng(5);
+  const fuzz::Scenario armed = fuzz::sample_resil_scenario(armed_rng);
+  const fuzz::Scenario back = fuzz::scenario_from_json(armed.to_json());
+  EXPECT_EQ(back.config.fault_spec, armed.config.fault_spec);
+  EXPECT_EQ(back.config.checkpoint_spec, armed.config.checkpoint_spec);
+  EXPECT_EQ(back.to_json().dump(2), armed.to_json().dump(2));
+}
+
+TEST(ResilFuzz, BatteryPassesOnArmedScenario) {
+  // run_scenario dispatches armed scenarios to the invariant battery; a
+  // shipped engine must come back clean, and repeatably so.
+  util::Rng rng(5);
+  const fuzz::Scenario sc = fuzz::sample_resil_scenario(rng);
+  const auto first = fuzz::run_scenario(sc);
+  EXPECT_FALSE(first.diverged)
+      << first.divergences.front().describe();
+  util::Rng rng2(5);
+  const auto second = fuzz::run_scenario(fuzz::sample_resil_scenario(rng2));
+  EXPECT_EQ(second.diverged, first.diverged);
+}
+
+TEST(ResilFuzz, CocktailCampaignOnShippedEngineIsClean) {
+  fuzz::CampaignOptions opt;
+  opt.seed = 7;
+  opt.iterations = 12;
+  opt.resil_cocktail = true;
+  const auto result = fuzz::run_campaign(opt);
+  EXPECT_TRUE(result.clean())
+      << result.failures.front().divergences.front().describe();
+  EXPECT_EQ(result.iterations_run, 12);
 }
 
 TEST(Minimizer, KeepsReproAndShrinks) {

@@ -1,0 +1,42 @@
+// bbsim-tidy-fixture: as-path=src/resil/fault.cpp
+// Flagging fixture for bbsim-nondeterminism-source in the resil layer: a
+// fault sampler that draws crash times from a wall clock or from hardware
+// entropy instead of the seeded util::Rng stream would make failure
+// injection unreproducible (and break the bitwise-identity guarantee of
+// faults-disabled runs). Every such source must be diagnosed.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+// A "fault model" whose arrival process leaks real time: the classic
+// mistake when porting a production chaos injector into a simulator.
+class WallClockFaultModel {
+ public:
+  double next_crash_gap() {
+    const auto now = std::chrono::steady_clock::now();  // CHECK: bbsim-nondeterminism-source
+    const double jitter =
+        static_cast<double>(rand()) / RAND_MAX;  // CHECK: bbsim-nondeterminism-source
+    return std::chrono::duration<double>(now.time_since_epoch()).count() *
+           jitter;
+  }
+
+  unsigned reseed_from_hardware() {
+    std::random_device rd;  // CHECK: bbsim-nondeterminism-source
+    return rd();
+  }
+
+  double repair_time_from_env() {
+    const char* env = std::getenv("BBSIM_MTTR");  // CHECK: bbsim-nondeterminism-source
+    return env != nullptr ? atof(env) : 0.0;
+  }
+
+  long outage_epoch() {
+    return static_cast<long>(time(nullptr));  // CHECK: bbsim-nondeterminism-source
+  }
+};
+
+}  // namespace fixture

@@ -282,5 +282,112 @@ TEST(SystemTest, WriteReservesCapacityUpFront) {
   EXPECT_TRUE(bb->has_file("a"));
 }
 
+// ------------------------------------------------------- cancellable I/O
+
+TEST(CancellableIo, CancelledWriteReleasesReservationAndReplicaNeverAppears) {
+  Fabric fabric(tiny_platform(StorageKind::SharedBB));
+  StorageSystem sys(fabric);
+  StorageService* bb = sys.burst_buffer();
+  bool fired = false;
+  const IoHandle op = bb->write_cancellable({"out", 6000.0}, 0, [&] { fired = true; });
+  EXPECT_DOUBLE_EQ(bb->used_bytes(), 6000.0);  // reserved up front
+  fabric.engine().schedule_at(1.0, [&] { op->cancel(); });
+  fabric.engine().run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(op->cancelled());
+  EXPECT_FALSE(bb->has_file("out"));
+  EXPECT_DOUBLE_EQ(bb->used_bytes(), 0.0);  // reservation rolled back
+}
+
+TEST(CancellableIo, CancelAfterCompletionIsNoOp) {
+  Fabric fabric(tiny_platform(StorageKind::SharedBB));
+  StorageSystem sys(fabric);
+  StorageService* bb = sys.burst_buffer();
+  bool fired = false;
+  const IoHandle op = bb->write_cancellable({"out", 800.0}, 0, [&] { fired = true; });
+  fabric.engine().run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(op->finished());
+  EXPECT_DOUBLE_EQ(op->cancel(), 800.0);  // no-op: reports bytes moved
+  EXPECT_TRUE(bb->has_file("out"));       // replica survives
+  EXPECT_DOUBLE_EQ(bb->used_bytes(), 800.0);
+}
+
+TEST(CancellableIo, CancelDuringLatencyWindowMovesNoBytes) {
+  // The PFS read below spends its whole latency window before any byte
+  // moves; cancelling inside it must move nothing and fire no callback.
+  PlatformSpec p = tiny_platform(StorageKind::SharedBB);
+  p.storage[0].base_latency = 5.0;
+  Fabric fabric(p);
+  StorageSystem sys(fabric);
+  sys.pfs().register_file({"f", 1000.0}, 0);
+  bool fired = false;
+  const IoHandle op = sys.pfs().read_cancellable({"f", 1000.0}, 0, [&] { fired = true; });
+  fabric.engine().schedule_at(1.0, [&] { EXPECT_DOUBLE_EQ(op->cancel(), 0.0); });
+  fabric.engine().run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(op->moved(), 0.0);
+}
+
+TEST(CancellableIo, CancelledReadSettlesPartialBytes) {
+  Fabric fabric(tiny_platform(StorageKind::SharedBB));
+  StorageSystem sys(fabric);
+  sys.pfs().register_file({"f", 1000.0}, 0);  // reads at 100 B/s
+  bool fired = false;
+  const IoHandle op = sys.pfs().read_cancellable({"f", 1000.0}, 0, [&] { fired = true; });
+  double moved = -1.0;
+  fabric.engine().schedule_at(4.0, [&] { moved = op->cancel(); });
+  fabric.engine().run();
+  EXPECT_FALSE(fired);
+  // ~4 s at 100 B/s (the metadata flow finishes effectively instantly on
+  // the unlimited metadata resource, so the data flow spans the window).
+  EXPECT_NEAR(moved, 400.0, 1.0);
+}
+
+TEST(CancellableIo, CancelledTransferRollsBackDestination) {
+  Fabric fabric(tiny_platform(StorageKind::SharedBB));
+  StorageSystem sys(fabric);
+  sys.pfs().register_file({"f", 1000.0}, 0);
+  StorageService* bb = sys.burst_buffer();
+  bool fired = false;
+  const IoHandle op = sys.transfer_cancellable({"f", 1000.0}, sys.pfs(), *bb, 0,
+                                               [&] { fired = true; });
+  EXPECT_DOUBLE_EQ(bb->used_bytes(), 1000.0);  // destination reservation
+  fabric.engine().schedule_at(2.0, [&] { op->cancel(); });
+  fabric.engine().run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(bb->has_file("f"));
+  EXPECT_DOUBLE_EQ(bb->used_bytes(), 0.0);
+  EXPECT_TRUE(sys.pfs().has_file("f"));  // source untouched
+}
+
+TEST(CancellableIo, CancelledOverwriteKeepsOldReplica) {
+  Fabric fabric(tiny_platform(StorageKind::SharedBB));
+  StorageSystem sys(fabric);
+  StorageService* bb = sys.burst_buffer();
+  bb->register_file({"out", 300.0}, 0);
+  const IoHandle op = bb->write_cancellable({"out", 900.0}, 0, nullptr);
+  // Overwrite reservation: delta = 900 - 300.
+  EXPECT_DOUBLE_EQ(bb->used_bytes(), 900.0);
+  fabric.engine().schedule_at(0.25, [&] { op->cancel(); });
+  fabric.engine().run();
+  ASSERT_TRUE(bb->has_file("out"));
+  EXPECT_DOUBLE_EQ(bb->replica("out")->size, 300.0);  // old replica survives
+  EXPECT_DOUBLE_EQ(bb->used_bytes(), 300.0);
+}
+
+TEST(CancellableIo, DoubleCancelIsIdempotent) {
+  Fabric fabric(tiny_platform(StorageKind::SharedBB));
+  StorageSystem sys(fabric);
+  StorageService* bb = sys.burst_buffer();
+  const IoHandle op = bb->write_cancellable({"out", 6000.0}, 0, nullptr);
+  fabric.engine().schedule_at(1.0, [&] {
+    const double first = op->cancel();
+    EXPECT_DOUBLE_EQ(op->cancel(), first);  // second cancel changes nothing
+  });
+  fabric.engine().run();
+  EXPECT_DOUBLE_EQ(bb->used_bytes(), 0.0);  // reservation released once
+}
+
 }  // namespace
 }  // namespace bbsim::storage

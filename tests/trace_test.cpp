@@ -435,10 +435,15 @@ TEST(TraceEventKind, AllKindsHaveUniqueWireNames) {
   EXPECT_EQ(names.size(), std::size(exec::kAllTraceEventKinds));
   // The documented closed set, spelled out: a new kind must be added here
   // (and to docs/observability.md) deliberately.
-  EXPECT_EQ(names, (std::set<std::string>{
-                       "task_ready", "task_start", "reads_done", "compute_done",
-                       "write", "task_end", "stage_file", "stage_skipped",
-                       "stage_out", "evict"}));
+  EXPECT_EQ(names,
+            (std::set<std::string>{
+                "task_ready", "task_start", "reads_done", "compute_done",
+                "write", "task_end", "stage_file", "stage_skipped", "stage_out",
+                "evict",
+                // resilience events (src/resil)
+                "node_crash", "node_repair", "bb_degraded", "pfs_brownout",
+                "fault_cleared", "task_killed", "task_restart", "rollback",
+                "checkpoint", "checkpoint_drained"}));
 }
 
 }  // namespace

@@ -13,11 +13,15 @@ namespace {
 
 const char* kUsage = R"(bbsim_fuzz -- differential testing of bbsim against a naive reference
 
-  --mode <exec|solver|churn>  what to fuzz (default: exec)
+  --mode <exec|solver|churn|resil>  what to fuzz (default: exec)
                             exec: full engine vs reference replayer
                             solver: flow::Network::solve vs brute-force max-min
                             churn: incremental solve under add/remove/
                             set_capacity churn vs full re-solve and oracle
+                            resil: scenarios with a fault/checkpoint cocktail;
+                            each is checked for baseline oracle agreement,
+                            faults-disabled bitwise identity, faulty-run
+                            determinism, audit cleanliness and accounting
   --seed S                  campaign seed (default: 42)
   --iters N                 scenarios to sample (default: 100)
   --rel-tol X               relative diff tolerance (default: 1e-6)
@@ -60,7 +64,8 @@ int main(int argc, char** argv) {
         return 0;
       } else if (a == "--mode") {
         mode = next_value(a);
-        if (mode != "exec" && mode != "solver" && mode != "churn") {
+        if (mode != "exec" && mode != "solver" && mode != "churn" &&
+            mode != "resil") {
           throw bbsim::util::ConfigError("unknown --mode '" + mode + "'");
         }
       } else if (a == "--seed") {
@@ -136,8 +141,9 @@ int main(int argc, char** argv) {
       return result.clean() ? 0 : 1;
     }
 
+    options.resil_cocktail = mode == "resil";
     const auto result = bbsim::fuzz::run_campaign(options);
-    std::cout << "exec campaign: " << result.iterations_run << " iterations, "
+    std::cout << mode << " campaign: " << result.iterations_run << " iterations, "
               << result.failures.size() << " failing\n";
     for (const auto& failure : result.failures) {
       std::cout << "failure at iteration " << failure.iteration << " (minimized to "

@@ -17,6 +17,7 @@ const char* to_string(Code code) {
     case Code::kResultInconsistent: return "result_inconsistent";
     case Code::kJobLifecycle: return "job_lifecycle";
     case Code::kReservationImbalance: return "reservation_imbalance";
+    case Code::kAttributionMismatch: return "attribution_mismatch";
   }
   return "unknown";
 }

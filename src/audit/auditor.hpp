@@ -50,6 +50,7 @@ enum class Code {
   // batch/*: multi-tenant scheduler legality (job streams over the machine).
   kJobLifecycle,          ///< a job's submit/start/end times are disordered
   kReservationImbalance,  ///< node/BB reservations diverged from the fleet ledger
+  kAttributionMismatch,   ///< critpath blame classes fail to sum to the makespan
 };
 
 /// Stable snake_case identifier used in JSON and metrics names.

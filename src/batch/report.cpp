@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "critpath/critpath.hpp"
+
 namespace bbsim::batch {
 
 namespace {
@@ -63,9 +65,84 @@ FleetSummary summarize(const FleetResult& result, const MachineSpec& machine,
   return s;
 }
 
+json::Value batch_critpath(const FleetResult& run) {
+  critpath::Report report;
+  report.makespan = run.makespan;
+  const auto blame_of = [](critpath::Blame b) {
+    return static_cast<std::size_t>(b);
+  };
+  if (!run.jobs.empty()) {
+    // Sink: the job whose completion is the makespan (tie -> lowest id,
+    // which is first in the id-ordered outcome vector).
+    const JobOutcome* sink = &run.jobs.front();
+    for (const JobOutcome& j : run.jobs) {
+      if (j.end > sink->end) sink = &j;
+    }
+    // Backward blocking-chain walk. Runtimes are strictly positive, so
+    // pred->end <= cur->submit < cur->end makes the chain's completion
+    // times strictly decrease: the walk terminates.
+    std::vector<critpath::Segment> rpath;  // reverse chronological
+    const auto push = [&rpath](const std::string& job, const char* phase,
+                               critpath::Blame blame, double start, double end) {
+      if (end - start <= 0.0) return;
+      rpath.push_back(critpath::Segment{job, phase, blame, start, end});
+    };
+    const JobOutcome* cur = sink;
+    for (;;) {
+      push(cur->name, "run", critpath::Blame::kCompute, cur->start, cur->end);
+      const double wait = cur->start - cur->submit;
+      const double bb = std::min(std::max(cur->bb_wait_seconds, 0.0), wait);
+      double rework = 0.0;
+      if (cur->resubmits > 0 && cur->nodes > 0) {
+        // Wall time the failed attempts of this job burned inside its wait
+        // window (lost_node_seconds is wall time x nodes).
+        rework = std::min(cur->lost_node_seconds / cur->nodes, wait - bb);
+      }
+      push(cur->name, "bb_wait", critpath::Blame::kBbCapacityWait,
+           cur->start - bb, cur->start);
+      push(cur->name, "rework", critpath::Blame::kRecoveryRework,
+           cur->start - bb - rework, cur->start - bb);
+      push(cur->name, "wait", critpath::Blame::kQueueWait, cur->submit,
+           cur->start - bb - rework);
+      const double boundary = cur->submit;
+      if (boundary <= 0.0) break;
+      const JobOutcome* pred = nullptr;
+      for (const JobOutcome& j : run.jobs) {
+        if (&j == cur || j.end > boundary) continue;
+        if (pred == nullptr || j.end > pred->end) pred = &j;
+      }
+      if (pred == nullptr) {
+        // Nothing finished before this job arrived: the head of the chain
+        // is the stream's own arrival serialization.
+        push(cur->name, "arrival", critpath::Blame::kQueueWait, 0.0, boundary);
+        break;
+      }
+      push(cur->name, "arrival", critpath::Blame::kQueueWait, pred->end,
+           boundary);
+      cur = pred;
+    }
+    report.path.assign(rpath.rbegin(), rpath.rend());
+    report.set_blame_from_path();
+  }
+  // Subtractive what-ifs: removing a wait class from a chain shortens the
+  // makespan by exactly that class's path seconds (lower bound: the rest
+  // of the fleet is assumed not to re-pack).
+  const double bb = report.blame[blame_of(critpath::Blame::kBbCapacityWait)];
+  const double queue = report.blame[blame_of(critpath::Blame::kQueueWait)];
+  const double rework = report.blame[blame_of(critpath::Blame::kRecoveryRework)];
+  report.what_ifs.push_back(critpath::WhatIf{"baseline", {}, run.makespan});
+  report.what_ifs.push_back(
+      critpath::WhatIf{"infinite_bb_capacity", {}, run.makespan - bb});
+  report.what_ifs.push_back(
+      critpath::WhatIf{"no_queue_wait", {}, run.makespan - queue - bb});
+  report.what_ifs.push_back(
+      critpath::WhatIf{"no_faults", {}, run.makespan - rework});
+  return report.to_json();
+}
+
 json::Value batch_report(const JobStream& stream, const MachineSpec& machine,
                          double tau, const std::vector<FleetResult>& runs,
-                         bool include_jobs) {
+                         bool include_jobs, bool include_critpath) {
   json::Object root;
   root.set("schema", "bbsim.batch.v1");
 
@@ -146,6 +223,7 @@ json::Value batch_report(const JobStream& stream, const MachineSpec& machine,
       }
       r.set("jobs", json::Value(std::move(jobs)));
     }
+    if (include_critpath) r.set("critpath", batch_critpath(run));
     if (!run.metrics.is_null()) r.set("metrics", run.metrics);
     if (!run.audit.is_null()) r.set("audit", run.audit);
     runs_arr.push_back(json::Value(std::move(r)));

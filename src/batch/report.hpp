@@ -58,9 +58,23 @@ FleetSummary summarize(const FleetResult& result, const MachineSpec& machine,
 
 /// Build the bbsim.batch.v1 report over one or more policy runs of the
 /// same stream. `include_jobs` embeds the per-job records (id, start, end,
-/// wait, bounded_slowdown, bb_alloc, backfilled, killed) in each run.
+/// wait, bounded_slowdown, bb_alloc, backfilled, killed) in each run;
+/// `include_critpath` embeds batch_critpath(run) per run as "critpath".
 json::Value batch_report(const JobStream& stream, const MachineSpec& machine,
                          double tau, const std::vector<FleetResult>& runs,
-                         bool include_jobs = false);
+                         bool include_jobs = false,
+                         bool include_critpath = false);
+
+/// Critical-path decomposition of one run's makespan (bbsim.critpath.v1).
+/// Walks the blocking chain backward from the job that finishes last: each
+/// job on the chain contributes its run ([start, end] -> compute), its wait
+/// split into BB-capacity blockage (JobOutcome::bb_wait_seconds ->
+/// bb_capacity_wait), outage rework (lost wall time of killed attempts ->
+/// recovery_rework) and plain queue wait, and the arrival gap back to the
+/// predecessor completion that most recently preceded its submit. The
+/// segments partition [0, makespan] exactly, so path length and total blame
+/// equal the makespan -- same invariant as the exec-layer report. Purely a
+/// function of the outcomes; no run-time hooks are involved.
+json::Value batch_critpath(const FleetResult& run);
 
 }  // namespace bbsim::batch

@@ -246,6 +246,10 @@ void FleetSim::start_job(std::size_t idx, bool backfilled) {
     metrics_->counter("batch.jobs_started").add();
     if (backfilled) metrics_->counter("batch.jobs_backfilled").add();
     if (out.killed) metrics_->counter("batch.jobs_killed").add();
+    // BB-allocation wait absorbed before this start: the seconds the job
+    // spent as a node-feasible queue head blocked by the BB pool alone.
+    metrics_->series("storage.bb.alloc_wait_seconds")
+        .sample(now_, out.bb_wait_seconds);
   }
 }
 
@@ -517,6 +521,7 @@ void FleetSim::integrate_to(double t) {
     const std::size_t head = queue_.front();
     if (job(head).nodes <= free_nodes_ && alloc(head) > free_bb_ + bb_eps()) {
       result_.bb_blocked_seconds += dt;
+      outcomes_[head].bb_wait_seconds += dt;
     }
   }
 }

@@ -138,6 +138,11 @@ struct JobOutcome {
   /// Node-seconds of work this job lost to outage kills across all failed
   /// attempts: sum over kills of (kill_time - attempt_start) * nodes.
   double lost_node_seconds = 0.0;
+  /// Seconds this job spent as the queue head fitting on nodes but blocked
+  /// by the BB dimension alone -- its share of bb_blocked_seconds. Feeds
+  /// the bb_capacity_wait blame class of the batch critical-path report
+  /// and the storage.bb.alloc_wait_seconds metrics series.
+  double bb_wait_seconds = 0.0;
 
   double wait() const { return start - submit; }
   double response() const { return end - submit; }

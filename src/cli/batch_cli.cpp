@@ -65,6 +65,12 @@ Output:
                        report and make the exit code 1
   --audit-out FILE     also write the audit report(s) to FILE (implies
                        --audit)
+  --critpath           decompose each run's makespan along the blocking
+                       chain of the last-finishing job into compute /
+                       queue-wait / BB-capacity-wait / outage-rework blame
+                       and embed it in the report (bbsim.critpath.v1)
+  --critpath-out FILE  also write the critical-path report(s) to FILE
+                       (requires --critpath)
   --quiet              no summary table on stderr
   --help
 )";
@@ -124,6 +130,10 @@ BatchCliOptions parse_batch_cli(const std::vector<std::string>& args) {
     } else if (a == "--audit-out") {
       opt.audit_path = next_value(a);
       opt.audit = true;
+    } else if (a == "--critpath") {
+      opt.critpath = true;
+    } else if (a == "--critpath-out") {
+      opt.critpath_path = next_value(a);
     } else if (a == "--quiet") {
       opt.quiet = true;
     } else {
@@ -136,6 +146,9 @@ BatchCliOptions parse_batch_cli(const std::vector<std::string>& args) {
   }
   if (!opt.jobs_path.empty() && opt.gen_count != 0) {
     throw ConfigError("--jobs-file and --gen are mutually exclusive");
+  }
+  if (!opt.critpath_path.empty() && !opt.critpath) {
+    throw ConfigError("--critpath-out requires --critpath");
   }
   resolve_policies(opt.policy);           // fail fast on a bad --policy value
   (void)resil::FaultSpec::parse(opt.faults);  // and on a bad --faults spec
@@ -240,8 +253,20 @@ int run_batch_cli(const BatchCliOptions& options) {
     }
   }
 
-  const json::Value report = batch::batch_report(stream, machine, options.tau,
-                                                 runs, options.report_jobs);
+  if (!options.critpath_path.empty()) {
+    json::Object reports;
+    for (const batch::FleetResult& r : runs) {
+      reports.set(batch::to_string(r.policy), batch::batch_critpath(r));
+    }
+    json::write_file(options.critpath_path, json::Value(std::move(reports)));
+    if (!options.quiet) {
+      std::fprintf(stderr, "[json] wrote %s\n", options.critpath_path.c_str());
+    }
+  }
+
+  const json::Value report =
+      batch::batch_report(stream, machine, options.tau, runs,
+                          options.report_jobs, options.critpath);
   if (options.report_path.empty()) {
     std::fputs((report.dump(2) + "\n").c_str(), stdout);
   } else {

@@ -48,6 +48,8 @@ struct BatchCliOptions {
   bool metrics = false;       ///< --metrics (embed bbsim.metrics.v1 per run)
   bool audit = false;         ///< --audit (reservation ledger + lifecycle)
   std::string audit_path;     ///< --audit-out FILE (implies --audit)
+  bool critpath = false;      ///< --critpath (embed blame split per run)
+  std::string critpath_path;  ///< --critpath-out FILE (requires --critpath)
   bool quiet = false;
   bool help = false;
 };

@@ -78,6 +78,15 @@ Output:
                                        capacity, max-min fairness, schedule
                                        legality); exit 1 on any violation
   --audit-out FILE.json                write the audit report (requires --audit)
+  --critpath                           record the causal event graph, extract
+                                       the critical path of the makespan and
+                                       print its per-resource blame split
+                                       (compute / BB / PFS / waits / rework)
+                                       plus what-if sensitivities; embedded
+                                       in --trace output as "critpath"
+  --critpath-out FILE.json             write the critical-path report
+                                       (schema bbsim.critpath.v1; requires
+                                       --critpath)
   --gantt                              print an ASCII Gantt chart
   --describe                           print the workflow structure summary
   --report                             print the per-type I/O characterization
@@ -202,6 +211,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opt.audit = true;
     } else if (a == "--audit-out") {
       opt.audit_path = next_value(a);
+    } else if (a == "--critpath") {
+      opt.critpath = true;
+    } else if (a == "--critpath-out") {
+      opt.critpath_path = next_value(a);
     } else if (a == "--gantt") {
       opt.gantt = true;
     } else if (a == "--describe") {
@@ -219,6 +232,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   if (opt.pipelines < 1) throw ConfigError("--pipelines must be >= 1");
   if (opt.repetitions < 1) throw ConfigError("--reps must be >= 1");
   if (opt.jobs < 0) throw ConfigError("--jobs must be >= 0 (0 = all hardware threads)");
+  if (!opt.critpath_path.empty() && !opt.critpath) {
+    throw ConfigError("--critpath-out requires --critpath");
+  }
   if (!opt.audit_path.empty() && !opt.audit) {
     throw ConfigError("--audit-out requires --audit");
   }

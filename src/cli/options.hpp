@@ -61,6 +61,8 @@ struct CliOptions {
   bool profile = false;      ///< wall-clock self-profiling (nondeterministic)
   bool audit = false;        ///< run the invariant auditor alongside the run
   std::string audit_path;    ///< audit report JSON (implies audit)
+  bool critpath = false;     ///< critical-path / blame-attribution pass
+  std::string critpath_path; ///< critpath report JSON (requires --critpath)
   bool gantt = false;
   bool describe = false;  ///< print the workflow structure summary
   bool report = false;    ///< print the per-type characterization report

@@ -71,6 +71,7 @@ exec::ExecutionConfig execution_config(const CliOptions& options) {
   cfg.collect_timeline = !options.timeline_path.empty();
   cfg.profile = options.profile;
   cfg.audit = options.audit;
+  cfg.critpath = options.critpath;
   cfg.faults = resil::FaultSpec::parse(options.faults);
   cfg.checkpoint = resil::CheckpointSpec::parse(options.checkpoint);
   if (options.cores > 0) cfg.force_cores = options.cores;
@@ -150,6 +151,29 @@ void print_summary(const exec::Result& result, const CliOptions& options) {
   }
 }
 
+void print_critpath(const exec::Result& result) {
+  if (result.critpath.is_null()) return;
+  const json::Value& cp = result.critpath;
+  std::printf("critical path   %s across %zu segment(s)\n",
+              util::format_time(cp.at("path_length").as_number()).c_str(),
+              cp.at("path").as_array().size());
+  const json::Object& fractions = cp.at("blame_fractions").as_object();
+  for (const auto& [key, value] : cp.at("blame").as_object()) {
+    const double seconds = value.as_number();
+    if (seconds <= 0.0) continue;
+    std::printf("  %-16s %10s  (%.1f%%)\n", key.c_str(),
+                util::format_time(seconds).c_str(),
+                fractions.at(key).as_number() * 100.0);
+  }
+  for (const json::Value& w : cp.at("what_if").as_array()) {
+    if (w.at("scenario").as_string() == "baseline") continue;
+    std::printf("  what-if %-22s makespan %10s  (%.3fx speedup)\n",
+                w.at("scenario").as_string().c_str(),
+                util::format_time(w.at("makespan").as_number()).c_str(),
+                w.at("speedup").as_number());
+  }
+}
+
 void print_profile(const exec::Result& result) {
   if (result.profile.is_null()) return;
   std::printf("profile (wall-clock, nondeterministic):\n");
@@ -225,6 +249,7 @@ int run_cli(const CliOptions& options) {
     twin_cfg.collect_timeline = false;
     twin_cfg.profile = false;
     twin_cfg.audit = false;
+    twin_cfg.critpath = false;
     exec::Simulation twin(resolve_platform(options), workflow, twin_cfg);
     baseline_makespan = twin.run().makespan;
   }
@@ -267,6 +292,22 @@ int run_cli(const CliOptions& options) {
     }
   }
   if (options.profile && !options.quiet) print_profile(result);
+  if (options.critpath) {
+    if (result.critpath.is_null()) {
+      // The build compiled the hooks out (BBSIM_CRITPATH=OFF).
+      std::fprintf(stderr,
+                   "bbsim_run: --critpath requested but this build has no "
+                   "critpath hooks (reconfigure with -DBBSIM_CRITPATH=ON)\n");
+      return 1;
+    }
+    if (!options.quiet) print_critpath(result);
+    if (!options.critpath_path.empty()) {
+      json::write_file(options.critpath_path, result.critpath);
+      if (!options.quiet) {
+        std::printf("[critpath] wrote %s\n", options.critpath_path.c_str());
+      }
+    }
+  }
   if (options.audit) {
     if (result.audit.is_null()) {
       // The build compiled the hooks out (BBSIM_AUDIT=OFF).

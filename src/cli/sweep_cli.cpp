@@ -100,7 +100,7 @@ const std::set<std::string>& forbidden_keys() {
   static const std::set<std::string> keys = {
       "trace", "csv",   "dot",    "metrics-out", "audit-out", "gantt",
       "describe", "report", "quiet", "help",  "jobs",        "reps",
-      "timeline-out", "profile"};
+      "timeline-out", "profile", "critpath-out"};
   return keys;
 }
 
@@ -158,10 +158,10 @@ bool is_batch_run(const json::Object& settings) {
 
 /// Per-run file outputs collide across a sweep, exactly as for bbsim_run.
 const std::set<std::string>& batch_forbidden_keys() {
-  static const std::set<std::string> keys = {"report-out", "report-jobs",
-                                             "jobs-out",   "timeline-out",
-                                             "audit-out",  "quiet",
-                                             "help"};
+  static const std::set<std::string> keys = {"report-out",   "report-jobs",
+                                             "jobs-out",     "timeline-out",
+                                             "audit-out",    "critpath-out",
+                                             "quiet",        "help"};
   return keys;
 }
 

@@ -92,6 +92,11 @@ Simulation::Simulation(platform::PlatformSpec platform, const wf::Workflow& work
     if (metrics_) auditor_->set_metrics(metrics_.get());
   }
 #endif
+#if defined(BBSIM_CRITPATH_ENABLED)
+  if (config_.critpath) {
+    critpath_ = std::make_unique<critpath::Recorder>();
+  }
+#endif
 }
 
 void Simulation::bump(const char* counter_name, double delta) {
@@ -197,6 +202,11 @@ void Simulation::prepare() {
       st.record.t_ready = fabric_.engine().now();
       enqueue_ready(name);
       trace(TraceEventKind::TaskReady, name);
+      BBSIM_CRITPATH_HOOK(if (critpath_) {
+        critpath_->record_ready(
+            name, st.record.t_ready,
+            {critpath::ReadyCause::Kind::kWorkflowStart, {}});
+      });
     }
   }
   setup_resil();
@@ -305,6 +315,9 @@ void Simulation::start_task(TaskState& ts, std::size_t host) {
     const double delay = config_.checkpoint.restart_latency;
     if (delay > 0.0) {
       // Restart overhead: re-launch plus reading the checkpoint image back.
+      BBSIM_CRITPATH_HOOK(if (critpath_) {
+        critpath_->record_restart_delay(ts.task->name, delay);
+      });
       ts.event_pending = true;
       ts.pending_event = fabric_.engine().schedule_in(delay, [this, &ts] {
         ts.event_pending = false;
@@ -442,6 +455,16 @@ void Simulation::issue_reads(TaskState& ts) {
     last_access_[fname] = fabric_.engine().now();  // LRU bookkeeping
     const storage::FileRef file{fname, workflow_.file(fname).size};
     ts.record.bytes_read += file.size;
+    BBSIM_CRITPATH_HOOK(if (critpath_) {
+      critpath_->record_read_bytes(ts.task->name, file.size,
+                                   src != &storage_.pfs());
+    });
+    if (metrics_) {
+      // How long this transfer waited in the task's pending queue (the
+      // paper's I/O window is `cores` concurrent files).
+      metrics_->histogram("flow.queue_wait_seconds")
+          .record(fabric_.engine().now() - ts.record.t_start);
+    }
     ++ts.inflight_io;
     auto done = [this, &ts] {
       --ts.inflight_io;
@@ -568,6 +591,11 @@ void Simulation::take_checkpoint(TaskState& ts) {
         s.checkpoint_bytes_written += bytes;
         s.checkpoint_core_seconds +=
             ts.cores * (fabric_.engine().now() - ts.ckpt_write_start);
+        BBSIM_CRITPATH_HOOK(if (critpath_) {
+          critpath_->record_ckpt_stall(
+              ts.task->name, fabric_.engine().now() - ts.ckpt_write_start,
+              to_bb);
+        });
         if (to_bb) {
           // Asynchronous drain: the image only protects against node loss
           // once its PFS copy exists; compute resumes immediately.
@@ -653,6 +681,14 @@ void Simulation::issue_writes(TaskState& ts) {
         tier == Tier::BurstBuffer ? *storage_.burst_buffer() : storage_.pfs();
     const storage::FileRef file{fname, workflow_.file(fname).size};
     ts.record.bytes_written += file.size;
+    BBSIM_CRITPATH_HOOK(if (critpath_) {
+      critpath_->record_write_bytes(ts.task->name, file.size,
+                                    tier == Tier::BurstBuffer);
+    });
+    if (metrics_) {
+      metrics_->histogram("flow.queue_wait_seconds")
+          .record(fabric_.engine().now() - ts.record.t_compute_done);
+    }
     trace(TraceEventKind::Write, ts.task->name,
           util::format("%s -> %s", fname.c_str(), dst.name().c_str()));
     ++ts.inflight_io;
@@ -702,6 +738,11 @@ void Simulation::finish_task(TaskState& ts) {
       cs.record.t_ready = fabric_.engine().now();
       enqueue_ready(child);
       trace(TraceEventKind::TaskReady, child);
+      BBSIM_CRITPATH_HOOK(if (critpath_) {
+        critpath_->record_ready(
+            child, cs.record.t_ready,
+            {critpath::ReadyCause::Kind::kParent, ts.task->name});
+      });
     }
   }
   if (tasks_remaining_ == 0 && config_.stage_out) {
@@ -951,6 +992,10 @@ void Simulation::kill_task(TaskState& ts, bool requeue) {
   resil::TaskResil& tr = stats.tasks[ts.task->name];
   ++tr.kills;
   tr.lost_core_seconds += lost;
+  BBSIM_CRITPATH_HOOK(if (critpath_) {
+    critpath_->record_abort(ts.task->name, ts.record.t_ready,
+                            ts.record.t_start, now);
+  });
   if (ts.event_pending) {
     fabric_.engine().cancel(ts.pending_event);
     ts.event_pending = false;
@@ -986,6 +1031,10 @@ void Simulation::kill_task(TaskState& ts, bool requeue) {
     ts.record.t_ready = now;
     enqueue_ready(ts.task->name);
     trace(TraceEventKind::TaskReady, ts.task->name);
+    BBSIM_CRITPATH_HOOK(if (critpath_) {
+      critpath_->record_ready(ts.task->name, now,
+                              {critpath::ReadyCause::Kind::kRequeue, {}});
+    });
   } else {
     ts.ready = false;
   }
@@ -1009,6 +1058,12 @@ void Simulation::rollback_task(TaskState& ts) {
   ++ts.attempt;
   ts.ckpt_durable = 0.0;  // its checkpoints were deleted when it finished
   ts.compute_done = 0.0;
+  BBSIM_CRITPATH_HOOK(if (critpath_) {
+    // The completed attempt (and the dead time until this crash) becomes
+    // rework on the causal chain.
+    critpath_->record_abort(ts.task->name, ts.record.t_ready,
+                            ts.record.t_start, now);
+  });
   ts.record.bytes_read = 0.0;
   ts.record.bytes_written = 0.0;
   trace(TraceEventKind::Rollback, ts.task->name,
@@ -1038,6 +1093,10 @@ void Simulation::rollback_task(TaskState& ts) {
     ts.record.t_ready = now;
     enqueue_ready(ts.task->name);
     trace(TraceEventKind::TaskReady, ts.task->name);
+    BBSIM_CRITPATH_HOOK(if (critpath_) {
+      critpath_->record_ready(ts.task->name, now,
+                              {critpath::ReadyCause::Kind::kRollback, {}});
+    });
   } else {
     ts.ready = false;
   }
@@ -1143,6 +1202,60 @@ Result Simulation::collect_result() {
       }
     }
   }
+  if (critpath_) {
+    // Before the profiler publishes (so profile.critpath.* lands in the
+    // registry) and before the timeline finishes (so the critical-path
+    // links make it into the Perfetto export).
+    const trace::ScopedTimer critpath_timer(
+        profiler_ ? profiler_->section("critpath") : nullptr);
+    critpath::AnalyzeInput input;
+    input.makespan = r.makespan;
+    input.stage_out_duration = stage_out_duration_;
+    input.tasks.reserve(states_.size());
+    for (const auto& [name, st] : states_) {
+      critpath::TaskTimes t;
+      t.name = name;
+      t.stage_in = st.task->type == kStageInType;
+      t.t_ready = st.record.t_ready;
+      t.t_start = st.record.t_start;
+      t.t_reads_done = st.record.t_reads_done;
+      t.t_compute_done = st.record.t_compute_done;
+      t.t_end = st.record.t_end;
+      t.parents = workflow_.parents(name);
+      input.tasks.push_back(std::move(t));
+    }
+    const critpath::Report report = critpath::analyze(*critpath_, input);
+    r.critpath = report.to_json();
+    if (auditor_) {
+      const double tol = 1e-9 * std::max(1.0, r.makespan);
+      BBSIM_AUDIT_CHECK(*auditor_,
+                        std::abs(report.path_length() - r.makespan) <= tol,
+                        audit::Code::kAttributionMismatch, audit::kPostRun,
+                        "critpath",
+                        util::format("critical-path length %.12g != makespan %.12g",
+                                     report.path_length(), r.makespan));
+      BBSIM_AUDIT_CHECK(*auditor_,
+                        std::abs(report.blame_total() - r.makespan) <= tol,
+                        audit::Code::kAttributionMismatch, audit::kPostRun,
+                        "critpath",
+                        util::format("blame classes sum %.12g != makespan %.12g",
+                                     report.blame_total(), r.makespan));
+    }
+    if (timeline_rec_) {
+      // Flow-event links between consecutive on-path tasks (synthetic
+      // stage nodes have no timeline span to anchor to).
+      std::string last_task;
+      for (const critpath::Segment& seg : report.path) {
+        if (seg.task == "implicit_stage_in" || seg.task == "stage_out") {
+          continue;
+        }
+        if (!last_task.empty() && seg.task != last_task) {
+          timeline_rec_->add_critpath_link(last_task, seg.task, seg.start);
+        }
+        last_task = seg.task;
+      }
+    }
+  }
   if (profiler_) {
     if (metrics_) profiler_->publish(*metrics_);
     r.profile = profiler_->to_json();
@@ -1221,6 +1334,9 @@ Result Simulation::run() {
     chain->files = &staged_files_;
     pump_stage_chain(chain);
     fabric_.engine().run();
+    BBSIM_CRITPATH_HOOK(if (critpath_) {
+      critpath_->record_implicit_stage(0.0, fabric_.engine().now());
+    });
     // Inputs are now placed; continue with the normal preparation, but make
     // sure prepare() does not re-register/re-stage.
     auto placement_backup = config_.placement;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "audit/probes.hpp"
+#include "critpath/critpath.hpp"
 #include "exec/placement.hpp"
 #include "exec/pinning.hpp"
 #include "exec/trace.hpp"
@@ -107,6 +108,13 @@ struct ExecutionConfig {
   /// bbsim.audit.v1). Requires a build with BBSIM_AUDIT=ON (the default);
   /// ignored otherwise.
   bool audit = false;
+  /// Record the causal event graph (readiness causes, aborted attempts,
+  /// per-tier byte mixes, checkpoint stalls) into a critpath::Recorder and
+  /// run the post-run critical-path / blame-attribution pass, exported as
+  /// Result::critpath (schema bbsim.critpath.v1). Requires a build with
+  /// BBSIM_CRITPATH=ON (the default); ignored otherwise. Off by default:
+  /// a run without it is bitwise-identical to one predating the layer.
+  bool critpath = false;
   /// Multiplier applied to every compute duration (testbed noise hook).
   std::function<double(const wf::Task&, std::size_t host)> compute_noise;
   /// Failure injection: seeded node-crash / BB-degradation / PFS-brownout
@@ -141,6 +149,9 @@ class Simulation {
   /// The live invariant auditor; nullptr unless config.audit (or when the
   /// build compiled the hooks out, BBSIM_AUDIT=OFF).
   audit::Auditor* auditor() { return auditor_.get(); }
+  /// The live critical-path recorder; nullptr unless config.critpath (or
+  /// when the build compiled the hooks out, BBSIM_CRITPATH=OFF).
+  critpath::Recorder* critpath_recorder() { return critpath_.get(); }
 
   /// Runs to completion and returns the records. Callable once.
   Result run();
@@ -193,6 +204,9 @@ class Simulation {
   std::unique_ptr<audit::Auditor> auditor_;
   std::unique_ptr<audit::EngineProbe> engine_probe_;
   std::unique_ptr<audit::StorageProbe> storage_probe_;
+  /// Causal event recorder (set iff config.critpath and the build has the
+  /// hooks). Every call site is wrapped in BBSIM_CRITPATH_HOOK.
+  std::unique_ptr<critpath::Recorder> critpath_;
 
   std::map<std::string, TaskState> states_;
   std::vector<std::string> topo_order_;

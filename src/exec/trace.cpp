@@ -119,6 +119,7 @@ json::Value Result::to_json() const {
   if (!audit.is_null()) root.set("audit", audit);
   if (!profile.is_null()) root.set("profile", profile);
   if (resil_stats) root.set("resil", resil_stats->to_json());
+  if (!critpath.is_null()) root.set("critpath", critpath);
   return json::Value(std::move(root));
 }
 

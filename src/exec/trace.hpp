@@ -163,6 +163,9 @@ struct Result {
   /// resilience layer active (ExecutionConfig::faults / ::checkpoint).
   /// Shared so Result stays copyable.
   std::shared_ptr<const resil::RunStats> resil_stats;
+  /// Critical-path / blame-attribution report, schema bbsim.critpath.v1
+  /// (ExecutionConfig::critpath); null when the pass was off.
+  json::Value critpath;
 
   /// Mean observed duration of tasks of `type` (0 when none).
   double mean_duration(const std::string& type) const;

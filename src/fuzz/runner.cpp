@@ -1,5 +1,6 @@
 #include "fuzz/runner.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -15,6 +16,86 @@ namespace bbsim::fuzz {
 
 namespace {
 
+/// The critpath invariant battery (BBSIM_CRITPATH builds only; a no-op
+/// otherwise). A twin run with the recorder on must
+///   1. change nothing except adding the "critpath" section (the
+///      nullable-observer off-identity, seen from the on side);
+///   2. produce a path whose length and per-class blame total both equal
+///      the makespan within 1e-9 (the partition-of-[0, makespan] invariant);
+///   3. replay to the observed makespan exactly with every scale at 1
+///      (the what-if baseline identity);
+///   4. never produce a what-if makespan above the observed one (scales
+///      only relax constraints).
+/// `base_dump` is the serialized result of the identical run without
+/// critpath.
+void check_critpath_battery(const Scenario& scenario,
+                            const exec::ExecutionConfig& base_cfg,
+                            const std::string& base_dump, RunOutcome& out) {
+#if defined(BBSIM_CRITPATH_ENABLED)
+  auto fail = [&out](const char* field, const std::string& what, double engine,
+                     double reference) {
+    out.diverged = true;
+    out.divergences.push_back(oracle::Divergence{field, what, engine, reference});
+  };
+  try {
+    exec::ExecutionConfig cfg = base_cfg;
+    cfg.critpath = true;
+    const exec::Result r =
+        exec::Simulation(scenario.platform, scenario.workflow, cfg).run();
+    const json::Value full = r.to_json();
+    if (!full.is_object() || full.as_object().find("critpath") == nullptr) {
+      fail("critpath.section", "no critpath section in a critpath run", 0.0, 1.0);
+      return;
+    }
+    json::Object stripped;
+    for (const auto& [key, value] : full.as_object()) {
+      if (key != "critpath") stripped.set(key, value);
+    }
+    if (json::Value(std::move(stripped)).dump() != base_dump) {
+      fail("critpath.identity",
+           "enabling critpath changed the result beyond adding its section",
+           1.0, 0.0);
+    }
+    const json::Object& cp = full.as_object().at("critpath").as_object();
+    const double makespan = cp.at("makespan").as_number();
+    const double tol = 1e-9 * std::max(1.0, makespan);
+    const double path_length = cp.at("path_length").as_number();
+    if (std::fabs(path_length - makespan) > tol) {
+      fail("critpath.path_length", "critical-path length != makespan",
+           path_length, makespan);
+    }
+    double blame_total = 0.0;
+    for (const auto& [cls, seconds] : cp.at("blame").as_object()) {
+      (void)cls;
+      blame_total += seconds.as_number();
+    }
+    if (std::fabs(blame_total - makespan) > tol) {
+      fail("critpath.blame", "blame classes do not sum to the makespan",
+           blame_total, makespan);
+    }
+    for (const json::Value& w : cp.at("what_if").as_array()) {
+      const std::string& name = w.at("scenario").as_string();
+      const double m = w.at("makespan").as_number();
+      if (name == "baseline" && std::fabs(m - makespan) > tol) {
+        fail("critpath.baseline", "unit-scale replay missed the makespan", m,
+             makespan);
+      }
+      if (m > makespan + tol) {
+        fail("critpath.monotone", "what-if '" + name + "' exceeds the makespan",
+             m, makespan);
+      }
+    }
+  } catch (const util::Error& e) {
+    fail("critpath.exception", e.what(), 1.0, 0.0);
+  }
+#else
+  (void)scenario;
+  (void)base_cfg;
+  (void)base_dump;
+  (void)out;
+#endif
+}
+
 /// The resil invariant battery (the oracle models no faults, so a faulty
 /// scenario cannot be diffed against it directly):
 ///   1. the spec-stripped twin must agree with the oracle (plain diff);
@@ -23,7 +104,8 @@ namespace {
 ///   3. two faulty runs must produce byte-identical results (determinism);
 ///   4. the faulty run must be audit-clean under the full invariant audit;
 ///   5. accounting identities: every task has a record, restarts match
-///      attempts, drained checkpoint bytes never exceed written ones.
+///      attempts, drained checkpoint bytes never exceed written ones;
+///   6. the critpath battery under faults (check_critpath_battery).
 RunOutcome run_resil_battery(const Scenario& scenario, const RunOptions& options) {
   Scenario stripped = scenario;
   stripped.config.fault_spec.clear();
@@ -81,6 +163,11 @@ RunOutcome run_resil_battery(const Scenario& scenario, const RunOptions& options
       if (rs.wasted_core_seconds() < -1e-9) {
         fail("resil.waste", "negative waste", rs.wasted_core_seconds(), 0.0);
       }
+    }
+    if (!out.diverged) {
+      // 6. critpath invariants must hold under faults too (rework and
+      //    requeue edges are exactly where the back-walk is subtle).
+      check_critpath_battery(scenario, faulty_cfg, f0.to_json().dump(), out);
     }
   } catch (const util::Error& e) {
     out.engine_error = e.what();
@@ -143,6 +230,12 @@ RunOutcome run_scenario(const Scenario& scenario, const RunOptions& options) {
 
   out.divergences = oracle::diff_results(engine_result, reference_result, options.diff);
   out.diverged = !out.divergences.empty();
+  if (!out.diverged && options.engine_bb_capacity_scale == 1.0) {
+    // The twin rebuilds its stack from the scenario, so it only matches the
+    // engine run when no out-of-band capacity scaling was applied.
+    check_critpath_battery(scenario, scenario.exec_config(),
+                           engine_result.to_json().dump(), out);
+  }
   return out;
 }
 

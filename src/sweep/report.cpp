@@ -66,6 +66,19 @@ json::Value run_to_json(const RunOutcome& outcome, bool include_timings) {
       resil.set("wasted_core_seconds", r.resil_stats->wasted_core_seconds());
       run.set("resil", json::Value(std::move(resil)));
     }
+    if (!r.critpath.is_null() && r.critpath.is_object()) {
+      // Lift the headline attribution so a "critpath": true axis can be
+      // compared across runs without digging into the embedded document.
+      json::Object critpath;
+      if (const json::Value* frac =
+              r.critpath.as_object().find("blame_fractions")) {
+        critpath.set("blame_fractions", *frac);
+      }
+      if (const json::Value* what_if = r.critpath.as_object().find("what_if")) {
+        critpath.set("what_if", *what_if);
+      }
+      run.set("critpath", json::Value(std::move(critpath)));
+    }
     if (!r.metrics.is_null()) run.set("metrics", r.metrics);
     if (!r.audit.is_null()) run.set("audit_violations", r.audit_violations);
   }

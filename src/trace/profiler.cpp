@@ -26,20 +26,16 @@ void Profiler::merge(const Profiler& other) {
 }
 
 json::Value Profiler::to_json() const {
-  std::vector<const ProfileSection*> sorted;
-  sorted.reserve(order_.size());
-  for (const auto& s : order_) sorted.push_back(s.get());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const ProfileSection* a, const ProfileSection* b) {
-              return a->name < b->name;
-            });
   json::Object root;
   // Wall-clock measurements: values change run to run. Golden and
   // determinism comparisons must drop any object carrying this marker.
   root.set("nondeterministic", true);
   root.set("unit", "seconds");
   json::Array arr;
-  for (const ProfileSection* s : sorted) {
+  // Insertion (registration) order, not name order: sections read in the
+  // order the run created them, and a newly registered section cannot
+  // reshuffle the report of every existing one.
+  for (const auto& s : order_) {
     json::Object o;
     o.set("name", s->name);
     o.set("calls", s->calls);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "util/error.hpp"
 #include "util/sorted_view.hpp"
@@ -141,6 +142,12 @@ void TimelineRecorder::set_host_names(std::vector<std::string> names) {
 }
 
 void TimelineRecorder::set_wait_spans(bool on) { timeline_.wait_spans = on; }
+
+void TimelineRecorder::add_critpath_link(std::string from_task,
+                                         std::string to_task, double time) {
+  timeline_.critpath_links.push_back(
+      CritLink{std::move(from_task), std::move(to_task), time});
+}
 
 Timeline TimelineRecorder::finish() {
   // Close whatever is still open at its last recorded instant (an aborted
@@ -288,6 +295,43 @@ json::Value Timeline::to_perfetto() const {
     events.push_back(complete_event(f.label.empty() ? "flow" : f.label, "flow",
                                     flows_pid, f.lane, f.t_begin, f.t_end,
                                     std::move(args)));
+  }
+
+  // --------------------------------------------- critical-path flow events
+  // One "s"/"f" pair per causal edge of the critical path: the arrow leaves
+  // the upstream task's span and lands on the downstream one, so the path
+  // reads across lanes in the Perfetto UI. Binding point "e" attaches the
+  // finish to the enclosing slice rather than the next one.
+  if (!critpath_links.empty()) {
+    std::map<std::string, const TaskSpan*> span_of;
+    for (const TaskSpan& t : tasks) span_of.emplace(t.name, &t);
+    std::size_t link_id = 0;
+    for (const CritLink& link : critpath_links) {
+      const auto from = span_of.find(link.from_task);
+      const auto to = span_of.find(link.to_task);
+      if (from == span_of.end() || to == span_of.end()) continue;
+      ++link_id;
+      json::Object start;
+      start.set("ph", "s");
+      start.set("id", link_id);
+      start.set("name", "critical path");
+      start.set("cat", "critpath");
+      start.set("pid", from->second->host + 1);
+      start.set("tid", from->second->lane);
+      // Clamp inside the upstream span so the arrow anchors to it.
+      start.set("ts", us(std::min(link.time, from->second->t_end)));
+      events.push_back(json::Value(std::move(start)));
+      json::Object finish;
+      finish.set("ph", "f");
+      finish.set("bp", "e");
+      finish.set("id", link_id);
+      finish.set("name", "critical path");
+      finish.set("cat", "critpath");
+      finish.set("pid", to->second->host + 1);
+      finish.set("tid", to->second->lane);
+      finish.set("ts", us(std::max(link.time, to->second->t_start)));
+      events.push_back(json::Value(std::move(finish)));
+    }
   }
 
   // --------------------------------------------------------- counter tracks

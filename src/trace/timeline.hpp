@@ -86,6 +86,15 @@ struct CounterTrack {
   std::vector<CounterSample> samples;
 };
 
+/// One causal edge of the critical path, linking two task spans. Exported
+/// as a Perfetto flow-event pair ("s" on the upstream span, "f" on the
+/// downstream one) so the path is visible across timeline lanes.
+struct CritLink {
+  std::string from_task;
+  std::string to_task;
+  double time = 0.0;  ///< handoff time (upstream end / downstream pick-up)
+};
+
 /// Handle to a counter track, cached by publishers (no name lookup on the
 /// sampling path).
 using TrackId = std::size_t;
@@ -96,6 +105,7 @@ struct Timeline {
   std::vector<TaskSpan> tasks;          ///< sorted by (host, t_start, name)
   std::vector<FlowSpan> flows;          ///< in begin order
   std::vector<CounterTrack> counters;   ///< sorted by name
+  std::vector<CritLink> critpath_links; ///< in path order (may be empty)
   /// When set (TimelineRecorder::set_wait_spans), each task whose t_ready
   /// precedes t_start additionally exports a "wait" span over
   /// [t_ready, t_start) on its lane, and lanes are packed over
@@ -144,6 +154,10 @@ class TimelineRecorder {
   // ---------------------------------------------------------------- tasks
   void add_task(TaskSpan span);
   void set_host_names(std::vector<std::string> names);
+  /// Record one critical-path edge (exported as Perfetto "s"/"f" flow
+  /// events). Call before finish(), in path order.
+  void add_critpath_link(std::string from_task, std::string to_task,
+                         double time);
   /// Export queue-wait spans and pack lanes from t_ready (see
   /// Timeline::wait_spans). Call before finish().
   void set_wait_spans(bool on);

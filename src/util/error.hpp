@@ -91,3 +91,15 @@ class ConfigError : public Error {
   do {                         \
   } while (false)
 #endif
+
+/// Same compile-out guard for critical-path recorder call sites:
+/// -DBBSIM_CRITPATH=OFF removes every critpath::Recorder::record_* call
+/// from the engine; the default ON costs one pointer test per event when
+/// no recorder is attached.
+#if defined(BBSIM_CRITPATH_ENABLED)
+#define BBSIM_CRITPATH_HOOK(stmt) stmt
+#else
+#define BBSIM_CRITPATH_HOOK(stmt) \
+  do {                            \
+  } while (false)
+#endif

@@ -1,0 +1,57 @@
+// bbsim-tidy-fixture: as-path=src/exec/engine_critpath_guarded.cpp
+// Allowlist fixture for bbsim-unguarded-critpath-hook: recorder calls
+// wrapped in BBSIM_CRITPATH_HOOK (including multi-line statement bodies)
+// compile out under -DBBSIM_CRITPATH=OFF and are clean; recorder method
+// *declarations* are not calls, and trace::TimelineRecorder calls are a
+// different (always-on) observer.
+
+#include <string>
+
+namespace bbsim::critpath {
+
+class Recorder {
+ public:
+  void record_write_bytes(const std::string& task, double bytes, bool to_bb);
+  void record_restart_delay(const std::string& task, double seconds);
+  void record_implicit_stage(double start, double end);
+};
+
+}  // namespace bbsim::critpath
+
+namespace bbsim::trace {
+
+class TimelineRecorder {
+ public:
+  void add_critpath_link(const std::string& from, const std::string& to,
+                         double time);
+};
+
+}  // namespace bbsim::trace
+
+#define BBSIM_CRITPATH_HOOK(stmt) stmt
+
+namespace bbsim::exec {
+
+class Engine {
+ public:
+  void on_write(const std::string& task, double bytes, double delay) {
+    BBSIM_CRITPATH_HOOK(if (critpath_ != nullptr) {
+      critpath_->record_write_bytes(task, bytes, true);
+      critpath_->record_restart_delay(task, delay);
+    });
+    BBSIM_CRITPATH_HOOK(
+        if (critpath_ != nullptr) critpath_->record_implicit_stage(0.0, 1.0));
+  }
+
+  void on_link(const std::string& from, const std::string& to, double time) {
+    // The timeline recorder is not the critpath recorder: flow-link
+    // emission stays on when the critpath layer is compiled out.
+    if (timeline_ != nullptr) timeline_->add_critpath_link(from, to, time);
+  }
+
+ private:
+  critpath::Recorder* critpath_ = nullptr;
+  trace::TimelineRecorder* timeline_ = nullptr;
+};
+
+}  // namespace bbsim::exec

@@ -1,0 +1,51 @@
+// bbsim-tidy-fixture: as-path=src/exec/engine_critpath_wiring.cpp
+// Flagging fixture for bbsim-unguarded-critpath-hook: recorder calls
+// outside BBSIM_CRITPATH_HOOK survive -DBBSIM_CRITPATH=OFF builds, which
+// breaks the layer's off-means-bitwise-identical contract, and must be
+// diagnosed.
+
+#include <string>
+
+namespace bbsim::critpath {
+
+enum class ReadyCause { kWorkflowStart, kParent, kRequeue };
+
+class Recorder {
+ public:
+  void record_ready(const std::string& task, double time, ReadyCause cause);
+  void record_read_bytes(const std::string& task, double bytes, bool from_bb);
+  void record_abort(const std::string& task, double t_ready, double t_start,
+                    double t_abort);
+};
+
+}  // namespace bbsim::critpath
+
+#define BBSIM_CRITPATH_HOOK(stmt) stmt
+
+namespace bbsim::exec {
+
+class Engine {
+ public:
+  void on_ready(const std::string& task, double now) {
+    if (critpath_ != nullptr) {
+      critpath_->record_ready(task, now,  // CHECK: bbsim-unguarded-critpath-hook
+                              critpath::ReadyCause::kParent);
+    }
+  }
+
+  void on_read(const std::string& task, double bytes) {
+    if (critpath_ != nullptr) critpath_->record_read_bytes(task, bytes, true);  // CHECK: bbsim-unguarded-critpath-hook
+  }
+
+  void on_abort(const std::string& task, double ready, double start,
+                double now) {
+    BBSIM_CRITPATH_HOOK(if (critpath_ != nullptr) {
+      critpath_->record_abort(task, ready, start, now);
+    });
+  }
+
+ private:
+  critpath::Recorder* critpath_ = nullptr;
+};
+
+}  // namespace bbsim::exec

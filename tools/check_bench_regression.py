@@ -23,6 +23,18 @@ bbsim.bench.flow_solver.v1 (BENCH_flow_solver.json)
   machine within the run), which must stay within --speedup-threshold of
   the baseline's speedup and never drop below --min-speedup.
 
+bbsim.bench.critpath.v1 (BENCH_critpath.json)
+  Hardware-insensitive gates, always applied (the overhead ratio is
+  measured back-to-back on one machine, so it transfers across hardware):
+    - `off_bitwise_identical` must be true: a --critpath run's report
+      minus its "critpath" key is byte-identical to a run without the
+      recorder, i.e. the layer costs nothing when off.
+    - `attribution_exact` must be true: path length, blame sum, and the
+      baseline what-if replay all reproduce the makespan within 1e-9.
+    - `overhead_ratio` (enabled wall / disabled wall) must stay at or
+      below 1 + --critpath-overhead (default 0.05).
+  Baseline tiers are reported for context only.
+
 bbsim.bench.batch.v1 (BENCH_batch.json)
   Hardware-insensitive gates, always applied:
     - `schedule_hash` (combined and per-policy) must match the baseline
@@ -43,7 +55,8 @@ import json
 import sys
 
 DIVERGENCE_TOL = 1e-6
-SCHEMAS = ("bbsim.bench.flow_solver.v1", "bbsim.bench.batch.v1")
+SCHEMAS = ("bbsim.bench.flow_solver.v1", "bbsim.bench.batch.v1",
+           "bbsim.bench.critpath.v1")
 
 
 def load_doc(path):
@@ -168,6 +181,33 @@ def check_batch(baseline, current, args):
     return failed
 
 
+def check_critpath(baseline, current, args):
+    failed = False
+    ceiling = 1.0 + args.critpath_overhead
+    for label in sorted(set(baseline) | set(current)):
+        if label not in current:
+            print(f"tier {label}: only in baseline -- skipped")
+            continue
+        cur = current[label]
+
+        for key in ("off_bitwise_identical", "attribution_exact"):
+            if cur.get(key) is not True:
+                print(f"tier {label}: FAIL {key} = {cur.get(key)!r}")
+                failed = True
+
+        ratio = cur.get("overhead_ratio", float("inf"))
+        base_note = ""
+        if label in baseline:
+            base_note = (f" (baseline "
+                         f"{baseline[label].get('overhead_ratio', 0.0):.3f}x)")
+        verdict = "ok" if ratio <= ceiling else "FAIL"
+        print(f"tier {label}: {verdict} overhead_ratio {ratio:.3f}x "
+              f"<= {ceiling:.2f}x{base_note}")
+        if ratio > ceiling:
+            failed = True
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -190,6 +230,10 @@ def main():
     parser.add_argument("--min-ratio", type=float, default=1.0,
                         help="batch: absolute floor on "
                              "fcfs_over_easy_slowdown (default 1.0)")
+    parser.add_argument("--critpath-overhead", type=float, default=0.05,
+                        help="critpath: allowed fractional wall-clock "
+                             "overhead with the recorder enabled "
+                             "(default 0.05)")
     args = parser.parse_args()
 
     base_schema, baseline = load_doc(args.baseline)
@@ -201,6 +245,8 @@ def main():
 
     if base_schema == "bbsim.bench.batch.v1":
         failed = check_batch(baseline, current, args)
+    elif base_schema == "bbsim.bench.critpath.v1":
+        failed = check_critpath(baseline, current, args)
     else:
         failed = check_flow_solver(baseline, current, args)
 

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Validate bbsim.critpath.v1 documents.
+
+Accepts any of the shapes the simulators emit:
+
+  * a bare report (``bbsim_run --critpath-out FILE.json``);
+  * a run report carrying a ``"critpath"`` section (``--trace`` output of
+    a ``--critpath`` run);
+  * an object keyed by policy name whose values are reports
+    (``bbsim_batch --critpath-out`` with several ``--policy`` values).
+
+Checks, per report:
+
+  * ``schema`` is ``bbsim.critpath.v1``;
+  * ``makespan`` and ``path_length`` are finite, non-negative, and agree
+    within ``1e-9 * max(1, makespan)`` — as do the summed ``blame``
+    classes (the partition-of-the-makespan contract the auditor enforces
+    at runtime);
+  * ``blame`` / ``blame_fractions`` carry exactly the six known classes,
+    every value non-negative, fractions summing to 1 when makespan > 0;
+  * ``path`` segments are chronological, contiguous, start at 0, end at
+    the makespan, and each carries a known class and a consistent
+    ``duration``;
+  * ``slack`` entries are non-negative and name-sorted;
+  * ``what_if`` contains a ``baseline`` scenario reproducing the makespan
+    (speedup 1) and no scenario exceeding it.
+
+Exit code 0 = every file valid (one summary line per file), 1 = every
+violation is listed, 2 = bad input.
+Usage: ``python3 tools/check_report_schema.py REPORT.json [...]``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA = "bbsim.critpath.v1"
+BLAME_CLASSES = (
+    "compute",
+    "bb_transfer",
+    "pfs_transfer",
+    "bb_capacity_wait",
+    "queue_wait",
+    "recovery_rework",
+)
+
+
+def is_finite_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def check_blame_map(report: dict, key: str, errors, where: str) -> dict:
+    blame = report.get(key)
+    if not isinstance(blame, dict):
+        errors.append(f"{where}: {key!r} is not an object")
+        return {}
+    for cls in BLAME_CLASSES:
+        if cls not in blame:
+            errors.append(f"{where}: {key!r} is missing class {cls!r}")
+        elif not is_finite_number(blame[cls]) or blame[cls] < 0:
+            errors.append(
+                f"{where}: {key}.{cls} is not a finite non-negative "
+                f"number: {blame[cls]!r}"
+            )
+    for cls in blame:
+        if cls not in BLAME_CLASSES:
+            errors.append(f"{where}: {key!r} has unknown class {cls!r}")
+    return blame
+
+
+def check_report(report, errors, where: str) -> None:
+    if not isinstance(report, dict):
+        errors.append(f"{where}: not an object")
+        return
+    if report.get("schema") != SCHEMA:
+        errors.append(f"{where}: schema is {report.get('schema')!r}, "
+                      f"want {SCHEMA!r}")
+        return
+
+    makespan = report.get("makespan")
+    path_length = report.get("path_length")
+    for key, value in (("makespan", makespan), ("path_length", path_length)):
+        if not is_finite_number(value) or value < 0:
+            errors.append(f"{where}: {key!r} is not a finite non-negative "
+                          f"number: {value!r}")
+            return
+    tol = 1e-9 * max(1.0, makespan)
+    if abs(path_length - makespan) > tol:
+        errors.append(f"{where}: path_length {path_length} != makespan "
+                      f"{makespan} (tol {tol:g})")
+
+    blame = check_blame_map(report, "blame", errors, where)
+    if blame and abs(sum(blame.values()) - makespan) > tol:
+        errors.append(f"{where}: blame classes sum to {sum(blame.values())} "
+                      f"!= makespan {makespan} (tol {tol:g})")
+    fractions = check_blame_map(report, "blame_fractions", errors, where)
+    if fractions and makespan > 0:
+        total = sum(fractions.values())
+        if abs(total - 1.0) > 1e-9:
+            errors.append(f"{where}: blame_fractions sum to {total} != 1")
+
+    path = report.get("path")
+    if not isinstance(path, list):
+        errors.append(f"{where}: 'path' is not an array")
+        path = []
+    prev_end = 0.0
+    for i, seg in enumerate(path):
+        seg_where = f"{where}: path[{i}]"
+        if not isinstance(seg, dict):
+            errors.append(f"{seg_where}: not an object")
+            continue
+        for key in ("task", "phase"):
+            if not isinstance(seg.get(key), str) or not seg[key]:
+                errors.append(f"{seg_where}: missing or empty {key!r}")
+        if seg.get("class") not in BLAME_CLASSES:
+            errors.append(f"{seg_where}: unknown class {seg.get('class')!r}")
+        start, end = seg.get("start"), seg.get("end")
+        if not is_finite_number(start) or not is_finite_number(end):
+            errors.append(f"{seg_where}: non-finite start/end")
+            continue
+        if end <= start:
+            errors.append(f"{seg_where}: empty or reversed [{start}, {end}]")
+        if abs(start - prev_end) > tol:
+            errors.append(f"{seg_where}: starts at {start}, previous segment "
+                          f"ended at {prev_end} (path must be contiguous)")
+        duration = seg.get("duration")
+        if not is_finite_number(duration) or abs(duration - (end - start)) > tol:
+            errors.append(f"{seg_where}: duration {duration!r} != end - start")
+        prev_end = end
+    if path and abs(prev_end - makespan) > tol:
+        errors.append(f"{where}: path ends at {prev_end} != makespan "
+                      f"{makespan}")
+
+    slack = report.get("slack")
+    if not isinstance(slack, list):
+        errors.append(f"{where}: 'slack' is not an array")
+        slack = []
+    names = []
+    for i, entry in enumerate(slack):
+        if not isinstance(entry, dict) or not isinstance(entry.get("task"), str):
+            errors.append(f"{where}: slack[{i}]: missing 'task'")
+            continue
+        names.append(entry["task"])
+        if not is_finite_number(entry.get("slack")) or entry["slack"] < 0:
+            errors.append(f"{where}: slack[{i}] ({entry['task']}): not a "
+                          f"finite non-negative number: {entry.get('slack')!r}")
+    if names != sorted(names):
+        errors.append(f"{where}: slack entries are not name-sorted")
+
+    what_if = report.get("what_if")
+    if not isinstance(what_if, list) or not what_if:
+        errors.append(f"{where}: 'what_if' is not a non-empty array")
+        return
+    baseline = None
+    for i, w in enumerate(what_if):
+        if not isinstance(w, dict) or not isinstance(w.get("scenario"), str):
+            errors.append(f"{where}: what_if[{i}]: missing 'scenario'")
+            continue
+        m = w.get("makespan")
+        if not is_finite_number(m) or m < 0:
+            errors.append(f"{where}: what_if[{i}] ({w['scenario']}): bad "
+                          f"makespan {m!r}")
+            continue
+        if m > makespan + tol:
+            errors.append(f"{where}: what_if[{i}] ({w['scenario']}): makespan "
+                          f"{m} exceeds the observed {makespan}")
+        if w["scenario"] == "baseline":
+            baseline = w
+    if baseline is None:
+        errors.append(f"{where}: what_if has no 'baseline' scenario")
+    else:
+        if abs(baseline["makespan"] - makespan) > tol:
+            errors.append(f"{where}: baseline what-if {baseline['makespan']} "
+                          f"!= makespan {makespan} (replay identity)")
+        speedup = baseline.get("speedup")
+        if makespan > 0 and (not is_finite_number(speedup)
+                             or abs(speedup - 1.0) > 1e-9):
+            errors.append(f"{where}: baseline speedup {speedup!r} != 1")
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: not a JSON object"]
+
+    if doc.get("schema") == SCHEMA:
+        reports = {"<report>": doc}
+    elif isinstance(doc.get("critpath"), dict):
+        reports = {"critpath": doc["critpath"]}
+    elif doc and all(isinstance(v, dict) and v.get("schema") == SCHEMA
+                     for v in doc.values()):
+        reports = dict(doc)  # bbsim_batch --critpath-out: keyed by policy
+    else:
+        return [f"{path}: no {SCHEMA} report found (not a bare report, a run "
+                f"report with a 'critpath' section, or a per-policy map)"]
+
+    for name, report in reports.items():
+        check_report(report, errors, f"{path}: {name}")
+    if not errors:
+        labels = ", ".join(reports)
+        print(f"{path}: OK -- {len(reports)} {SCHEMA} report(s) ({labels})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for arg in argv[1:]:
+        errors.extend(check_file(Path(arg)))
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,8 +6,10 @@ Checks the JSON that ``bbsim_run --timeline-out`` (and
 
   * the document is a JSON-array-container: ``{"traceEvents": [...]}``;
   * every event has a known phase (``X`` complete span, ``C`` counter,
-    ``M`` metadata) and integer-like ``pid``/``tid`` fields;
+    ``M`` metadata, ``s``/``f`` flow start/finish from ``--critpath``)
+    and integer-like ``pid``/``tid`` fields;
   * ``X`` events carry finite ``ts`` and non-negative ``dur``;
+  * flow events carry an ``id`` and every ``s`` has a matching ``f``;
   * per (pid, tid) track, ``X`` events are sorted by ``ts`` and spans on
     one lane never overlap (a lane is one host core / one flow slot);
   * per counter name, ``C`` samples have strictly increasing ``ts`` and
@@ -27,7 +29,7 @@ import sys
 from collections import defaultdict
 from pathlib import Path
 
-KNOWN_PHASES = {"X", "C", "M"}
+KNOWN_PHASES = {"X", "C", "M", "s", "f"}
 
 # Span boundaries are converted seconds -> microseconds independently, so
 # adjacent spans may disagree by a few ulps. One nanosecond is far below
@@ -74,6 +76,8 @@ def check_timeline(path: Path) -> list[str]:
     spans: dict[tuple, list[tuple]] = defaultdict(list)
     # counter name -> list of (ts, index), in file order.
     counters: dict[str, list[tuple]] = defaultdict(list)
+    # flow id -> count of "s" minus count of "f" events.
+    flow_balance: dict[object, int] = defaultdict(int)
 
     for i, e in enumerate(events):
         if not isinstance(e, dict):
@@ -112,6 +116,11 @@ def check_timeline(path: Path) -> list[str]:
             if not is_finite_number(value):
                 err(i, f"counter 'args.value' is not a finite number: {value!r}")
             counters[e["name"]].append((e["ts"], i))
+        elif ph in ("s", "f"):
+            if "id" not in e:
+                err(i, f"flow event (ph={ph!r}) has no 'id'")
+                continue
+            flow_balance[e["id"]] += 1 if ph == "s" else -1
 
     for (pid, tid), track in spans.items():
         prev_ts = None
@@ -140,13 +149,22 @@ def check_timeline(path: Path) -> list[str]:
                        f"({ts} after {prev_ts})")
             prev_ts = ts
 
+    for flow_id, balance in flow_balance.items():
+        if balance != 0:
+            errors.append(
+                f"{path}: flow id {flow_id!r}: unbalanced start/finish "
+                f"events (s - f = {balance})"
+            )
+
     if not errors:
         n_spans = sum(len(t) for t in spans.values())
         n_samples = sum(len(s) for s in counters.values())
+        n_flows = len(flow_balance)
         print(
             f"{path}: OK -- {len(events)} events "
             f"({n_spans} spans on {len(spans)} tracks, "
-            f"{n_samples} samples on {len(counters)} counters)"
+            f"{n_samples} samples on {len(counters)} counters, "
+            f"{n_flows} flow links)"
         )
     return errors
 

@@ -19,6 +19,7 @@
 #include "NondeterminismSourceCheck.h"
 #include "RawAssertCheck.h"
 #include "UnguardedAuditHookCheck.h"
+#include "UnguardedCritpathHookCheck.h"
 #include "UnorderedIterationCheck.h"
 
 namespace bbsim_tidy {
@@ -35,6 +36,8 @@ public:
     CheckFactories.registerCheck<FloatEqualityCheck>("bbsim-float-equality");
     CheckFactories.registerCheck<UnguardedAuditHookCheck>(
         "bbsim-unguarded-audit-hook");
+    CheckFactories.registerCheck<UnguardedCritpathHookCheck>(
+        "bbsim-unguarded-critpath-hook");
   }
 };
 

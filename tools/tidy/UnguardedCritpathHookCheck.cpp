@@ -1,0 +1,60 @@
+//===--- UnguardedCritpathHookCheck.cpp - bbsim-unguarded-critpath-hook ---===//
+
+#include "UnguardedCritpathHookCheck.h"
+
+#include "BbsimTidyUtil.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace bbsim_tidy {
+
+UnguardedCritpathHookCheck::UnguardedCritpathHookCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      FilesRegex(Options.get("FilesRegex", "(^|/)src/")),
+      AllowedFilesRegex(
+          Options.get("AllowedFilesRegex", "(^|/)src/critpath/")),
+      // The qualified-name anchor matters: trace::TimelineRecorder also ends
+      // in "Recorder" and is *supposed* to be called unguarded.
+      RecorderClassRegex(
+          Options.get("RecorderClassRegex", "critpath::Recorder$")),
+      GuardMacro(Options.get("GuardMacro", "BBSIM_CRITPATH_HOOK")),
+      Files(FilesRegex), AllowedFiles(AllowedFilesRegex) {}
+
+void UnguardedCritpathHookCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "FilesRegex", FilesRegex);
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+  Options.store(Opts, "RecorderClassRegex", RecorderClassRegex);
+  Options.store(Opts, "GuardMacro", GuardMacro);
+}
+
+void UnguardedCritpathHookCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(
+                            ofClass(cxxRecordDecl(
+                                matchesName(RecorderClassRegex))))))
+          .bind("probe"),
+      this);
+}
+
+void UnguardedCritpathHookCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("probe");
+  if (Call == nullptr)
+    return;
+  const clang::SourceManager &SM = *Result.SourceManager;
+  const clang::SourceLocation Loc = Call->getBeginLoc();
+  if (!pathMatches(Files, SM, Loc) || pathMatches(AllowedFiles, SM, Loc))
+    return;
+  if (insideMacro(Loc, SM, getLangOpts(), GuardMacro))
+    return;
+  diag(SM.getExpansionLoc(Loc),
+       "critpath recorder call outside %0; it would survive "
+       "-DBBSIM_CRITPATH=OFF builds")
+      << GuardMacro;
+}
+
+} // namespace bbsim_tidy

@@ -1,0 +1,50 @@
+//===--- UnguardedCritpathHookCheck.h - bbsim-unguarded-critpath-hook -----===//
+//
+// Flags direct calls to the causal-event recorder (critpath::Recorder) that
+// are not wrapped in BBSIM_CRITPATH_HOOK. The macro is what makes
+// -DBBSIM_CRITPATH=OFF compile the recording probes out entirely; an
+// unwrapped call survives that configuration and silently re-introduces
+// recording overhead into builds that promised bitwise identity with the
+// recorder absent. src/critpath/ implements the recorder and may call it
+// directly.
+//
+// Options:
+//   FilesRegex          paths the check applies to (default: src/)
+//   AllowedFilesRegex   paths exempt from the check (default: src/critpath/)
+//   RecorderClassRegex  qualified-name regex of the recorder class
+//   GuardMacro          the wrapper macro name (default: BBSIM_CRITPATH_HOOK)
+//
+//===----------------------------------------------------------------------===//
+#ifndef BBSIM_TIDY_UNGUARDEDCRITPATHHOOKCHECK_H
+#define BBSIM_TIDY_UNGUARDEDCRITPATHHOOKCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace bbsim_tidy {
+
+class UnguardedCritpathHookCheck : public clang::tidy::ClangTidyCheck {
+public:
+  UnguardedCritpathHookCheck(llvm::StringRef Name,
+                             clang::tidy::ClangTidyContext *Context);
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+private:
+  const std::string FilesRegex;
+  const std::string AllowedFilesRegex;
+  const std::string RecorderClassRegex;
+  const std::string GuardMacro;
+  llvm::Regex Files;
+  llvm::Regex AllowedFiles;
+};
+
+} // namespace bbsim_tidy
+
+#endif // BBSIM_TIDY_UNGUARDEDCRITPATHHOOKCHECK_H

@@ -4,7 +4,7 @@
 The authoritative implementations of the ``bbsim-*`` checks live in the
 clang-tidy plugin next to this file (``tools/tidy/*.cpp``, built when Clang
 development headers are present).  This script is a dependency-free lexical
-mirror of the same five checks so that
+mirror of the same six checks so that
 
   * the fixture self-tests under ``tests/lint/`` run under ctest on every
     machine, including containers without any Clang toolchain, and
@@ -33,6 +33,9 @@ Checks:
   bbsim-float-equality        ==/!= between floating-point operands in
                               src/flow and src/batch scheduler code
   bbsim-unguarded-audit-hook  observer probe calls outside BBSIM_AUDIT_HOOK
+  bbsim-unguarded-critpath-hook
+                              critpath recorder calls outside
+                              BBSIM_CRITPATH_HOOK
 
 Usage:
   bbsim_tidy.py [--as-path REL] file.cpp ...      # lint explicit files
@@ -57,6 +60,7 @@ ALL_CHECKS = [
     "bbsim-raw-assert",
     "bbsim-float-equality",
     "bbsim-unguarded-audit-hook",
+    "bbsim-unguarded-critpath-hook",
 ]
 
 # Paths are matched as repo-relative POSIX paths (regex search, not match).
@@ -95,6 +99,21 @@ AUDIT_HOOK_METHODS = {
 }
 AUDIT_HOOK_MACRO = "BBSIM_AUDIT_HOOK"
 
+# unguarded-critpath-hook: the recorder and its analyzer live in
+# src/critpath/, which calls the recorder directly by design.
+CRITPATH_HOOK_SCOPE = r"(^|/)src/"
+CRITPATH_HOOK_ALLOWED_PATHS = r"(^|/)src/critpath/"
+CRITPATH_HOOK_METHODS = {
+    "record_ready",
+    "record_abort",
+    "record_read_bytes",
+    "record_write_bytes",
+    "record_ckpt_stall",
+    "record_restart_delay",
+    "record_implicit_stage",
+}
+CRITPATH_HOOK_MACRO = "BBSIM_CRITPATH_HOOK"
+
 MESSAGES = {
     "bbsim-unordered-iteration": (
         "iteration order over '{what}' is unspecified and breaks report "
@@ -115,6 +134,10 @@ MESSAGES = {
     "bbsim-unguarded-audit-hook": (
         "audit observer call '{what}' outside BBSIM_AUDIT_HOOK; it would "
         "survive -DBBSIM_AUDIT=OFF builds"
+    ),
+    "bbsim-unguarded-critpath-hook": (
+        "critpath recorder call '{what}' outside BBSIM_CRITPATH_HOOK; it "
+        "would survive -DBBSIM_CRITPATH=OFF builds"
     ),
 }
 
@@ -503,13 +526,13 @@ def check_float_equality(path, code, text):
 
 
 # --------------------------------------------------------------------------
-# bbsim-unguarded-audit-hook
+# bbsim-unguarded-audit-hook / bbsim-unguarded-critpath-hook
 # --------------------------------------------------------------------------
 
 
-def _hook_regions(code):
+def _hook_regions(code, macro):
     regions = []
-    for m in re.finditer(r"\b" + AUDIT_HOOK_MACRO + r"\s*\(", code):
+    for m in re.finditer(r"\b" + macro + r"\s*\(", code):
         open_paren = code.find("(", m.start())
         end = match_balanced(code, open_paren, "(", ")")
         if end > 0:
@@ -517,12 +540,11 @@ def _hook_regions(code):
     return regions
 
 
-def check_unguarded_audit_hook(path, code, text):
-    check = "bbsim-unguarded-audit-hook"
+def _check_unguarded_hook(check, methods, macro, path, code):
     diags = []
-    regions = _hook_regions(code)
+    regions = _hook_regions(code, macro)
     method_rx = re.compile(
-        r"(?:->|\.)\s*(" + "|".join(sorted(AUDIT_HOOK_METHODS)) + r")\s*\(")
+        r"(?:->|\.)\s*(" + "|".join(sorted(methods)) + r")\s*\(")
     for m in method_rx.finditer(code):
         if any(a <= m.start() < b for a, b in regions):
             continue
@@ -535,6 +557,18 @@ def check_unguarded_audit_hook(path, code, text):
         diags.append(Diagnostic(path, line, col, check,
                                 MESSAGES[check].format(what=m.group(1))))
     return diags
+
+
+def check_unguarded_audit_hook(path, code, text):
+    return _check_unguarded_hook("bbsim-unguarded-audit-hook",
+                                 AUDIT_HOOK_METHODS, AUDIT_HOOK_MACRO,
+                                 path, code)
+
+
+def check_unguarded_critpath_hook(path, code, text):
+    return _check_unguarded_hook("bbsim-unguarded-critpath-hook",
+                                 CRITPATH_HOOK_METHODS, CRITPATH_HOOK_MACRO,
+                                 path, code)
 
 
 # --------------------------------------------------------------------------
@@ -551,6 +585,8 @@ CHECK_TABLE = [
     ("bbsim-float-equality", check_float_equality, FLOAT_EQ_SCOPE, None),
     ("bbsim-unguarded-audit-hook", check_unguarded_audit_hook,
      AUDIT_HOOK_SCOPE, AUDIT_HOOK_ALLOWED_PATHS),
+    ("bbsim-unguarded-critpath-hook", check_unguarded_critpath_hook,
+     CRITPATH_HOOK_SCOPE, CRITPATH_HOOK_ALLOWED_PATHS),
 ]
 
 
